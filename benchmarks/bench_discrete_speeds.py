@@ -1,0 +1,95 @@
+"""EXT-DISCRETE -- discrete speed levels vs the continuous model (Section 6).
+
+Extension experiment: the paper motivates the continuous-speed model as an
+approximation of processors with finitely many operating points (quoting the
+AMD Athlon 64's three frequencies) and lists the discrete setting as future
+work.  We quantise the continuous optimal makespan schedule onto speed
+ladders of increasing resolution (plus the Athlon-64 ladder) using the
+two-level emulation and measure the energy overhead.  The expected shape:
+overhead is non-negative, shrinks as the ladder gets finer, and is already
+small with a handful of levels -- which is the standard justification for the
+continuous relaxation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import CUBE
+from repro.discrete import ATHLON64, quantize_schedule, uniform_levels
+from repro.makespan import incmerge
+from repro.workloads import bursty_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _experiment():
+    instance = bursty_instance(12, seed=8, burst_size=4, gap=5.0)
+    energy = 30.0
+    optimal = incmerge(instance, CUBE, energy)
+    schedule = optimal.schedule()
+    top_speed = float(np.max(optimal.speeds)) * 1.01
+
+    rows = []
+    for n_levels in (2, 3, 4, 8, 16, 32):
+        levels = uniform_levels(n_levels, max_speed=top_speed)
+        result = quantize_schedule(schedule, levels)
+        rows.append(
+            {
+                "levels": f"uniform-{n_levels}",
+                "n_levels": n_levels,
+                "overhead": result.energy_overhead,
+                "makespan_increase": result.makespan_increase,
+                "clamped": len(result.clamped_jobs),
+            }
+        )
+    athlon_scaled = quantize_schedule(
+        schedule,
+        uniform_levels(3, max_speed=top_speed, name="athlon-like-3"),
+    )
+    rows.append(
+        {
+            "levels": "athlon-like-3",
+            "n_levels": 3,
+            "overhead": athlon_scaled.energy_overhead,
+            "makespan_increase": athlon_scaled.makespan_increase,
+            "clamped": len(athlon_scaled.clamped_jobs),
+        }
+    )
+    return rows, ATHLON64
+
+
+def test_discrete_speed_overhead(benchmark):
+    rows, athlon = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    uniform_rows = [r for r in rows if r["levels"].startswith("uniform-")]
+    overheads = [r["overhead"] for r in uniform_rows]
+    assert all(o >= -1e-9 for o in overheads)
+    # finer ladders never increase the overhead
+    assert all(b <= a + 1e-9 for a, b in zip(overheads, overheads[1:]))
+    # with 32 levels the continuous relaxation is essentially exact (< 1% extra energy)
+    assert overheads[-1] < 0.01
+    # no clamping occurred (the ladder tops out above the fastest planned speed)
+    assert all(r["clamped"] == 0 for r in uniform_rows)
+    assert all(abs(r["makespan_increase"]) < 1e-9 for r in uniform_rows)
+
+    table = [
+        [r["levels"], r["n_levels"], r["overhead"], r["makespan_increase"], r["clamped"]] for r in rows
+    ]
+    text = format_table(
+        ["speed_ladder", "n_levels", "energy_overhead", "makespan_increase", "clamped_jobs"],
+        table,
+        title=(
+            "Two-level emulation of the continuous optimum on discrete speed ladders\n"
+            f"(paper's Athlon 64 levels, normalised: {athlon.levels})"
+        ),
+    )
+    _write("discrete_speeds.txt", text)

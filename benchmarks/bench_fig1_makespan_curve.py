@@ -1,0 +1,71 @@
+"""FIG1 -- regenerate Figure 1: energy vs. makespan for non-dominated schedules.
+
+Paper artefact: Figure 1 plots the optimal makespan against the energy budget
+for the instance ``r = (0, 5, 6)``, ``w = (5, 2, 1)`` with ``power = speed**3``
+over the energy range 6..21; the block configuration changes at energies 8
+and 17 (invisible in the value itself).
+
+The benchmark times the frontier construction plus a full sweep of the curve,
+asserts the paper's breakpoints and endpoint values, and writes the sampled
+series to ``benchmarks/results/fig1_makespan_curve.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.makespan import incmerge, makespan_frontier
+from repro.workloads import (
+    FIGURE1_BREAKPOINTS,
+    FIGURE1_ENERGY_RANGE,
+    figure1_instance,
+    figure1_power,
+)
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _regenerate():
+    instance = figure1_instance()
+    power = figure1_power()
+    curve = makespan_frontier(instance, power)
+    grid = np.linspace(*FIGURE1_ENERGY_RANGE, 61)
+    values = curve.sample(grid)
+    return curve, grid, values
+
+
+def test_fig1_energy_makespan_curve(benchmark):
+    curve, grid, values = benchmark(_regenerate)
+
+    # paper-reported structure
+    assert np.allclose(curve.breakpoints, FIGURE1_BREAKPOINTS)
+    assert values[0] == pytest.approx(9.2376, rel=1e-3)   # E = 6 end of the plotted range
+    assert values[-1] == pytest.approx(6.3536, rel=1e-3)  # E = 21 end of the plotted range
+    assert np.all(np.diff(values) < 0)
+
+    # cross-check a few points against the laptop solver
+    instance = figure1_instance()
+    power = figure1_power()
+    for energy in (7.0, 10.0, 14.0, 19.0):
+        assert curve.value(energy) == pytest.approx(incmerge(instance, power, energy).makespan)
+
+    rows = [[float(e), float(v)] for e, v in zip(grid, values)]
+    text = format_table(
+        ["energy", "optimal_makespan"],
+        rows,
+        title=(
+            "Figure 1 reproduction: non-dominated energy/makespan curve\n"
+            "instance r=(0,5,6) w=(5,2,1), power=speed^3; "
+            f"configuration changes at E={curve.breakpoints}"
+        ),
+    )
+    _write("fig1_makespan_curve.txt", text)

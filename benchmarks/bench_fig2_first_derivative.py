@@ -1,0 +1,68 @@
+"""FIG2 -- regenerate Figure 2: first derivative of makespan w.r.t. energy.
+
+Paper artefact: Figure 2 plots d(makespan)/d(energy) for the Figure 1
+instance over the energy range 6..21.  The derivative is negative, lies in
+the range (-0.8, 0), and -- as the paper points out -- is *continuous* across
+the configuration changes at E = 8 and E = 17, which is why the breakpoints
+cannot be read off Figures 1 or 2.
+
+The benchmark times the analytic derivative sweep, cross-checks it against a
+finite-difference derivative of the sampled makespan curve, and writes the
+series to ``benchmarks/results/fig2_first_derivative.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import finite_difference, format_table
+from repro.makespan import makespan_frontier
+from repro.workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _regenerate():
+    curve = makespan_frontier(figure1_instance(), figure1_power())
+    grid = np.linspace(*FIGURE1_ENERGY_RANGE, 301)
+    derivative = curve.sample_derivative(grid)
+    values = curve.sample(grid)
+    return curve, grid, values, derivative
+
+
+def test_fig2_first_derivative(benchmark):
+    curve, grid, values, derivative = benchmark(_regenerate)
+
+    # figure 2's visible properties: negative, within (-0.8, 0), increasing toward 0
+    assert np.all(derivative < 0.0)
+    assert derivative.min() >= -0.8
+    assert np.all(np.diff(derivative) > -1e-12)
+
+    # continuity across the configuration changes (the paper's observation)
+    for breakpoint in curve.breakpoints:
+        left = curve.derivative(breakpoint - 1e-7)
+        right = curve.derivative(breakpoint + 1e-7)
+        assert left == pytest.approx(right, rel=1e-4)
+
+    # analytic derivative agrees with the finite difference of Figure 1's curve
+    numeric = finite_difference(grid, values)
+    assert np.allclose(derivative[2:-2], numeric[2:-2], rtol=5e-2)
+
+    rows = [[float(e), float(d)] for e, d in zip(grid[::5], derivative[::5])]
+    text = format_table(
+        ["energy", "d_makespan_d_energy"],
+        rows,
+        title=(
+            "Figure 2 reproduction: 1st derivative of makespan vs energy\n"
+            "continuous across the configuration changes at E=8 and E=17"
+        ),
+    )
+    _write("fig2_first_derivative.txt", text)

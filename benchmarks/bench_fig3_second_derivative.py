@@ -1,0 +1,68 @@
+"""FIG3 -- regenerate Figure 3: second derivative of makespan w.r.t. energy.
+
+Paper artefact: Figure 3 plots the second derivative of the Figure 1 curve
+over the energy range 6..21.  It is positive (the curve is convex), bounded by
+about 0.25 on that range, and -- unlike the value and the first derivative --
+*discontinuous* at the configuration changes E = 8 and E = 17, which is how
+the breakpoints become visible.
+
+The benchmark times the analytic second-derivative sweep, recovers the two
+breakpoints from the sampled series with the library's breakpoint detector
+(i.e. the way one would read them off the published figure), and writes the
+series to ``benchmarks/results/fig3_second_derivative.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import detect_breakpoints, format_table
+from repro.makespan import makespan_frontier
+from repro.workloads import FIGURE1_BREAKPOINTS, FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _regenerate():
+    curve = makespan_frontier(figure1_instance(), figure1_power())
+    grid = np.linspace(*FIGURE1_ENERGY_RANGE, 601)
+    second = curve.sample_second_derivative(grid)
+    return curve, grid, second
+
+
+def test_fig3_second_derivative(benchmark):
+    curve, grid, second = benchmark(_regenerate)
+
+    # figure 3's visible properties: positive and bounded by ~0.25 on 6..21
+    assert np.all(second > 0.0)
+    assert second.max() <= 0.25
+
+    # discontinuities at exactly the configuration-change energies
+    detected = detect_breakpoints(grid, second)
+    for expected in FIGURE1_BREAKPOINTS:
+        assert min(abs(found - expected) for found in detected) < 0.1
+
+    # jump sizes at the breakpoints (zero jump would mean no discontinuity)
+    for breakpoint in curve.breakpoints:
+        left = curve.second_derivative(breakpoint - 1e-9)
+        right = curve.second_derivative(breakpoint + 1e-9)
+        assert abs(left - right) > 1e-3
+
+    rows = [[float(e), float(d)] for e, d in zip(grid[::10], second[::10])]
+    text = format_table(
+        ["energy", "d2_makespan_d_energy2"],
+        rows,
+        title=(
+            "Figure 3 reproduction: 2nd derivative of makespan vs energy\n"
+            f"discontinuities detected near E={[round(b, 3) for b in detected]} "
+            f"(paper: configuration changes at E={list(FIGURE1_BREAKPOINTS)})"
+        ),
+    )
+    _write("fig3_second_derivative.txt", text)

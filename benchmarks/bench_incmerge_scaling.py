@@ -1,0 +1,100 @@
+"""ALG-MAKESPAN (running time) -- IncMerge's linear time vs the quadratic baseline and the O(n^2) DP.
+
+Paper claim (Section 1/3): the laptop problem is solved in time linear in the
+number of jobs (once sorted), improving on the quadratic algorithm of
+Uysal-Biyikoglu et al.; the structural properties alone already give an O(n^2)
+dynamic program.
+
+This benchmark measures the three solvers on Poisson workloads of increasing
+size, checks they all return the same optimal makespan, and reports the
+timing table.  pytest-benchmark times the largest IncMerge run; the
+per-solver sweep timings are measured inside the experiment and written to
+``benchmarks/results/incmerge_scaling.txt`` (the *shape* to compare with the
+paper is the growth rate: roughly linear vs roughly quadratic).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.makespan import dp_laptop, incmerge, quadratic_laptop
+from repro.workloads import figure1_power, poisson_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _time(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _sweep():
+    power = figure1_power()
+    energy_per_job = 2.5
+    rows = []
+    for n in (10, 20, 40, 80, 160):
+        instance = poisson_instance(n, seed=n, arrival_rate=1.0, mean_work=1.0)
+        energy = energy_per_job * n
+        t_inc, inc = _time(lambda: incmerge(instance, power, energy))
+        t_quad, quad = _time(lambda: quadratic_laptop(instance, power, energy))
+        if n <= 80:
+            t_dp, dp = _time(lambda: dp_laptop(instance, power, energy))
+            dp_makespan = dp.makespan
+        else:
+            t_dp, dp_makespan = float("nan"), float("nan")
+        rows.append(
+            {
+                "n": n,
+                "incmerge_s": t_inc,
+                "quadratic_s": t_quad,
+                "dp_s": t_dp,
+                "makespan": inc.makespan,
+                "quad_makespan": quad.makespan,
+                "dp_makespan": dp_makespan,
+            }
+        )
+    return rows
+
+
+def test_incmerge_scaling(benchmark):
+    # time the headline solver on the largest instance
+    power = figure1_power()
+    big = poisson_instance(200, seed=99, arrival_rate=1.0)
+    benchmark(lambda: incmerge(big, power, 500.0))
+
+    rows = _sweep()
+    # all solvers agree on the optimum wherever they ran
+    for row in rows:
+        assert row["quad_makespan"] == pytest.approx(row["makespan"], rel=1e-9)
+        if not np.isnan(row["dp_makespan"]):
+            assert row["dp_makespan"] == pytest.approx(row["makespan"], rel=1e-7)
+
+    # growth-rate shape: quadratic baseline degrades relative to IncMerge as n grows
+    small, large = rows[0], rows[-1]
+    ratio_small = small["quadratic_s"] / max(small["incmerge_s"], 1e-9)
+    ratio_large = large["quadratic_s"] / max(large["incmerge_s"], 1e-9)
+    assert ratio_large > ratio_small
+
+    table = [
+        [r["n"], r["incmerge_s"], r["quadratic_s"], r["dp_s"], r["makespan"]] for r in rows
+    ]
+    text = format_table(
+        ["n_jobs", "incmerge_seconds", "quadratic_seconds", "dp_seconds", "optimal_makespan"],
+        table,
+        title=(
+            "IncMerge scaling vs quadratic baseline and O(n^2) DP (Poisson workload, "
+            "energy = 2.5 * n); all solvers return identical makespans"
+        ),
+    )
+    _write("incmerge_scaling.txt", text)

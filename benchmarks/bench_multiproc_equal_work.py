@@ -1,0 +1,91 @@
+"""MULTI-EQ -- multiprocessor scheduling of equal-work jobs (Theorem 10 / Section 5).
+
+Paper claims reproduced:
+
+* the cyclic assignment is optimal for makespan (exact algorithm) -- checked
+  against the exhaustive assignment search on small instances,
+* every processor finishes at the same time in the makespan optimum,
+* every processor's last job runs at the same speed in the flow optimum,
+* more processors never hurt; the makespan improvement from m=1 to m=2 to m=4
+  shows the expected diminishing-returns shape.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CUBE
+from repro.multi import (
+    exact_multiprocessor_makespan,
+    last_job_speeds,
+    multiprocessor_flow_equal_work,
+    multiprocessor_makespan_equal_work,
+)
+from repro.workloads import equal_work_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _experiment():
+    instance_small = equal_work_instance(7, seed=5, arrival_rate=1.5)
+    instance_large = equal_work_instance(16, seed=6, arrival_rate=1.5)
+    energy = 18.0
+    rows = []
+    for m in (1, 2, 4, 8):
+        makespan_result = multiprocessor_makespan_equal_work(instance_large, CUBE, m, energy)
+        flow_result = multiprocessor_flow_equal_work(instance_large, CUBE, m, energy)
+        sched = makespan_result.schedule(instance_large, CUBE)
+        finishes = sched.processor_completion_times()
+        finishes = finishes[finishes > 0]
+        rows.append(
+            {
+                "m": m,
+                "makespan": makespan_result.makespan,
+                "finish_spread": float(np.max(finishes) - np.min(finishes)),
+                "flow": flow_result.flow,
+                "last_speed_spread": float(np.ptp(last_job_speeds(flow_result))),
+            }
+        )
+    # small-instance optimality certificate for the cyclic assignment
+    cyclic = multiprocessor_makespan_equal_work(instance_small, CUBE, 2, 10.0)
+    exact = exact_multiprocessor_makespan(instance_small, CUBE, 2, 10.0)
+    return rows, cyclic.makespan, exact.makespan
+
+
+def test_multiprocessor_equal_work(benchmark):
+    rows, cyclic_makespan, exact_makespan = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    # Theorem 10: cyclic equals the exhaustive optimum
+    assert cyclic_makespan == pytest.approx(exact_makespan, rel=1e-7)
+
+    makespans = [r["makespan"] for r in rows]
+    flows = [r["flow"] for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(makespans, makespans[1:]))  # more processors never hurt
+    assert all(b <= a + 1e-6 for a, b in zip(flows, flows[1:]))
+    # diminishing returns: the m=1 -> m=2 gain exceeds the m=4 -> m=8 gain
+    assert (makespans[0] - makespans[1]) >= (makespans[2] - makespans[3]) - 1e-9
+    for row in rows:
+        assert row["finish_spread"] < 1e-5          # processors finish together
+        assert row["last_speed_spread"] < 5e-2      # last jobs share one speed (solver tolerance)
+
+    table = [
+        [r["m"], r["makespan"], r["finish_spread"], r["flow"], r["last_speed_spread"]] for r in rows
+    ]
+    text = format_table(
+        ["processors", "optimal_makespan", "finish_time_spread", "optimal_flow", "last_job_speed_spread"],
+        table,
+        title=(
+            "Equal-work multiprocessor scheduling (16 jobs, E=18, alpha=3, cyclic assignment)\n"
+            f"cyclic vs exhaustive search on 7 jobs/2 procs: {cyclic_makespan:.6f} vs {exact_makespan:.6f}"
+        ),
+    )
+    _write("multiproc_equal_work.txt", text)

@@ -1,0 +1,83 @@
+"""EXT-ONLINE -- empirical energy ratios of the online algorithms vs YDS.
+
+Extension experiment (the paper's Section 6 lists online power-aware
+scheduling as future work and its Section 2 cites AVR, OA and BKP with their
+competitive ratios).  On synthetic deadline workloads we measure the energy
+of each online algorithm relative to the offline optimum (YDS) for alpha = 2
+and alpha = 3, and check the theoretical guarantees hold empirically:
+
+* AVR  <= 2^(alpha-1) * alpha^alpha  x optimal,
+* OA   <= alpha^alpha                x optimal,
+* BKP  (discretised simulation) completes the work; its ratio is reported for
+  reference.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import PolynomialPower
+from repro.online import avr_schedule, bkp_schedule, oa_schedule, yds_schedule
+from repro.workloads import deadline_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _experiment():
+    rows = []
+    for alpha in (2.0, 3.0):
+        power = PolynomialPower(alpha)
+        ratios = {"avr": [], "oa": [], "bkp": []}
+        for seed in range(6):
+            instance = deadline_instance(8, seed=seed, laxity=2.5)
+            optimal = yds_schedule(instance, power).energy
+            ratios["avr"].append(avr_schedule(instance, power).energy / optimal)
+            ratios["oa"].append(oa_schedule(instance, power).energy / optimal)
+            ratios["bkp"].append(
+                bkp_schedule(instance, power, steps_per_interval=32).energy / optimal
+            )
+        rows.append(
+            {
+                "alpha": alpha,
+                "avr_mean": float(np.mean(ratios["avr"])),
+                "avr_max": float(np.max(ratios["avr"])),
+                "oa_mean": float(np.mean(ratios["oa"])),
+                "oa_max": float(np.max(ratios["oa"])),
+                "bkp_mean": float(np.mean(ratios["bkp"])),
+                "bkp_max": float(np.max(ratios["bkp"])),
+            }
+        )
+    return rows
+
+
+def test_online_competitive_ratios(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    for row in rows:
+        alpha = row["alpha"]
+        avr_bound = 2 ** (alpha - 1) * alpha**alpha
+        oa_bound = alpha**alpha
+        assert 1.0 - 1e-9 <= row["avr_mean"] <= row["avr_max"] <= avr_bound
+        assert 1.0 - 1e-9 <= row["oa_mean"] <= row["oa_max"] <= oa_bound
+        assert row["bkp_mean"] >= 1.0 - 1e-6
+        # OA is empirically the better of the two classical online algorithms
+        assert row["oa_mean"] <= row["avr_mean"] + 1e-9
+
+    table = [
+        [r["alpha"], r["avr_mean"], r["avr_max"], r["oa_mean"], r["oa_max"], r["bkp_mean"], r["bkp_max"]]
+        for r in rows
+    ]
+    text = format_table(
+        ["alpha", "AVR/OPT mean", "AVR/OPT max", "OA/OPT mean", "OA/OPT max", "BKP/OPT mean", "BKP/OPT max"],
+        table,
+        title="Online speed scaling vs offline optimum (YDS) on synthetic deadline workloads",
+    )
+    _write("online_competitive.txt", text)

@@ -1,0 +1,99 @@
+"""NP-HARD -- Theorem 11: Partition reduces to multiprocessor power-aware makespan.
+
+Paper claim: deciding whether two processors can reach makespan ``B/2`` with
+the energy that runs total work ``B`` at speed 1 is exactly Partition.  This
+benchmark:
+
+* runs the reduction on planted yes-instances and forced no-instances and
+  checks the scheduling answer matches the classical DP for Partition,
+* reports the makespan gap separating yes- from no-instances (the shape the
+  hardness argument relies on),
+* compares the exponential exact solver against the LPT heuristic and the
+  PTAS-style scheme on the same instances (the paper's PTAS remark).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CUBE
+from repro.multi import (
+    decide_partition_via_scheduling,
+    exact_zero_release_makespan,
+    has_perfect_partition_dp,
+    heuristic_multiprocessor_makespan,
+    partition_to_scheduling,
+    ptas_zero_release_makespan,
+)
+from repro.workloads import partition_elements
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _experiment():
+    rows = []
+    for seed in range(4):
+        for planted in (True, False):
+            elements = partition_elements(8, seed=seed, planted_yes=planted)
+            reduction = partition_to_scheduling(elements, CUBE)
+            exact = exact_zero_release_makespan(
+                reduction.instance, CUBE, 2, reduction.energy_budget
+            )
+            lpt = heuristic_multiprocessor_makespan(
+                reduction.instance, CUBE, 2, reduction.energy_budget, "lpt"
+            )
+            ptas = ptas_zero_release_makespan(
+                reduction.instance, CUBE, 2, reduction.energy_budget, epsilon=0.25
+            )
+            rows.append(
+                {
+                    "seed": seed,
+                    "planted_yes": planted,
+                    "dp_answer": has_perfect_partition_dp(elements),
+                    "scheduling_answer": decide_partition_via_scheduling(elements, CUBE),
+                    "target": reduction.makespan_target,
+                    "exact_makespan": exact.makespan,
+                    "lpt_makespan": lpt.makespan,
+                    "ptas_makespan": ptas.makespan,
+                }
+            )
+    return rows
+
+
+def test_partition_hardness(benchmark):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    for row in rows:
+        # the reduction decides Partition exactly
+        assert row["scheduling_answer"] == row["dp_answer"]
+        assert row["dp_answer"] == row["planted_yes"]
+        # yes-instances meet the target exactly; no-instances overshoot it
+        if row["planted_yes"]:
+            assert row["exact_makespan"] == pytest.approx(row["target"], rel=1e-9)
+        else:
+            assert row["exact_makespan"] > row["target"] * (1 + 1e-9)
+        # heuristics never beat the exact optimum, and the PTAS stays close
+        assert row["lpt_makespan"] >= row["exact_makespan"] * (1 - 1e-9)
+        assert row["ptas_makespan"] >= row["exact_makespan"] * (1 - 1e-9)
+        assert row["ptas_makespan"] <= row["exact_makespan"] * 1.3
+
+    table = [
+        [r["seed"], "yes" if r["planted_yes"] else "no", "yes" if r["scheduling_answer"] else "no",
+         r["target"], r["exact_makespan"], r["lpt_makespan"], r["ptas_makespan"]]
+        for r in rows
+    ]
+    text = format_table(
+        ["seed", "partition_exists", "scheduling_decision", "target_B/2",
+         "exact_makespan", "lpt_makespan", "ptas_makespan"],
+        table,
+        title="Theorem 11 reduction: Partition decided via 2-processor power-aware makespan (alpha=3)",
+    )
+    _write("partition_hardness.txt", text)

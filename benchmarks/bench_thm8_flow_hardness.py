@@ -1,0 +1,91 @@
+"""THM8 -- the flow-hardness instance of Section 4 (Theorem 8).
+
+Paper artefacts reproduced here:
+
+* the degree-12 polynomial whose root is the optimal ``sigma_2`` when job 2
+  finishes exactly at time 1 (we re-derive the root from the optimality
+  system and verify it annihilates the paper's polynomial),
+* the rational-root check (the hardness argument needs the root to be
+  irrational; the Galois-group step itself is cited from the paper, see
+  DESIGN.md),
+* the energy window over which the tight configuration ``C_2 = 1`` is
+  optimal.  The paper states approximately ``(8.43, 11.54)``; our three
+  independent solvers (grid search, convex program, closed-form refinement)
+  agree with the upper end and place the lower end near ``10.3`` -- this
+  discrepancy is recorded in EXPERIMENTS.md.
+
+The benchmark times the full pipeline (optimality system + flow sweep).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.flow import (
+    equal_work_flow_laptop,
+    rational_roots,
+    solve_optimality_system,
+    theorem8_polynomial,
+    tight_configuration_energy_window,
+)
+from repro.workloads import THEOREM8_ENERGY_BUDGET, theorem8_instance, theorem8_power
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _write(name: str, text: str) -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / name).write_text(text, encoding="utf-8")
+
+
+def _regenerate():
+    system = solve_optimality_system(THEOREM8_ENERGY_BUDGET)
+    window = tight_configuration_energy_window(resolution=0.05)
+    budgets = np.linspace(7.0, 13.0, 25)
+    sweep = [
+        (float(e), equal_work_flow_laptop(theorem8_instance(), theorem8_power(), float(e)))
+        for e in budgets
+    ]
+    return system, window, sweep
+
+
+def test_thm8_flow_hardness(benchmark):
+    system, window, sweep = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+
+    # the paper's polynomial vanishes at the optimality system's sigma_2
+    assert abs(theorem8_polynomial(system.sigma2)) < 1e-6
+    assert abs(system.polynomial_residual) < 1e-6
+    # ... and that root is not rational
+    assert rational_roots() == []
+    # the optimality system reproduces the energy budget and the C_2 = 1 structure
+    assert system.energy == pytest.approx(9.0, rel=1e-9)
+    assert system.completion_times[1] == pytest.approx(1.0, rel=1e-9)
+
+    # measured tight-configuration window: upper end matches the paper (~11.54)
+    low, high = window
+    assert high == pytest.approx(11.54, abs=0.25)
+    assert low < high
+
+    # optimal flow is strictly decreasing in energy across the sweep
+    flows = [r.flow for _, r in sweep]
+    assert all(b < a for a, b in zip(flows, flows[1:]))
+
+    rows = [
+        [energy, result.flow, result.completion_times[1], "yes" if abs(result.completion_times[1] - 1.0) < 5e-3 else "no"]
+        for energy, result in sweep
+    ]
+    text = format_table(
+        ["energy", "optimal_flow", "C2", "tight (C2==1)"],
+        rows,
+        title=(
+            "Theorem 8 instance: optimal total flow vs energy (unit jobs, r=(0,0,1), alpha=3)\n"
+            f"sigma at E=9 (C2=1 branch): ({system.sigma1:.6f}, {system.sigma2:.6f}, {system.sigma3:.6f}); "
+            f"polynomial residual {system.polynomial_residual:.2e}\n"
+            f"measured tight-configuration window: ({low:.2f}, {high:.2f}); paper reports (~8.43, ~11.54)"
+        ),
+    )
+    _write("thm8_flow_hardness.txt", text)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (a figure
+series or a quantitative claim) and writes the regenerated rows to a text
+file under ``benchmarks/results/`` so they can be compared with the paper
+(see EXPERIMENTS.md).  The ``benchmark`` fixture from pytest-benchmark times
+the computational core of each experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmarks drop their regenerated tables."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write one benchmark's regenerated table to benchmarks/results/<name>."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path

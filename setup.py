@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/pip lack the ``wheel`` package required by the
+PEP 660 editable-install path (``pip install -e . --no-build-isolation`` then
+falls back to the legacy ``setup.py develop`` route).
+"""
+
+from setuptools import setup
+
+setup()

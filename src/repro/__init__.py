@@ -1,0 +1,54 @@
+"""repro -- reproduction of Bunde, "Power-aware scheduling for makespan and flow" (SPAA 2006).
+
+Subpackage map (see README.md and DESIGN.md for the full tour):
+
+* :mod:`repro.core` -- jobs, power functions, schedules, blocks, metrics,
+  trade-off curves.
+* :mod:`repro.makespan` -- uniprocessor makespan: IncMerge, the non-dominated
+  frontier (Figures 1-3), the server problem, reference oracles and baselines.
+* :mod:`repro.flow` -- uniprocessor total flow: convex and structural solvers,
+  the Theorem 8 hard instance.
+* :mod:`repro.multi` -- multiprocessor scheduling: cyclic assignment
+  (Theorem 10), equal-work exact/approximate solvers, the Partition reduction
+  (Theorem 11), exact search, heuristics and the PTAS-style scheme.
+* :mod:`repro.online` -- the YDS substrate and the online algorithms
+  (AVR, OA, BKP) used for the extension experiments.
+* :mod:`repro.discrete` -- discrete speed levels (future-work extension).
+* :mod:`repro.workloads` -- the paper's instances and synthetic generators.
+* :mod:`repro.analysis` -- derivatives, breakpoints, tables, ASCII plots.
+"""
+
+from . import analysis, core, discrete, flow, io, makespan, multi, online, workloads
+from .core import (
+    CUBE,
+    SQUARE,
+    Instance,
+    Job,
+    PolynomialPower,
+    PowerFunction,
+    Schedule,
+    TradeoffCurve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "discrete",
+    "flow",
+    "io",
+    "makespan",
+    "multi",
+    "online",
+    "workloads",
+    "Instance",
+    "Job",
+    "PowerFunction",
+    "PolynomialPower",
+    "CUBE",
+    "SQUARE",
+    "Schedule",
+    "TradeoffCurve",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Analysis helpers: numerical derivatives, breakpoint/crossover detection, tables, ASCII plots."""
+
+from .ascii_plot import ascii_plot
+from .curves import (
+    ErrorSummary,
+    detect_breakpoints,
+    find_crossover,
+    finite_difference,
+    relative_error_summary,
+    sample_function,
+    second_finite_difference,
+)
+from .tables import format_table, to_csv, write_csv
+
+__all__ = [
+    "ascii_plot",
+    "ErrorSummary",
+    "detect_breakpoints",
+    "find_crossover",
+    "finite_difference",
+    "relative_error_summary",
+    "sample_function",
+    "second_finite_difference",
+    "format_table",
+    "to_csv",
+    "write_csv",
+]

@@ -1,0 +1,66 @@
+"""Minimal ASCII line plots.
+
+Matplotlib is not a dependency of this reproduction, so the examples render
+the paper's figures as ASCII scatter plots: good enough to see the shape of
+the energy/makespan curve (Figure 1) and the discontinuities of its second
+derivative (Figure 3) directly in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidInstanceError
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+    title: str | None = None,
+) -> str:
+    """Render ``y`` against ``x`` as an ASCII scatter plot.
+
+    The plot is a ``height`` x ``width`` character grid with simple axis
+    annotations (min/max of each axis).  Non-finite points are skipped.
+    """
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.shape != ys.shape or xs.size == 0:
+        raise InvalidInstanceError("x and y must be non-empty and of equal length")
+    if width < 10 or height < 5:
+        raise InvalidInstanceError("width must be >= 10 and height >= 5")
+    mask = np.isfinite(xs) & np.isfinite(ys)
+    xs, ys = xs[mask], ys[mask]
+    if xs.size == 0:
+        raise InvalidInstanceError("no finite points to plot")
+
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(xs, ys):
+        col = int(round((xv - x_lo) / x_span * (width - 1)))
+        row = int(round((yv - y_lo) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  [{y_lo:.4g} .. {y_hi:.4g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}  [{x_lo:.4g} .. {x_hi:.4g}]")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,147 @@
+"""Numerical curve analysis for the figure reproductions.
+
+Figures 2 and 3 of the paper plot the first and second derivatives of the
+makespan/energy curve.  The frontier already provides analytic derivatives
+for polynomial power functions; this module adds the *numerical* counterparts
+(finite differences on sampled values) so the two can be cross-checked, plus
+generic helpers used by the benchmarks: breakpoint detection from samples,
+crossover detection between two curves, and relative-error summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidInstanceError
+
+__all__ = [
+    "sample_function",
+    "finite_difference",
+    "second_finite_difference",
+    "detect_breakpoints",
+    "find_crossover",
+    "ErrorSummary",
+    "relative_error_summary",
+]
+
+
+def sample_function(
+    func: Callable[[float], float], grid: Sequence[float]
+) -> np.ndarray:
+    """Evaluate a scalar function on a grid (vectorised convenience)."""
+    return np.array([float(func(float(x))) for x in grid])
+
+
+def finite_difference(grid: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Central finite-difference first derivative on a (possibly non-uniform) grid."""
+    grid = np.asarray(grid, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if grid.shape != values.shape or grid.size < 3:
+        raise InvalidInstanceError("need matching grids with at least 3 points")
+    return np.gradient(values, grid)
+
+
+def second_finite_difference(grid: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Second derivative by applying :func:`finite_difference` twice."""
+    return finite_difference(grid, finite_difference(grid, values))
+
+
+def detect_breakpoints(
+    grid: np.ndarray,
+    second_derivative: np.ndarray,
+    min_jump: float = 0.05,
+) -> list[float]:
+    """Locate discontinuities of the second derivative from samples.
+
+    The paper notes (Section 3.2) that the configuration changes of the
+    non-dominated curve are invisible in the value and first derivative but
+    show up as jumps in the second derivative; this helper recovers them from
+    sampled data, mimicking how one would read Figure 3.  ``min_jump`` is the
+    relative jump (w.r.t. the interquartile scale of the samples) that counts
+    as a discontinuity.
+    """
+    grid = np.asarray(grid, dtype=float)
+    second = np.asarray(second_derivative, dtype=float)
+    if grid.shape != second.shape or grid.size < 5:
+        raise InvalidInstanceError("need matching grids with at least 5 points")
+    jumps = np.abs(np.diff(second))
+    scale = max(float(np.percentile(np.abs(second), 75)), 1e-12)
+    # A genuine discontinuity produces a jump that is both a noticeable
+    # fraction of the curve's magnitude *and* far larger than the jumps a
+    # smooth curve exhibits at the *neighbouring* grid cells (a smooth curve's
+    # consecutive jumps are nearly equal, a discontinuity towers over them).
+    breakpoints = []
+    for i, jump in enumerate(jumps):
+        if jump <= min_jump * scale:
+            continue
+        neighbours = []
+        if i > 0:
+            neighbours.append(jumps[i - 1])
+        if i + 1 < len(jumps):
+            neighbours.append(jumps[i + 1])
+        local = max(neighbours) if neighbours else 0.0
+        if jump > 4.0 * local + 1e-15:
+            breakpoints.append(float(0.5 * (grid[i] + grid[i + 1])))
+    # merge detections that are adjacent grid cells
+    merged: list[float] = []
+    for bp in breakpoints:
+        if merged and abs(bp - merged[-1]) <= 2.5 * float(np.max(np.diff(grid))):
+            merged[-1] = 0.5 * (merged[-1] + bp)
+        else:
+            merged.append(bp)
+    return merged
+
+
+def find_crossover(
+    grid: np.ndarray, values_a: np.ndarray, values_b: np.ndarray
+) -> float | None:
+    """First grid location where curve ``a`` stops being >= curve ``b``.
+
+    Used by benchmarks that compare a heuristic against the optimum across a
+    parameter sweep; returns ``None`` when no crossover occurs in the range.
+    """
+    grid = np.asarray(grid, dtype=float)
+    diff = np.asarray(values_a, dtype=float) - np.asarray(values_b, dtype=float)
+    if grid.shape != diff.shape:
+        raise InvalidInstanceError("grids must match")
+    signs = np.sign(diff)
+    for i in range(1, len(signs)):
+        if signs[i] != signs[i - 1] and signs[i] != 0:
+            # linear interpolation of the zero crossing
+            x0, x1 = grid[i - 1], grid[i]
+            y0, y1 = diff[i - 1], diff[i]
+            if y1 == y0:
+                return float(x0)
+            return float(x0 - y0 * (x1 - x0) / (y1 - y0))
+    return None
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Max/mean relative errors between two sampled curves."""
+
+    max_relative_error: float
+    mean_relative_error: float
+    argmax: float
+
+
+def relative_error_summary(
+    grid: np.ndarray, reference: np.ndarray, candidate: np.ndarray
+) -> ErrorSummary:
+    """Relative error of ``candidate`` against ``reference`` on a grid."""
+    grid = np.asarray(grid, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    candidate = np.asarray(candidate, dtype=float)
+    if not (grid.shape == reference.shape == candidate.shape):
+        raise InvalidInstanceError("grids must match")
+    denom = np.maximum(np.abs(reference), 1e-12)
+    rel = np.abs(candidate - reference) / denom
+    worst = int(np.argmax(rel))
+    return ErrorSummary(
+        max_relative_error=float(rel[worst]),
+        mean_relative_error=float(np.mean(rel)),
+        argmax=float(grid[worst]),
+    )

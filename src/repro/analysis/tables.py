@@ -1,0 +1,78 @@
+"""Plain-text tables and CSV export for benchmark/ example output.
+
+The paper's evaluation artefacts are figures; the benchmark harness
+regenerates the underlying series and prints them as aligned text tables (and
+optionally CSV files) so the reproduction can be compared with the paper
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..exceptions import InvalidInstanceError
+
+__all__ = ["format_table", "to_csv", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.6g}",
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, monospace text table."""
+    headers = [str(h) for h in headers]
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        cells = []
+        row = list(row)
+        if len(row) != len(headers):
+            raise InvalidInstanceError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_format.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered_rows.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for cells in rendered_rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(cells, widths)) + "\n")
+    return out.getvalue()
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (no external dependencies, RFC-4180-lite)."""
+    def escape(value: object) -> str:
+        text = f"{value}"
+        if any(ch in text for ch in ",\"\n"):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(escape(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(escape(c) for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write rows to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(headers, rows), encoding="utf-8")
+    return path

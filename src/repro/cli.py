@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing any Python:
+
+* ``repro laptop``   -- minimum makespan for an energy budget (IncMerge),
+* ``repro server``   -- minimum energy for a makespan target,
+* ``repro frontier`` -- sample the non-dominated energy/makespan curve,
+* ``repro flow``     -- minimum total flow for an energy budget (equal work),
+* ``repro multi``    -- equal-work multiprocessor makespan/flow,
+* ``repro figures``  -- regenerate the paper's Figure 1-3 series as a table.
+
+Instances are given either inline (``--releases 0,5,6 --works 5,2,1``) or as
+a JSON file produced by :mod:`repro.io` (``--instance jobs.json``).  Output is
+a plain-text table on stdout; ``--json`` switches to machine-readable JSON.
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis import format_table
+from .core import Instance, PolynomialPower
+from .exceptions import ReproError
+from .flow import equal_work_flow_laptop
+from .io import load_instance
+from .makespan import incmerge, makespan_frontier, minimum_energy_for_makespan
+from .multi import multiprocessor_flow_equal_work, multiprocessor_makespan_equal_work
+from .workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_floats(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part.strip() != ""]
+
+
+def _instance_from_args(args: argparse.Namespace) -> Instance:
+    if getattr(args, "instance", None):
+        return load_instance(args.instance)
+    if not getattr(args, "releases", None) or not getattr(args, "works", None):
+        raise ReproError(
+            "provide either --instance FILE.json or both --releases and --works"
+        )
+    return Instance.from_arrays(
+        _parse_floats(args.releases), _parse_floats(args.works), name="cli-instance"
+    )
+
+
+def _power_from_args(args: argparse.Namespace) -> PolynomialPower:
+    return PolynomialPower(float(args.alpha))
+
+
+def _emit(args: argparse.Namespace, headers: Sequence[str], rows, title: str, payload: dict) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_table(headers, rows, title=title))
+
+
+# ----------------------------------------------------------------------
+# sub-commands
+# ----------------------------------------------------------------------
+
+def _cmd_laptop(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    power = _power_from_args(args)
+    result = incmerge(instance, power, args.energy)
+    rows = [
+        [f"jobs {b.first}..{b.last}", b.start_time, b.end_time, b.speed]
+        for b in result.blocks
+    ]
+    payload = {
+        "makespan": result.makespan,
+        "energy": result.energy,
+        "speeds": result.speeds.tolist(),
+        "blocks": [
+            {"first": b.first, "last": b.last, "start": b.start_time, "speed": b.speed}
+            for b in result.blocks
+        ],
+    }
+    _emit(args, ["block", "start", "end", "speed"], rows,
+          f"optimal makespan {result.makespan:.6g} for energy {args.energy:g}", payload)
+    return 0
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    power = _power_from_args(args)
+    energy = minimum_energy_for_makespan(instance, power, args.makespan)
+    payload = {"makespan_target": args.makespan, "minimum_energy": energy}
+    _emit(args, ["makespan_target", "minimum_energy"], [[args.makespan, energy]],
+          "server problem", payload)
+    return 0
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    power = _power_from_args(args)
+    curve = makespan_frontier(instance, power)
+    grid = np.linspace(args.min_energy, args.max_energy, args.points)
+    rows = [[float(e), curve.value(float(e))] for e in grid]
+    payload = {
+        "breakpoints": curve.breakpoints,
+        "samples": [{"energy": e, "makespan": m} for e, m in rows],
+    }
+    _emit(args, ["energy", "optimal_makespan"], rows,
+          f"non-dominated frontier (configuration changes at {curve.breakpoints})", payload)
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    power = _power_from_args(args)
+    result = equal_work_flow_laptop(instance, power, args.energy)
+    rows = [[i, float(s), float(c)] for i, (s, c) in enumerate(zip(result.speeds, result.completion_times))]
+    payload = {
+        "flow": result.flow,
+        "energy": result.energy,
+        "exact_closed_form": result.exact,
+        "speeds": result.speeds.tolist(),
+        "completions": result.completion_times.tolist(),
+    }
+    _emit(args, ["job", "speed", "completion"], rows,
+          f"optimal total flow {result.flow:.6g} for energy {args.energy:g}", payload)
+    return 0
+
+
+def _cmd_multi(args: argparse.Namespace) -> int:
+    instance = _instance_from_args(args)
+    power = _power_from_args(args)
+    if args.metric == "makespan":
+        result = multiprocessor_makespan_equal_work(instance, power, args.processors, args.energy)
+        value = result.makespan
+    else:
+        result = multiprocessor_flow_equal_work(instance, power, args.processors, args.energy)
+        value = result.flow
+    rows = [
+        [proc, ",".join(str(j) for j in jobs)]
+        for proc, jobs in sorted(result.assignment.items())
+    ]
+    payload = {
+        "metric": args.metric,
+        "value": value,
+        "energy": result.energy,
+        "assignment": {str(p): jobs for p, jobs in result.assignment.items()},
+    }
+    _emit(args, ["processor", "jobs"], rows,
+          f"optimal {args.metric} {value:.6g} on {args.processors} processors "
+          f"(energy {args.energy:g})", payload)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    curve = makespan_frontier(figure1_instance(), figure1_power())
+    lo, hi = FIGURE1_ENERGY_RANGE
+    grid = np.linspace(lo, hi, args.points)
+    rows = [
+        [float(e), curve.value(float(e)), curve.derivative(float(e)), curve.second_derivative(float(e))]
+        for e in grid
+    ]
+    payload = {
+        "breakpoints": curve.breakpoints,
+        "samples": [
+            {"energy": r[0], "makespan": r[1], "first_derivative": r[2], "second_derivative": r[3]}
+            for r in rows
+        ],
+    }
+    _emit(args, ["energy", "makespan", "1st_derivative", "2nd_derivative"], rows,
+          "paper Figures 1-3 data (instance r=(0,5,6), w=(5,2,1), power=speed^3)", payload)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-aware speed-scaling scheduling (Bunde, SPAA 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, need_energy: bool = False) -> None:
+        p.add_argument("--instance", help="path to a JSON instance file (see repro.io)")
+        p.add_argument("--releases", help="comma-separated release times, e.g. 0,5,6")
+        p.add_argument("--works", help="comma-separated work amounts, e.g. 5,2,1")
+        p.add_argument("--alpha", type=float, default=3.0, help="power = speed^alpha (default 3)")
+        p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+        if need_energy:
+            p.add_argument("--energy", type=float, required=True, help="energy budget")
+
+    p = sub.add_parser("laptop", help="minimum makespan for an energy budget (IncMerge)")
+    add_common(p, need_energy=True)
+    p.set_defaults(func=_cmd_laptop)
+
+    p = sub.add_parser("server", help="minimum energy for a makespan target")
+    add_common(p)
+    p.add_argument("--makespan", type=float, required=True, help="makespan target")
+    p.set_defaults(func=_cmd_server)
+
+    p = sub.add_parser("frontier", help="sample the non-dominated energy/makespan curve")
+    add_common(p)
+    p.add_argument("--min-energy", type=float, required=True)
+    p.add_argument("--max-energy", type=float, required=True)
+    p.add_argument("--points", type=int, default=25)
+    p.set_defaults(func=_cmd_frontier)
+
+    p = sub.add_parser("flow", help="minimum total flow for an energy budget (equal-work jobs)")
+    add_common(p, need_energy=True)
+    p.set_defaults(func=_cmd_flow)
+
+    p = sub.add_parser("multi", help="equal-work multiprocessor makespan or flow")
+    add_common(p, need_energy=True)
+    p.add_argument("--processors", type=int, required=True)
+    p.add_argument("--metric", choices=["makespan", "flow"], default="makespan")
+    p.set_defaults(func=_cmd_multi)
+
+    p = sub.add_parser("figures", help="regenerate the paper's Figure 1-3 series")
+    p.add_argument("--points", type=int, default=31)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

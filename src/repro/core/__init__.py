@@ -1,0 +1,64 @@
+"""Core model: jobs, power functions, schedules, blocks, metrics, trade-off curves.
+
+Everything in this subpackage is algorithm-agnostic: it defines the problem
+(Section 1 of the paper), the schedule objects the algorithms produce, the
+block machinery of Section 3, and the Pareto-curve representation used for
+the non-dominated frontier of Section 3.2.
+"""
+
+from .blocks import Block, BlockConfiguration, blocks_from_speeds, evaluate_configuration, fixed_block_speed
+from .job import Instance, Job
+from .metrics import (
+    MAKESPAN,
+    MAX_FLOW,
+    METRICS,
+    TOTAL_FLOW,
+    TOTAL_WEIGHTED_FLOW,
+    Metric,
+    evaluate,
+)
+from .pareto import CurveSegment, TradeoffCurve
+from .power import (
+    CUBE,
+    SQUARE,
+    AffinePolynomialPower,
+    PolynomialPower,
+    PowerFunction,
+    TabulatedConvexPower,
+)
+from .schedule import Piece, Schedule
+from .speed_profile import SpeedProfile, SpeedSegment, profile_from_schedule
+from .validation import StructureReport, assert_optimal_structure, check_optimal_structure
+
+__all__ = [
+    "Block",
+    "BlockConfiguration",
+    "blocks_from_speeds",
+    "evaluate_configuration",
+    "fixed_block_speed",
+    "Instance",
+    "Job",
+    "Metric",
+    "METRICS",
+    "MAKESPAN",
+    "TOTAL_FLOW",
+    "TOTAL_WEIGHTED_FLOW",
+    "MAX_FLOW",
+    "evaluate",
+    "CurveSegment",
+    "TradeoffCurve",
+    "PowerFunction",
+    "PolynomialPower",
+    "AffinePolynomialPower",
+    "TabulatedConvexPower",
+    "CUBE",
+    "SQUARE",
+    "Piece",
+    "Schedule",
+    "SpeedProfile",
+    "SpeedSegment",
+    "profile_from_schedule",
+    "StructureReport",
+    "check_optimal_structure",
+    "assert_optimal_structure",
+]

@@ -1,0 +1,161 @@
+"""Piecewise-constant speed profiles.
+
+A :class:`SpeedProfile` describes a single processor's speed as a function of
+time, independent of which jobs are running.  It is the "replay" view of a
+schedule: the simulator in this module re-derives energy and completed work
+purely from the profile, which gives an independent cross-check of the
+energy/metric accounting performed by :class:`repro.core.schedule.Schedule`
+(the two are compared in the test suite).
+
+Profiles are also the natural output format of the *online* algorithms
+(AVR, OA, BKP), whose processor speed changes at arrival times rather than at
+job boundaries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidScheduleError
+from .power import PowerFunction
+from .schedule import Schedule
+
+__all__ = ["SpeedSegment", "SpeedProfile", "profile_from_schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedSegment:
+    """A maximal interval of constant speed on one processor."""
+
+    start: float
+    end: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise InvalidScheduleError("segment times must be finite")
+        if self.end <= self.start:
+            raise InvalidScheduleError(
+                f"segment must have positive duration, got [{self.start}, {self.end}]"
+            )
+        if not math.isfinite(self.speed) or self.speed < 0.0:
+            raise InvalidScheduleError(f"segment speed must be >= 0, got {self.speed}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def work(self) -> float:
+        return self.speed * self.duration
+
+
+class SpeedProfile:
+    """Piecewise-constant speed as a function of time for one processor.
+
+    Segments must be non-overlapping; gaps between segments are interpreted as
+    idle time (speed zero).  Segments are sorted and adjacent segments of equal
+    speed are coalesced at construction.
+    """
+
+    def __init__(self, segments: Iterable[SpeedSegment]) -> None:
+        segs = sorted(segments, key=lambda s: s.start)
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end - 1e-12:
+                raise InvalidScheduleError(
+                    f"speed segments overlap: [{a.start},{a.end}] and [{b.start},{b.end}]"
+                )
+        # coalesce equal-speed adjacent segments
+        merged: list[SpeedSegment] = []
+        for seg in segs:
+            if (
+                merged
+                and math.isclose(merged[-1].end, seg.start, abs_tol=1e-12)
+                and math.isclose(merged[-1].speed, seg.speed, rel_tol=1e-12, abs_tol=1e-15)
+            ):
+                merged[-1] = SpeedSegment(merged[-1].start, seg.end, merged[-1].speed)
+            else:
+                merged.append(seg)
+        self.segments: tuple[SpeedSegment, ...] = tuple(merged)
+        self._starts = [s.start for s in self.segments]
+
+    # ------------------------------------------------------------------
+    @property
+    def start(self) -> float:
+        """Earliest time covered by the profile (``0.0`` if empty)."""
+        return self.segments[0].start if self.segments else 0.0
+
+    @property
+    def end(self) -> float:
+        """Latest time covered by the profile (``0.0`` if empty)."""
+        return self.segments[-1].end if self.segments else 0.0
+
+    def speed_at(self, time: float) -> float:
+        """Speed at a given instant (0 during idle gaps and outside the span)."""
+        if not self.segments:
+            return 0.0
+        i = bisect.bisect_right(self._starts, time) - 1
+        if i < 0:
+            return 0.0
+        seg = self.segments[i]
+        if seg.start <= time < seg.end:
+            return seg.speed
+        return 0.0
+
+    def work_between(self, t0: float, t1: float) -> float:
+        """Work completed in the interval ``[t0, t1]``."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        for seg in self.segments:
+            lo = max(seg.start, t0)
+            hi = min(seg.end, t1)
+            if hi > lo:
+                total += seg.speed * (hi - lo)
+        return total
+
+    @property
+    def total_work(self) -> float:
+        """Total work completed over the whole profile."""
+        return sum(seg.work for seg in self.segments)
+
+    def energy(self, power: PowerFunction) -> float:
+        """Total energy consumed, charging ``power(speed)`` over each segment."""
+        return float(
+            sum(power.power(seg.speed) * seg.duration for seg in self.segments if seg.speed > 0)
+        )
+
+    def max_speed(self) -> float:
+        """Maximum speed used anywhere in the profile (0 for an empty profile)."""
+        return max((seg.speed for seg in self.segments), default=0.0)
+
+    def busy_time(self) -> float:
+        """Total time during which the speed is strictly positive."""
+        return sum(seg.duration for seg in self.segments if seg.speed > 0)
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`speed_at` over an array of time points."""
+        return np.array([self.speed_at(float(t)) for t in times])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpeedProfile(n_segments={len(self.segments)}, span=[{self.start:g}, "
+            f"{self.end:g}], total_work={self.total_work:g})"
+        )
+
+
+def profile_from_schedule(schedule: Schedule, processor: int = 0) -> SpeedProfile:
+    """Extract the speed profile of one processor from a schedule."""
+    segments = [
+        SpeedSegment(p.start, p.end, p.speed)
+        for p in schedule.pieces
+        if p.processor == processor
+    ]
+    if not segments:
+        raise InvalidScheduleError(f"processor {processor} has no pieces in this schedule")
+    return SpeedProfile(segments)

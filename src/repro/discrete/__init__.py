@@ -1,0 +1,21 @@
+"""Discrete-speed (real DVFS hardware) extension experiments (Section 6).
+
+The paper's future-work section identifies discrete speed levels as the main
+modelling gap.  This subpackage provides named speed sets (including the
+paper's AMD Athlon 64 example), the standard two-level emulation of a
+continuous-speed plan, and the resulting energy-overhead accounting used by
+``bench_discrete_speeds``.
+"""
+
+from .models import ATHLON64, SpeedLevels, geometric_levels, uniform_levels
+from .quantize import QuantizationResult, quantize_schedule, two_level_split
+
+__all__ = [
+    "ATHLON64",
+    "SpeedLevels",
+    "geometric_levels",
+    "uniform_levels",
+    "QuantizationResult",
+    "quantize_schedule",
+    "two_level_split",
+]

@@ -1,0 +1,90 @@
+"""Named discrete speed sets (DVFS operating points).
+
+The paper motivates the continuous-speed model as an approximation of real
+processors that expose a finite list of frequency steps, quoting the AMD
+Athlon 64's 2000/1800/800 MHz settings, and lists the discrete-speed setting
+as future work (it is NP-hard to schedule optimally per Chen et al.).  This
+module provides a tiny catalogue of speed sets -- the Athlon 64 list from the
+paper, plus parametric generators -- used by the discrete-speed extension
+experiments in :mod:`repro.discrete.quantize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import InvalidInstanceError
+
+__all__ = ["SpeedLevels", "ATHLON64", "uniform_levels", "geometric_levels"]
+
+
+@dataclass(frozen=True)
+class SpeedLevels:
+    """A finite, sorted set of allowed processor speeds."""
+
+    name: str
+    levels: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise InvalidInstanceError("a speed set needs at least one level")
+        if any(l <= 0 for l in self.levels):
+            raise InvalidInstanceError("speed levels must be positive")
+        ordered = tuple(sorted(set(float(l) for l in self.levels)))
+        object.__setattr__(self, "levels", ordered)
+
+    @property
+    def min_speed(self) -> float:
+        return self.levels[0]
+
+    @property
+    def max_speed(self) -> float:
+        return self.levels[-1]
+
+    def bracket(self, speed: float) -> tuple[float, float]:
+        """The pair of adjacent levels surrounding ``speed`` (clamped at the ends)."""
+        if speed <= self.min_speed:
+            return (self.min_speed, self.min_speed)
+        if speed >= self.max_speed:
+            return (self.max_speed, self.max_speed)
+        levels = np.asarray(self.levels)
+        hi_index = int(np.searchsorted(levels, speed, side="left"))
+        lo_index = hi_index - 1 if levels[hi_index] > speed else hi_index
+        return (float(levels[lo_index]), float(levels[hi_index]))
+
+    def nearest(self, speed: float) -> float:
+        """The closest level to ``speed``."""
+        levels = np.asarray(self.levels)
+        return float(levels[np.argmin(np.abs(levels - speed))])
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+
+#: The AMD Athlon 64 operating points quoted in the paper's introduction,
+#: normalised so that the top frequency (2000 MHz) is speed 1.0.
+ATHLON64 = SpeedLevels("amd-athlon-64", (800 / 2000, 1800 / 2000, 1.0))
+
+
+def uniform_levels(n_levels: int, max_speed: float = 1.0, name: str | None = None) -> SpeedLevels:
+    """``n_levels`` equally spaced speeds in ``(0, max_speed]``."""
+    if n_levels < 1:
+        raise InvalidInstanceError("n_levels must be >= 1")
+    if max_speed <= 0:
+        raise InvalidInstanceError("max_speed must be positive")
+    levels = tuple(max_speed * k / n_levels for k in range(1, n_levels + 1))
+    return SpeedLevels(name or f"uniform-{n_levels}", levels)
+
+
+def geometric_levels(
+    n_levels: int, max_speed: float = 1.0, ratio: float = 0.8, name: str | None = None
+) -> SpeedLevels:
+    """``n_levels`` speeds in a geometric ladder below ``max_speed``."""
+    if n_levels < 1:
+        raise InvalidInstanceError("n_levels must be >= 1")
+    if not 0 < ratio < 1:
+        raise InvalidInstanceError("ratio must lie in (0, 1)")
+    levels = tuple(max_speed * ratio**k for k in range(n_levels))
+    return SpeedLevels(name or f"geometric-{n_levels}", levels)

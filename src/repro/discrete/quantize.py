@@ -1,0 +1,142 @@
+"""Emulating continuous-speed schedules on discrete-speed processors.
+
+Section 6 of the paper singles out discrete speed levels as the most obvious
+gap between the continuous model and real hardware.  The standard emulation
+(also the basis of the approximation results it cites) is *two-level
+rounding*: a job planned at speed ``sigma`` between two adjacent available
+levels ``lo <= sigma <= hi`` is run partly at ``hi`` and partly at ``lo`` so
+that it completes the same work in the same wall-clock window.  Convexity of
+the power function makes the energy of the mix at least that of the continuous
+speed, and the overhead shrinks as the level grid gets finer.
+
+This module quantises any single-speed-per-job schedule produced by the
+continuous algorithms, reports the energy overhead, and flags infeasibility
+when a planned speed exceeds the hardware's maximum (in that case the job is
+clamped to the maximum level and the completion times shift right -- the
+caller decides whether that is acceptable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.power import PowerFunction
+from ..core.schedule import Piece, Schedule
+from ..exceptions import InvalidScheduleError
+from .models import SpeedLevels
+
+__all__ = ["QuantizationResult", "quantize_schedule", "two_level_split"]
+
+
+def two_level_split(speed: float, lo: float, hi: float) -> tuple[float, float]:
+    """Fractions of time to spend at ``hi`` and ``lo`` to emulate ``speed``.
+
+    Returns ``(fraction_at_hi, fraction_at_lo)`` such that
+    ``fraction_at_hi * hi + fraction_at_lo * lo == speed`` and the fractions
+    sum to 1.  When ``lo == hi`` the split is trivially all at that level.
+    """
+    if speed <= 0 or lo <= 0 or hi <= 0:
+        raise InvalidScheduleError("speeds must be positive")
+    if not lo <= speed <= hi and not math.isclose(lo, hi):
+        raise InvalidScheduleError(
+            f"speed {speed:g} is not inside the bracket [{lo:g}, {hi:g}]"
+        )
+    if math.isclose(hi, lo):
+        return (1.0, 0.0)
+    frac_hi = (speed - lo) / (hi - lo)
+    return (float(frac_hi), float(1.0 - frac_hi))
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """Outcome of quantising a continuous schedule onto a discrete speed set."""
+
+    schedule: Schedule
+    continuous_energy: float
+    discrete_energy: float
+    clamped_jobs: tuple[int, ...]
+    makespan_increase: float
+
+    @property
+    def energy_overhead(self) -> float:
+        """Relative energy increase of the discrete emulation (>= 0 when nothing clamps)."""
+        return self.discrete_energy / self.continuous_energy - 1.0
+
+
+def quantize_schedule(
+    schedule: Schedule,
+    levels: SpeedLevels,
+) -> QuantizationResult:
+    """Quantise a continuous-speed schedule onto the given speed levels.
+
+    Every piece is replaced by at most two pieces (the two-level emulation)
+    occupying the same time window, except when the planned speed exceeds the
+    maximum level: such pieces are *clamped* to the maximum level, take longer,
+    and push the subsequent pieces of the same processor later (preserving
+    order and release-time feasibility).
+    """
+    power = schedule.power
+    instance = schedule.instance
+    new_pieces: list[Piece] = []
+    clamped: set[int] = set()
+    # process per processor to propagate shifts caused by clamping
+    by_proc: dict[int, list[Piece]] = {}
+    for piece in schedule.pieces:
+        by_proc.setdefault(piece.processor, []).append(piece)
+    for proc, pieces in by_proc.items():
+        pieces.sort(key=lambda p: p.start)
+        shift = 0.0
+        for piece in pieces:
+            start = piece.start + shift
+            release = instance.jobs[piece.job].release
+            start = max(start, release)
+            lo, hi = levels.bracket(piece.speed)
+            if piece.speed > levels.max_speed and not math.isclose(piece.speed, levels.max_speed):
+                # clamp: run the whole piece's work at the maximum level
+                clamped.add(piece.job)
+                duration = piece.work / levels.max_speed
+                new_pieces.append(
+                    Piece(job=piece.job, processor=proc, start=start, end=start + duration,
+                          speed=levels.max_speed)
+                )
+                shift = max(0.0, (start + duration) - piece.end)
+                continue
+            if piece.speed < levels.min_speed and not math.isclose(piece.speed, levels.min_speed):
+                # planned slower than the slowest level: run at the minimum level
+                # for exactly the piece's work and idle for the remainder of the
+                # window (this wastes energy relative to the continuous plan but
+                # never delays anything).
+                duration = piece.work / levels.min_speed
+                new_pieces.append(
+                    Piece(job=piece.job, processor=proc, start=start, end=start + duration,
+                          speed=levels.min_speed)
+                )
+                shift = max(0.0, (start + duration) - piece.end)
+                continue
+            frac_hi, frac_lo = two_level_split(piece.speed, lo, hi)
+            t_hi = piece.duration * frac_hi
+            t_lo = piece.duration * frac_lo
+            cursor = start
+            if t_hi > 1e-15:
+                new_pieces.append(
+                    Piece(job=piece.job, processor=proc, start=cursor, end=cursor + t_hi, speed=hi)
+                )
+                cursor += t_hi
+            if t_lo > 1e-15:
+                new_pieces.append(
+                    Piece(job=piece.job, processor=proc, start=cursor, end=cursor + t_lo, speed=lo)
+                )
+                cursor += t_lo
+            shift = max(0.0, cursor - piece.end)
+
+    quantized = Schedule(instance, power, new_pieces, n_processors=schedule.n_processors)
+    return QuantizationResult(
+        schedule=quantized,
+        continuous_energy=schedule.energy,
+        discrete_energy=quantized.energy,
+        clamped_jobs=tuple(sorted(clamped)),
+        makespan_increase=quantized.makespan - schedule.makespan,
+    )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still distinguishing the common failure modes:
+
+* :class:`InvalidInstanceError` -- a problem instance violates the model
+  assumptions of the paper (negative work, unsorted data the caller promised
+  was sorted, an empty job set handed to an algorithm that needs jobs, ...).
+* :class:`InvalidScheduleError` -- a schedule object is internally
+  inconsistent or infeasible (job starts before release, overlapping pieces
+  on one processor, negative speed, ...).
+* :class:`InfeasibleError` -- the optimisation problem posed has no feasible
+  solution (e.g. an energy budget of zero, a makespan target earlier than the
+  last release time, a flow target below the zero-energy-unconstrained
+  minimum).
+* :class:`BudgetError` -- an energy/metric budget argument is malformed.
+* :class:`ConvergenceError` -- an iterative numerical routine failed to reach
+  the requested tolerance.
+* :class:`UnsupportedPowerFunctionError` -- an algorithm that requires a
+  specific power model (e.g. the closed-form frontier derivatives need
+  ``power = speed**alpha``) was given an incompatible one.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "InfeasibleError",
+    "BudgetError",
+    "ConvergenceError",
+    "UnsupportedPowerFunctionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """A problem instance violates the model assumptions."""
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A schedule is malformed or infeasible."""
+
+
+class InfeasibleError(ReproError, ValueError):
+    """The requested optimisation problem has no feasible solution."""
+
+
+class BudgetError(ReproError, ValueError):
+    """An energy or metric budget argument is malformed (non-positive, NaN...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical routine failed to converge to tolerance."""
+
+
+class UnsupportedPowerFunctionError(ReproError, TypeError):
+    """An algorithm requires a power function with properties this one lacks."""

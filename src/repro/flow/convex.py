@@ -1,0 +1,249 @@
+"""Convex-programming solver for power-aware total flow (uniprocessor).
+
+With the job order fixed (for equal-work jobs the optimal order is release
+order, as observed by Pruhs, Uthaisombut and Woeginger and used throughout
+Section 4 of the paper), total flow is a convex function of the per-job
+durations, and the energy budget is a convex constraint, so both the *laptop*
+problem (minimise flow subject to an energy budget) and the *server* problem
+(minimise energy subject to a flow budget) are smooth convex programs:
+
+    variables   d_i > 0 (durations), s_i (start times)
+    flow        sum_i (s_i + d_i - r_i)
+    energy      sum_i P(w_i / d_i) * d_i
+    feasible    s_i >= r_i,  s_i >= s_{i-1} + d_{i-1}
+
+Theorem 8 of the paper shows the *exact* optimum cannot be computed with
+radicals, so an iterative solver is the natural tool; this module provides the
+"arbitrarily-good approximation" the paper refers to, and
+:mod:`repro.flow.puw` refines it to closed form whenever the optimal
+configuration avoids the troublesome ``C_i = r_{i+1}`` case.
+
+For unequal-work jobs the solver still returns the optimum *for the given
+order* (release order by default); the paper makes no optimality claim across
+orders in that case and neither do we.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..core.schedule import Schedule
+from ..exceptions import BudgetError, ConvergenceError, InfeasibleError
+
+__all__ = ["ConvexFlowResult", "convex_flow_laptop", "convex_flow_server"]
+
+
+@dataclass(frozen=True)
+class ConvexFlowResult:
+    """Optimal (to solver tolerance) release-order flow schedule."""
+
+    flow: float
+    energy: float
+    durations: np.ndarray
+    speeds: np.ndarray
+    start_times: np.ndarray
+    completion_times: np.ndarray
+    iterations: int
+
+    def schedule(self, instance: Instance, power: PowerFunction) -> Schedule:
+        return Schedule.from_speeds(instance, power, self.speeds)
+
+
+def _solve(
+    instance: Instance,
+    power: PowerFunction,
+    energy_budget: float,
+    tol: float,
+    max_iterations: int,
+) -> ConvexFlowResult:
+    n = instance.n_jobs
+    releases = instance.releases
+    works = instance.works
+
+    # Scale the duration variables by the uniform-speed durations so that the
+    # starting point is the all-ones vector; this keeps SLSQP well conditioned
+    # across many orders of magnitude of energy budgets.  Start times are
+    # represented as non-negative offsets from the release times.
+    uniform_speed = power.speed_for_energy(instance.total_work, energy_budget)
+    d_scale = works / uniform_speed
+
+    def split(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return x[:n] * d_scale, x[n:] + releases
+
+    def total_energy(durations: np.ndarray) -> float:
+        return float(
+            sum(power.energy_for_duration(w, d) for w, d in zip(works, durations))
+        )
+
+    # Normalise the objective so SLSQP's absolute ftol is meaningful across
+    # budgets spanning many orders of magnitude (the flow itself scales like
+    # the durations).
+    flow_scale = max(1.0, float(np.sum(d_scale)))
+
+    def objective(x: np.ndarray) -> float:
+        d, s = split(x)
+        return float(np.sum(s + d - releases)) / flow_scale
+
+    def objective_grad(x: np.ndarray) -> np.ndarray:
+        return np.concatenate([d_scale, np.ones(n)]) / flow_scale
+
+    def energy_constraint(x: np.ndarray) -> float:
+        d, _ = split(x)
+        return (energy_budget - total_energy(d)) / energy_budget
+
+    def energy_constraint_jac(x: np.ndarray) -> np.ndarray:
+        d, _ = split(x)
+        grad_d = np.array(
+            [-power.denergy_dduration(w, di) for w, di in zip(works, d)]
+        )
+        return np.concatenate([grad_d * d_scale, np.zeros(n)]) / energy_budget
+
+    constraints: list[dict] = [
+        {"type": "ineq", "fun": energy_constraint, "jac": energy_constraint_jac}
+    ]
+    for i in range(1, n):
+        a = np.zeros(2 * n)
+        a[n + i] = 1.0
+        a[n + i - 1] = -1.0
+        a[i - 1] = -d_scale[i - 1]
+        offset = releases[i] - releases[i - 1]
+        constraints.append(
+            {
+                "type": "ineq",
+                "fun": (lambda x, a=a, c=offset: float(a @ x) + c),
+                "jac": (lambda x, a=a: a),
+            }
+        )
+
+    bounds = [(1e-9, None)] * n + [(0.0, None)] * n
+
+    def run(x0: np.ndarray, ftol: float) -> optimize.OptimizeResult:
+        return optimize.minimize(
+            objective,
+            x0,
+            jac=objective_grad,
+            method="SLSQP",
+            bounds=bounds,
+            constraints=constraints,
+            options={"maxiter": max_iterations, "ftol": ftol},
+        )
+
+    # Initial point: scaled durations of 1 (with a little slack so the energy
+    # constraint is strictly satisfied), starts packed as early as possible.
+    u0 = np.full(n, 1.001)
+    s_offsets = np.empty(n)
+    clock = releases[0]
+    for i in range(n):
+        clock = max(clock, releases[i])
+        s_offsets[i] = clock - releases[i]
+        clock += u0[i] * d_scale[i]
+    x0 = np.concatenate([u0, s_offsets])
+
+    result = run(x0, tol)
+    if not result.success:
+        # SLSQP can report a spurious line-search failure when started exactly
+        # on a constraint boundary; retry from slightly slower schedules and
+        # with a relaxed tolerance before giving up.
+        for slack, ftol in ((1.05, tol), (1.25, max(tol, 1e-10)), (2.0, max(tol, 1e-9))):
+            u_retry = np.full(n, slack)
+            x_retry = np.concatenate([u_retry, s_offsets])
+            result = run(x_retry, ftol)
+            if result.success:
+                break
+    if not result.success:
+        raise ConvergenceError(
+            f"SLSQP failed on the convex flow problem: {result.message}"
+        )
+    d, s = split(np.asarray(result.x, dtype=float))
+    # Re-normalise the start times: given durations, the flow-minimal start
+    # times are "as early as possible", which removes any solver slack.
+    starts = np.empty(n)
+    clock = -math.inf
+    for i in range(n):
+        starts[i] = max(releases[i], clock)
+        clock = starts[i] + d[i]
+    completions = starts + d
+    speeds = works / d
+    return ConvexFlowResult(
+        flow=float(np.sum(completions - releases)),
+        energy=total_energy(d),
+        durations=d,
+        speeds=speeds,
+        start_times=starts,
+        completion_times=completions,
+        iterations=int(result.nit),
+    )
+
+
+def convex_flow_laptop(
+    instance: Instance,
+    power: PowerFunction,
+    energy_budget: float,
+    tol: float = 1e-12,
+    max_iterations: int = 1000,
+) -> ConvexFlowResult:
+    """Minimise total flow subject to an energy budget (release-order schedule)."""
+    if energy_budget <= 0.0 or not math.isfinite(energy_budget):
+        raise BudgetError(f"energy budget must be finite and > 0, got {energy_budget}")
+    return _solve(instance, power, energy_budget, tol, max_iterations)
+
+
+def convex_flow_server(
+    instance: Instance,
+    power: PowerFunction,
+    flow_target: float,
+    tol: float = 1e-10,
+    max_iterations: int = 200,
+) -> ConvexFlowResult:
+    """Minimise energy subject to a total-flow budget (the server problem).
+
+    Implemented as a bisection on the energy budget around the laptop solver:
+    the optimal flow is continuous and strictly decreasing in the energy
+    budget wherever it exceeds its unconstrained-by-energy infimum, so a
+    bracketed root search on ``flow(E) - flow_target`` converges linearly and
+    each evaluation is itself an arbitrarily-good approximation.
+    """
+    minimum_flow = _flow_lower_bound(instance)
+    if flow_target <= minimum_flow:
+        raise InfeasibleError(
+            f"flow target {flow_target:g} is at or below the zero-processing-time "
+            f"lower bound {minimum_flow:g}; no finite energy can reach it"
+        )
+
+    def flow_at(energy: float) -> float:
+        return convex_flow_laptop(instance, power, energy, tol=1e-12).flow
+
+    hi = 1.0
+    while flow_at(hi) > flow_target:
+        hi *= 4.0
+        if hi > 1e12:
+            raise InfeasibleError(
+                f"flow target {flow_target:g} unreachable even with energy {hi:g}"
+            )
+    lo = hi / 2.0
+    while flow_at(lo) < flow_target:
+        lo /= 2.0
+        if lo < 1e-9:
+            break
+    energy = float(
+        optimize.brentq(lambda e: flow_at(e) - flow_target, lo, hi, xtol=tol, rtol=1e-12,
+                        maxiter=max_iterations)
+    )
+    return convex_flow_laptop(instance, power, energy, tol=1e-12)
+
+
+def _flow_lower_bound(instance: Instance) -> float:
+    """Total flow if every job ran infinitely fast (still respecting order).
+
+    Jobs queued behind an earlier release still wait, so the bound is the sum
+    of ``max(0, previous release - r_i)`` terms -- zero when releases are
+    distinct and ordered with gaps.
+    """
+    completions_lower = np.maximum.accumulate(instance.releases)
+    return float(np.sum(completions_lower - instance.releases))

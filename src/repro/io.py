@@ -1,0 +1,204 @@
+"""Serialisation of instances and schedules (JSON and CSV).
+
+A reproduction is only usable downstream if its inputs and outputs can leave
+the Python process: workloads need to be shared between runs and tools, and
+computed schedules need to be archived next to the benchmark tables.  This
+module provides a small, dependency-free interchange format:
+
+* instances round-trip through JSON (and export to CSV for spreadsheets),
+* schedules round-trip through JSON as their raw execution pieces plus the
+  power model, so any saved schedule can be re-validated and re-scored later
+  without knowing which algorithm produced it.
+
+Only the built-in power functions are serialisable (polynomial and
+affine-polynomial); arbitrary callables are rejected explicitly rather than
+pickled, to keep the files portable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.job import Instance, Job
+from .core.power import AffinePolynomialPower, PolynomialPower, PowerFunction
+from .core.schedule import Piece, Schedule
+from .exceptions import InvalidInstanceError, InvalidScheduleError
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "instance_to_csv",
+    "power_to_dict",
+    "power_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# instances
+# ----------------------------------------------------------------------
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """JSON-ready representation of an instance."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "instance",
+        "name": instance.name,
+        "jobs": [
+            {
+                "release": job.release,
+                "work": job.work,
+                "deadline": job.deadline,
+                "weight": job.weight,
+            }
+            for job in instance.jobs
+        ],
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    if data.get("kind") != "instance":
+        raise InvalidInstanceError(f"not an instance payload: kind={data.get('kind')!r}")
+    jobs = []
+    for i, row in enumerate(data.get("jobs", [])):
+        jobs.append(
+            Job(
+                index=i,
+                release=float(row["release"]),
+                work=float(row["work"]),
+                deadline=None if row.get("deadline") is None else float(row["deadline"]),
+                weight=float(row.get("weight", 1.0)),
+            )
+        )
+    return Instance(jobs, name=str(data.get("name", "instance")))
+
+
+def save_instance(instance: Instance, path: str | Path) -> Path:
+    """Write an instance to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(instance_to_dict(instance), indent=2), encoding="utf-8")
+    return path
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance from a JSON file produced by :func:`save_instance`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return instance_from_dict(data)
+
+
+def instance_to_csv(instance: Instance) -> str:
+    """CSV text with one row per job (release, work, deadline, weight)."""
+    lines = ["job,release,work,deadline,weight"]
+    for job in instance.jobs:
+        deadline = "" if job.deadline is None else f"{job.deadline!r}"
+        lines.append(f"{job.index},{job.release!r},{job.work!r},{deadline},{job.weight!r}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# power functions
+# ----------------------------------------------------------------------
+
+def power_to_dict(power: PowerFunction) -> dict[str, Any]:
+    """Serialise a built-in power function."""
+    if isinstance(power, PolynomialPower):
+        return {"type": "polynomial", "alpha": power.exponent}
+    if isinstance(power, AffinePolynomialPower):
+        return {
+            "type": "affine-polynomial",
+            "alpha": power.exponent,
+            "coefficient": power.coefficient,
+            "static": power.static,
+        }
+    raise InvalidScheduleError(
+        f"power function of type {type(power).__name__} is not serialisable; "
+        "only PolynomialPower and AffinePolynomialPower are supported"
+    )
+
+
+def power_from_dict(data: dict[str, Any]) -> PowerFunction:
+    """Rebuild a power function from :func:`power_to_dict` output."""
+    kind = data.get("type")
+    if kind == "polynomial":
+        return PolynomialPower(float(data["alpha"]))
+    if kind == "affine-polynomial":
+        return AffinePolynomialPower(
+            exponent=float(data["alpha"]),
+            coefficient=float(data["coefficient"]),
+            static=float(data["static"]),
+        )
+    raise InvalidScheduleError(f"unknown power function type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """JSON-ready representation of a schedule (instance + power + pieces)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "schedule",
+        "instance": instance_to_dict(schedule.instance),
+        "power": power_to_dict(schedule.power),
+        "n_processors": schedule.n_processors,
+        "pieces": [
+            {
+                "job": piece.job,
+                "processor": piece.processor,
+                "start": piece.start,
+                "end": piece.end,
+                "speed": piece.speed,
+            }
+            for piece in schedule.pieces
+        ],
+        "summary": {
+            "makespan": schedule.makespan,
+            "total_flow": schedule.total_flow,
+            "energy": schedule.energy,
+        },
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output."""
+    if data.get("kind") != "schedule":
+        raise InvalidScheduleError(f"not a schedule payload: kind={data.get('kind')!r}")
+    instance = instance_from_dict(data["instance"])
+    power = power_from_dict(data["power"])
+    pieces = [
+        Piece(
+            job=int(row["job"]),
+            processor=int(row["processor"]),
+            start=float(row["start"]),
+            end=float(row["end"]),
+            speed=float(row["speed"]),
+        )
+        for row in data.get("pieces", [])
+    ]
+    return Schedule(instance, power, pieces, n_processors=int(data.get("n_processors", 1)))
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> Path:
+    """Write a schedule to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(schedule_to_dict(schedule), indent=2), encoding="utf-8")
+    return path
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Read a schedule from a JSON file produced by :func:`save_schedule`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return schedule_from_dict(data)

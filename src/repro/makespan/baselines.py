@@ -1,0 +1,109 @@
+"""Baseline algorithms for uniprocessor power-aware makespan.
+
+The paper's related-work section contrasts IncMerge with two prior
+approaches:
+
+* Uysal-Biyikoglu, Prabhakar and El Gamal give a *quadratic-time* algorithm
+  that solves only the server version of the problem (for wireless
+  transmission, but relying only on strict convexity).  We provide two
+  stand-ins with the same asymptotics and scope:
+
+  - :func:`quadratic_laptop` -- recomputes the block structure from scratch
+    after every job is appended (``O(n^2)`` total) instead of maintaining it
+    incrementally; output-identical to IncMerge.
+  - :func:`server_energy_via_yds` -- solves the server problem by running the
+    Yao-Demers-Shenker optimal deadline scheduler with a common deadline
+    equal to the makespan target, which is an independent quadratic-time
+    oracle for :mod:`repro.makespan.server`.
+
+* A naive **uniform-speed** heuristic that ignores release structure: all
+  jobs run at the single speed that exactly exhausts the budget.  This is the
+  "no algorithm" reference point the benchmarks use to show how much the
+  optimal policy gains.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..core.schedule import Schedule
+from ..exceptions import BudgetError
+from .incmerge import IncMergeResult, incmerge
+
+__all__ = [
+    "uniform_speed_schedule",
+    "quadratic_laptop",
+    "server_energy_via_yds",
+]
+
+
+def uniform_speed_schedule(
+    instance: Instance,
+    power: PowerFunction,
+    energy_budget: float,
+) -> Schedule:
+    """Run every job at one common speed that exactly spends the budget.
+
+    The resulting schedule may contain idle time (it ignores the release
+    structure entirely), so its makespan is in general strictly worse than the
+    optimum; it never violates the budget.
+    """
+    if energy_budget <= 0.0 or not math.isfinite(energy_budget):
+        raise BudgetError(f"energy budget must be finite and > 0, got {energy_budget}")
+    speed = power.speed_for_energy(instance.total_work, energy_budget)
+    speeds = np.full(instance.n_jobs, speed)
+    return Schedule.from_speeds(instance, power, speeds)
+
+
+def quadratic_laptop(
+    instance: Instance,
+    power: PowerFunction,
+    energy_budget: float,
+) -> IncMergeResult:
+    """Quadratic-time laptop solver: rebuild the block structure per appended job.
+
+    Produces exactly the IncMerge schedule (it solves the same fixed-point
+    characterisation) but performs ``Theta(n)`` work for each of the ``n``
+    prefixes instead of amortising the merges, mirroring the complexity of the
+    prior quadratic algorithms discussed in Section 2.  Used by the scaling
+    benchmark as the "previous state of the art" running-time reference.
+    """
+    if energy_budget <= 0.0 or not math.isfinite(energy_budget):
+        raise BudgetError(f"energy budget must be finite and > 0, got {energy_budget}")
+    result: IncMergeResult | None = None
+    for prefix_len in range(1, instance.n_jobs + 1):
+        prefix = instance.subset(range(prefix_len), name=f"{instance.name}[:{prefix_len}]")
+        result = incmerge(prefix, power, energy_budget)
+    assert result is not None
+    # Re-solve on the full instance so that the returned object references the
+    # caller's Instance (the loop above deliberately redoes all the work).
+    return incmerge(instance, power, energy_budget)
+
+
+def server_energy_via_yds(
+    instance: Instance,
+    power: PowerFunction,
+    makespan_target: float,
+) -> float:
+    """Server-problem oracle: minimum energy to meet ``makespan_target``.
+
+    Attaches ``makespan_target`` as a common deadline to every job and runs
+    the Yao-Demers-Shenker minimum-energy deadline scheduler
+    (:mod:`repro.online.yds`).  YDS is provably optimal for that problem, and
+    the common-deadline instance is exactly the makespan server problem, so
+    this provides an oracle that shares no code with IncMerge or the frontier.
+    """
+    from ..online.yds import yds_schedule  # local import: avoid a package cycle
+
+    if makespan_target <= instance.last_release:
+        raise BudgetError(
+            f"makespan target {makespan_target:g} must exceed the last release "
+            f"time {instance.last_release:g}"
+        )
+    with_deadlines = instance.with_deadlines(float(makespan_target))
+    schedule = yds_schedule(with_deadlines, power)
+    return schedule.energy

@@ -1,0 +1,220 @@
+"""IncMerge: the paper's linear-time algorithm for the uniprocessor laptop problem.
+
+Given an energy budget ``E``, IncMerge (Section 3.1) builds the unique
+schedule satisfying the five properties of Lemma 7 — which is the schedule of
+minimum makespan among all schedules using energy at most ``E``:
+
+1. jobs are processed in release order,
+2. a tentative list of blocks is maintained; a newly added job starts as its
+   own block,
+3. a non-final block's speed is fixed by the next release time (it must end
+   exactly when the next block starts, Lemma 4),
+4. the final block's speed is whatever exactly spends the remaining energy,
+5. while the last block runs slower than its predecessor, the two are merged
+   (Lemma 6: block speeds must be non-decreasing).
+
+Each job stops being the first job of a block at most once, so the merging
+work is ``O(n)`` overall once the jobs are sorted by release time
+(:class:`~repro.core.job.Instance` keeps them sorted).
+
+The implementation spends all of the energy budget: the optimal laptop
+schedule always exhausts ``E`` because any leftover energy could speed up the
+final block and reduce the makespan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import Block, coincident_release_threshold
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..core.schedule import Schedule
+from ..exceptions import BudgetError
+
+__all__ = ["IncMergeResult", "incmerge", "incmerge_speeds"]
+
+
+@dataclass(frozen=True)
+class IncMergeResult:
+    """Result of the IncMerge laptop solver.
+
+    Attributes
+    ----------
+    instance, power, energy_budget:
+        Echo of the inputs.
+    blocks:
+        The optimal block decomposition, in time order.  The final block is
+        the one whose speed was set from the leftover energy.
+    speeds:
+        Per-job speeds (aligned with the instance's job order).
+    makespan:
+        Completion time of the last job.
+    energy:
+        Energy consumed; equals the budget up to floating-point rounding.
+    """
+
+    instance: Instance
+    power: PowerFunction
+    energy_budget: float
+    blocks: tuple[Block, ...]
+    speeds: np.ndarray
+    makespan: float
+    energy: float
+
+    def schedule(self) -> Schedule:
+        """Materialise the full :class:`~repro.core.schedule.Schedule`."""
+        return Schedule.from_speeds(self.instance, self.power, self.speeds)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class _MutableBlock:
+    """Internal working representation of a block on the IncMerge stack."""
+
+    first: int
+    last: int
+    start_time: float
+    work: float
+    speed: float  # math.inf allowed (coincident releases); <= 0 means "must merge"
+    energy: float  # energy at the current speed; 0 for the final block until fixed
+
+
+def incmerge(
+    instance: Instance,
+    power: PowerFunction,
+    energy_budget: float,
+) -> IncMergeResult:
+    """Solve the uniprocessor laptop problem: minimum makespan for ``energy_budget``.
+
+    Raises
+    ------
+    BudgetError
+        If the energy budget is not a finite positive number.
+    """
+    if not math.isfinite(energy_budget) or energy_budget <= 0.0:
+        raise BudgetError(
+            f"energy budget must be finite and > 0, got {energy_budget!r}"
+        )
+
+    releases = instance.releases
+    works = instance.works
+    n = instance.n_jobs
+    tiny = coincident_release_threshold(releases)
+
+    stack: list[_MutableBlock] = []
+    fixed_energy = 0.0  # total energy of the *non-final* blocks currently on the stack
+
+    def final_speed(work: float) -> float:
+        """Speed of the final block when it must spend the leftover budget."""
+        remaining = energy_budget - fixed_energy
+        if remaining <= 0.0:
+            # Not enough energy for the current fixed blocks: signal "slower
+            # than anything" so the merge loop absorbs the predecessor.
+            return 0.0
+        return power.speed_for_energy(work, remaining)
+
+    for i in range(n):
+        is_last = i == n - 1
+        if is_last:
+            speed = final_speed(works[i])
+            energy = 0.0
+        else:
+            window = releases[i + 1] - releases[i]
+            speed = math.inf if window <= tiny else works[i] / window
+            energy = 0.0 if math.isinf(speed) else power.energy(works[i], speed)
+        block = _MutableBlock(
+            first=i,
+            last=i,
+            start_time=float(releases[i]),
+            work=float(works[i]),
+            speed=speed,
+            energy=energy,
+        )
+        if not is_last:
+            fixed_energy += energy
+        stack.append(block)
+
+        # merge while the last block runs slower than its predecessor
+        while len(stack) >= 2 and stack[-1].speed < stack[-2].speed * (1.0 - 1e-15):
+            top = stack.pop()
+            prev = stack.pop()
+            merged_last = top.last
+            merged_first = prev.first
+            merged_work = top.work + prev.work
+            merged_start = prev.start_time
+            # both constituent blocks leave the "fixed" pool (a final block
+            # contributes 0 there by construction)
+            fixed_energy -= prev.energy + top.energy
+            if merged_last == n - 1:
+                # merged block is the final block: speed from leftover energy
+                merged_speed = final_speed(merged_work)
+                merged_energy = 0.0
+            else:
+                window = releases[merged_last + 1] - merged_start
+                merged_speed = math.inf if window <= tiny else merged_work / window
+                merged_energy = (
+                    0.0 if math.isinf(merged_speed) else power.energy(merged_work, merged_speed)
+                )
+                fixed_energy += merged_energy
+            stack.append(
+                _MutableBlock(
+                    first=merged_first,
+                    last=merged_last,
+                    start_time=merged_start,
+                    work=merged_work,
+                    speed=merged_speed,
+                    energy=merged_energy,
+                )
+            )
+
+    # the final block's speed may still be the provisional value computed when
+    # it was pushed; recompute it now that fixed_energy is final (it is already
+    # consistent, but recomputing guards against drift from the merge loop).
+    stack[-1].speed = final_speed(stack[-1].work)
+    if stack[-1].speed <= 0.0:  # pragma: no cover - defensive; cannot happen with E > 0
+        raise BudgetError("energy budget too small to schedule the final block")
+    stack[-1].energy = power.energy(stack[-1].work, stack[-1].speed)
+
+    blocks: list[Block] = []
+    speeds = np.empty(n)
+    for mutable in stack:
+        if math.isinf(mutable.speed):  # pragma: no cover - defensive
+            raise BudgetError(
+                "an internal block kept infinite speed; this indicates coincident "
+                "releases that should have been merged"
+            )
+        block = Block(
+            first=mutable.first,
+            last=mutable.last,
+            start_time=mutable.start_time,
+            work=mutable.work,
+            speed=mutable.speed,
+        )
+        blocks.append(block)
+        speeds[block.first : block.last + 1] = block.speed
+
+    makespan = blocks[-1].end_time
+    energy = float(sum(b.energy(power) for b in blocks))
+    return IncMergeResult(
+        instance=instance,
+        power=power,
+        energy_budget=float(energy_budget),
+        blocks=tuple(blocks),
+        speeds=speeds,
+        makespan=float(makespan),
+        energy=energy,
+    )
+
+
+def incmerge_speeds(
+    instance: Instance, power: PowerFunction, energy_budget: float
+) -> np.ndarray:
+    """Convenience wrapper returning only the per-job speed vector."""
+    return incmerge(instance, power, energy_budget).speeds

@@ -1,0 +1,182 @@
+"""Reference solvers for uniprocessor makespan: brute force and dynamic programming.
+
+The paper notes (Section 3.1) that the first four structural properties
+already give an ``O(n^2)`` dynamic-programming algorithm, and only Lemma 6
+(non-decreasing block speeds) is needed to reach linear time with IncMerge.
+This module implements that DP plus an exhaustive configuration search; both
+serve as independent oracles for IncMerge in the test suite and as baselines
+in the benchmarks.
+
+* :func:`brute_force_laptop` enumerates every partition of the job sequence
+  into consecutive blocks (``2^(n-1)`` candidates), evaluates each under the
+  budget and returns the best.  Exponential, but it makes no structural
+  assumptions beyond Lemmas 2-4, so it catches errors in the cleverer
+  algorithms.
+* :func:`dp_laptop` is the ``O(n^2)``-configuration DP: ``min_fixed_energy[i]``
+  is the least energy with which jobs ``0..i-1`` can be packed into valid
+  fixed blocks ending exactly at ``r_i``; the answer then optimises over the
+  start of the final block.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.blocks import BlockConfiguration, evaluate_configuration, fixed_block_speed
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..core.schedule import Schedule
+from ..exceptions import BudgetError, InfeasibleError
+from ..core.blocks import _block_internally_consistent  # reuse the internal check
+from ..core.blocks import Block
+
+__all__ = ["OracleResult", "brute_force_laptop", "dp_laptop"]
+
+_MAX_BRUTE_FORCE_JOBS = 18
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Result of a reference solver (same core fields as IncMergeResult)."""
+
+    makespan: float
+    speeds: np.ndarray
+    configuration: BlockConfiguration
+    energy: float
+
+    def schedule(self, instance: Instance, power: PowerFunction) -> Schedule:
+        return Schedule.from_speeds(instance, power, self.speeds)
+
+
+def brute_force_laptop(
+    instance: Instance,
+    power: PowerFunction,
+    energy_budget: float,
+) -> OracleResult:
+    """Exhaustive search over block configurations for the laptop problem."""
+    if energy_budget <= 0.0 or not math.isfinite(energy_budget):
+        raise BudgetError(f"energy budget must be finite and > 0, got {energy_budget}")
+    n = instance.n_jobs
+    if n > _MAX_BRUTE_FORCE_JOBS:
+        raise InfeasibleError(
+            f"brute force oracle limited to {_MAX_BRUTE_FORCE_JOBS} jobs, got {n}"
+        )
+    best: OracleResult | None = None
+    for boundary_bits in itertools.product((False, True), repeat=n - 1):
+        boundaries = (0,) + tuple(
+            i + 1 for i, bit in enumerate(boundary_bits) if bit
+        )
+        config = BlockConfiguration(boundaries=boundaries, n_jobs=n)
+        outcome = evaluate_configuration(instance, power, config, energy_budget)
+        if outcome is None:
+            continue
+        blocks, makespan = outcome
+        if best is None or makespan < best.makespan - 1e-12:
+            speeds = np.empty(n)
+            for block in blocks:
+                speeds[block.first : block.last + 1] = block.speed
+            energy = float(sum(b.energy(power) for b in blocks))
+            best = OracleResult(
+                makespan=float(makespan),
+                speeds=speeds,
+                configuration=config,
+                energy=energy,
+            )
+    if best is None:
+        raise InfeasibleError(
+            "no block configuration is feasible for this budget; this should not "
+            "happen for positive budgets"
+        )
+    return best
+
+
+def dp_laptop(
+    instance: Instance,
+    power: PowerFunction,
+    energy_budget: float,
+) -> OracleResult:
+    """The ``O(n^2)`` dynamic program of Section 3.1 for the laptop problem.
+
+    ``min_fixed[i]`` is the minimum energy needed to run jobs ``0..i-1`` as a
+    sequence of valid fixed blocks, the last of which ends exactly at ``r_i``
+    (``min_fixed[0] = 0``).  The optimum then chooses the final block's first
+    job ``f`` and spends the leftover budget on jobs ``f..n-1`` starting at
+    ``r_f``.
+    """
+    if energy_budget <= 0.0 or not math.isfinite(energy_budget):
+        raise BudgetError(f"energy budget must be finite and > 0, got {energy_budget}")
+    n = instance.n_jobs
+    releases = instance.releases
+    works = instance.works
+
+    from ..core.blocks import coincident_release_threshold
+
+    tiny = coincident_release_threshold(releases)
+    min_fixed = np.full(n, math.inf)
+    choice = np.full(n, -1, dtype=int)
+    min_fixed[0] = 0.0
+    for i in range(1, n):
+        # blocks (j .. i-1) ending exactly at r_i
+        for j in range(i):
+            if not math.isfinite(min_fixed[j]):
+                continue
+            window = releases[i] - releases[j]
+            if window <= tiny:
+                continue
+            work = float(works[j:i].sum())
+            speed = work / window
+            block = Block(first=j, last=i - 1, start_time=float(releases[j]), work=work, speed=speed)
+            if not _block_internally_consistent(releases, works, block):
+                continue
+            energy = min_fixed[j] + power.energy(work, speed)
+            if energy < min_fixed[i]:
+                min_fixed[i] = energy
+                choice[i] = j
+
+    best_f = -1
+    best_makespan = math.inf
+    for f in range(n):
+        if not math.isfinite(min_fixed[f]):
+            continue
+        remaining = energy_budget - min_fixed[f]
+        if remaining <= 0.0:
+            continue
+        work = float(works[f:].sum())
+        speed = power.speed_for_energy(work, remaining)
+        block = Block(first=f, last=n - 1, start_time=float(releases[f]), work=work, speed=speed)
+        if not _block_internally_consistent(releases, works, block, is_final=True):
+            continue
+        makespan = block.end_time
+        if makespan < best_makespan - 1e-12:
+            best_makespan = makespan
+            best_f = f
+    if best_f < 0:
+        raise InfeasibleError("dynamic program found no feasible configuration")
+
+    # reconstruct block boundaries
+    boundaries = [best_f]
+    i = best_f
+    while i > 0:
+        j = int(choice[i])
+        boundaries.append(j)
+        i = j
+    boundaries.reverse()
+    config = BlockConfiguration(boundaries=tuple(boundaries), n_jobs=n)
+    outcome = evaluate_configuration(instance, power, config, energy_budget)
+    if outcome is None:  # pragma: no cover - defensive
+        raise InfeasibleError("DP reconstruction produced an infeasible configuration")
+    blocks, makespan = outcome
+    speeds = np.empty(n)
+    for block in blocks:
+        speeds[block.first : block.last + 1] = block.speed
+    energy = float(sum(b.energy(power) for b in blocks))
+    return OracleResult(
+        makespan=float(makespan),
+        speeds=speeds,
+        configuration=config,
+        energy=energy,
+    )

@@ -1,0 +1,115 @@
+"""The server problem for uniprocessor makespan: minimum energy for a deadline.
+
+The paper frames power-aware scheduling as a bicriteria problem whose two
+natural single-criterion restrictions are the *laptop problem* (fix energy,
+minimise the metric -- solved by :func:`repro.makespan.incmerge.incmerge`)
+and the *server problem* (fix the metric, minimise energy).  For makespan the
+server problem asks: what is the least energy with which all jobs can finish
+by a common deadline ``T``?
+
+Two independent solvers are provided:
+
+* :func:`minimum_energy_for_makespan` inverts the non-dominated frontier of
+  Section 3.2 (each segment is strictly decreasing in energy, so the inverse
+  is computed in closed form for ``power = speed**alpha`` and by bracketed
+  root finding otherwise).
+* :func:`minimum_energy_for_makespan_direct` evaluates the final-block
+  configuration directly without constructing the whole curve: for a target
+  ``T`` it walks the same cascade of configurations and picks the one whose
+  validity interval contains ``T``.
+
+Both agree with the YDS common-deadline baseline in
+:mod:`repro.makespan.baselines`; the test suite cross-checks all three.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.job import Instance
+from ..core.pareto import TradeoffCurve
+from ..core.power import PowerFunction
+from ..core.schedule import Schedule
+from ..exceptions import InfeasibleError
+from .frontier import FrontierSegmentInfo, makespan_frontier
+from .incmerge import incmerge
+
+__all__ = [
+    "minimum_energy_for_makespan",
+    "minimum_energy_for_makespan_direct",
+    "schedule_for_makespan",
+]
+
+
+def minimum_energy_for_makespan(
+    instance: Instance,
+    power: PowerFunction,
+    makespan_target: float,
+    frontier: TradeoffCurve | None = None,
+) -> float:
+    """Minimum energy needed to finish every job by ``makespan_target``.
+
+    A precomputed frontier (from :func:`repro.makespan.frontier.makespan_frontier`)
+    may be passed to amortise repeated queries.
+
+    Raises
+    ------
+    InfeasibleError
+        If the target precedes the last release time plus an infinitesimal
+        amount of processing (no finite-speed schedule can meet it).
+    """
+    _check_target(instance, makespan_target)
+    curve = frontier if frontier is not None else makespan_frontier(instance, power)
+    return curve.energy_for_value(float(makespan_target))
+
+
+def minimum_energy_for_makespan_direct(
+    instance: Instance,
+    power: PowerFunction,
+    makespan_target: float,
+) -> float:
+    """Frontier-free evaluation of the server problem.
+
+    Walks the configurations of the non-dominated curve from the high-energy
+    end downwards and, for each, computes the energy at which that
+    configuration achieves exactly ``makespan_target``.  The first
+    configuration for which the required final-block speed is at least the
+    speed of its predecessor (Lemma 6) is the optimal one.
+    """
+    _check_target(instance, makespan_target)
+    curve = makespan_frontier(instance, power)
+    target = float(makespan_target)
+    for segment in curve.segments:
+        info: FrontierSegmentInfo = segment.payload
+        duration = target - info.final_start_time
+        if duration <= 0.0:
+            continue
+        speed = info.final_work / duration
+        energy = info.fixed_energy + power.energy(info.final_work, speed)
+        if segment.energy_lo - 1e-9 <= energy <= segment.energy_hi * (1 + 1e-12) + 1e-9:
+            return float(energy)
+    raise InfeasibleError(
+        f"no configuration achieves makespan {makespan_target:g}; the target is "
+        "below the infimum achievable with finite energy"
+    )
+
+
+def schedule_for_makespan(
+    instance: Instance,
+    power: PowerFunction,
+    makespan_target: float,
+) -> Schedule:
+    """The minimum-energy schedule meeting ``makespan_target`` (server optimum)."""
+    energy = minimum_energy_for_makespan(instance, power, makespan_target)
+    return incmerge(instance, power, energy).schedule()
+
+
+def _check_target(instance: Instance, makespan_target: float) -> None:
+    if not math.isfinite(makespan_target):
+        raise InfeasibleError(f"makespan target must be finite, got {makespan_target!r}")
+    if makespan_target <= instance.last_release:
+        raise InfeasibleError(
+            f"makespan target {makespan_target:g} does not exceed the last release "
+            f"time {instance.last_release:g}; the final job cannot finish in time "
+            "at any finite speed"
+        )

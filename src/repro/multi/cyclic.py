@@ -1,0 +1,79 @@
+"""Cyclic assignment of equal-work jobs to processors (Theorem 10).
+
+Theorem 10 of the paper: for equal-work jobs and any *symmetric,
+non-decreasing* scheduling metric, some optimal multiprocessor schedule
+distributes the jobs in cyclic order -- job ``J_i`` (1-based) runs on
+processor ``(i mod m) + 1``.  With zero-based indices (ours), job ``i`` runs
+on processor ``i mod m``.
+
+This module provides the assignment itself, a validity check for the metric
+preconditions, and helpers to slice an instance into the per-processor
+sub-instances that the uniprocessor algorithms are then applied to
+(Section 5's "slight modifications of IncMerge ... once the assignment of
+jobs to processors is known").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.job import Instance
+from ..core.metrics import Metric
+from ..exceptions import InvalidInstanceError
+
+__all__ = ["cyclic_assignment", "assignment_to_subinstances", "check_cyclic_preconditions"]
+
+
+def cyclic_assignment(n_jobs: int, n_processors: int) -> dict[int, list[int]]:
+    """Distribute jobs ``0..n_jobs-1`` cyclically over ``n_processors``.
+
+    Returns a mapping ``processor -> ordered list of job indices``; the order
+    within each processor is increasing job index, i.e. release order.
+    """
+    if n_jobs <= 0:
+        raise InvalidInstanceError(f"n_jobs must be > 0, got {n_jobs}")
+    if n_processors <= 0:
+        raise InvalidInstanceError(f"n_processors must be > 0, got {n_processors}")
+    assignment: dict[int, list[int]] = {p: [] for p in range(n_processors)}
+    for job in range(n_jobs):
+        assignment[job % n_processors].append(job)
+    return assignment
+
+
+def assignment_to_subinstances(
+    instance: Instance, assignment: dict[int, list[int]]
+) -> dict[int, Instance]:
+    """Slice an instance into per-processor sub-instances.
+
+    Empty processors are omitted from the result (a processor with no jobs
+    contributes nothing to either the metric or the energy).
+    """
+    seen: set[int] = set()
+    result: dict[int, Instance] = {}
+    for proc, jobs in assignment.items():
+        if not jobs:
+            continue
+        overlap = seen.intersection(jobs)
+        if overlap:
+            raise InvalidInstanceError(f"jobs assigned to multiple processors: {sorted(overlap)}")
+        seen.update(jobs)
+        result[proc] = instance.subset(jobs, name=f"{instance.name}[proc{proc}]")
+    if seen != set(range(instance.n_jobs)):
+        missing = sorted(set(range(instance.n_jobs)) - seen)
+        raise InvalidInstanceError(f"jobs not assigned to any processor: {missing}")
+    return result
+
+
+def check_cyclic_preconditions(instance: Instance, metric: Metric) -> None:
+    """Raise unless Theorem 10's preconditions hold (equal work, symmetric non-decreasing metric)."""
+    if not instance.is_equal_work():
+        raise InvalidInstanceError(
+            "Theorem 10 (cyclic assignment optimality) requires equal-work jobs; "
+            "for unequal work the problem is NP-hard (Theorem 11) -- use "
+            "repro.multi.exact or repro.multi.heuristics instead"
+        )
+    if not metric.supports_cyclic_theorem():
+        raise InvalidInstanceError(
+            f"metric {metric.name!r} is not symmetric and non-decreasing, so "
+            "Theorem 10 does not apply"
+        )

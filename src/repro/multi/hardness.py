@@ -1,0 +1,159 @@
+"""Theorem 11: NP-hardness of multiprocessor makespan via reduction from Partition.
+
+The reduction: given a multiset ``A = {a_1, ..., a_n}`` with sum ``B`` (even),
+create a job ``J_i`` with ``r_i = 0`` and ``w_i = a_i`` for each element, ask
+for a 2-processor schedule with makespan ``B/2`` using an energy budget that
+lets total work ``B`` run at speed 1 (i.e. ``E = sum_i a_i * 1**(alpha-1) = B``
+for ``power = speed**alpha``).  A perfect partition exists iff such a schedule
+exists: convexity forces every job to run at speed exactly 1, so the work must
+split evenly between the processors.
+
+This module implements the forward reduction, the backward extraction of a
+partition from a schedule, and a decision procedure that answers Partition by
+calling any multiprocessor makespan solver (the exact solver from
+:mod:`repro.multi.exact` by default).  The benchmark ``bench_partition_hardness``
+uses it to show that yes-instances and no-instances of Partition are separated
+by the achievable makespan, which is the operational content of Theorem 11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.job import Instance
+from ..core.power import PowerFunction, PolynomialPower
+from ..core.schedule import Schedule
+from ..exceptions import InvalidInstanceError
+
+__all__ = [
+    "PartitionReduction",
+    "partition_to_scheduling",
+    "partition_from_schedule",
+    "decide_partition_via_scheduling",
+    "has_perfect_partition_dp",
+]
+
+
+@dataclass(frozen=True)
+class PartitionReduction:
+    """The scheduling instance produced from a Partition instance."""
+
+    elements: tuple[float, ...]
+    instance: Instance
+    n_processors: int
+    energy_budget: float
+    makespan_target: float
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.elements))
+
+
+def partition_to_scheduling(
+    elements: Sequence[float],
+    power: PowerFunction | None = None,
+) -> PartitionReduction:
+    """Build the Theorem 11 scheduling instance from a Partition multiset."""
+    elements = tuple(float(a) for a in elements)
+    if not elements:
+        raise InvalidInstanceError("Partition requires at least one element")
+    if any(a <= 0 or not math.isfinite(a) for a in elements):
+        raise InvalidInstanceError("Partition elements must be finite and positive")
+    power = power if power is not None else PolynomialPower(3.0)
+    total = float(sum(elements))
+    instance = Instance.from_arrays(
+        releases=[0.0] * len(elements),
+        works=list(elements),
+        name="partition-reduction",
+    )
+    # energy that lets total work `total` run at speed 1
+    energy = sum(power.energy(a, 1.0) for a in elements)
+    return PartitionReduction(
+        elements=elements,
+        instance=instance,
+        n_processors=2,
+        energy_budget=float(energy),
+        makespan_target=total / 2.0,
+    )
+
+
+def partition_from_schedule(
+    reduction: PartitionReduction, schedule: Schedule, rtol: float = 1e-6
+) -> tuple[list[int], list[int]] | None:
+    """Extract a perfect partition from a schedule meeting the reduction's targets.
+
+    Returns the two index sets if the schedule certifies a perfect partition
+    (makespan within tolerance of ``B/2``, energy within tolerance of the
+    budget), else ``None``.
+    """
+    makespan_ok = schedule.makespan <= reduction.makespan_target * (1.0 + rtol)
+    energy_ok = schedule.energy <= reduction.energy_budget * (1.0 + rtol)
+    if not (makespan_ok and energy_ok):
+        return None
+    sides: dict[int, list[int]] = {}
+    for piece in schedule.pieces:
+        sides.setdefault(piece.processor, []).append(piece.job)
+    procs = sorted(sides)
+    if len(procs) == 1:
+        first, second = sides[procs[0]], []
+    else:
+        first, second = sides[procs[0]], sides[procs[1]]
+    first = sorted(set(first))
+    second = sorted(set(second))
+    load_first = sum(reduction.elements[i] for i in first)
+    if not math.isclose(load_first, reduction.total / 2.0, rel_tol=rtol, abs_tol=1e-9):
+        return None
+    return first, second
+
+
+def has_perfect_partition_dp(elements: Sequence[int]) -> bool:
+    """Classical pseudo-polynomial DP for Partition (integer elements).
+
+    Used as the ground-truth oracle when benchmarking the reduction: the
+    scheduling-based decision procedure must agree with this on every
+    instance.
+    """
+    values = [int(a) for a in elements]
+    if any(a <= 0 for a in values):
+        raise InvalidInstanceError("Partition elements must be positive integers")
+    total = sum(values)
+    if total % 2 != 0:
+        return False
+    target = total // 2
+    reachable = np.zeros(target + 1, dtype=bool)
+    reachable[0] = True
+    for value in values:
+        if value <= target:
+            reachable[value:] = reachable[value:] | reachable[:-value]
+    return bool(reachable[target])
+
+
+def decide_partition_via_scheduling(
+    elements: Sequence[float],
+    power: PowerFunction | None = None,
+    solver=None,
+    rtol: float = 1e-6,
+) -> bool:
+    """Decide Partition by solving the Theorem 11 scheduling instance.
+
+    ``solver`` must map ``(instance, power, n_processors, energy_budget)`` to
+    an object with a ``makespan`` attribute (the exact assignment-search
+    solver from :mod:`repro.multi.exact` by default).  The answer is "yes" iff
+    the optimal makespan meets ``B/2`` within relative tolerance ``rtol``.
+    """
+    from .exact import exact_multiprocessor_makespan  # local import, avoids a cycle
+
+    power = power if power is not None else PolynomialPower(3.0)
+    reduction = partition_to_scheduling(elements, power)
+    solve = solver if solver is not None else exact_multiprocessor_makespan
+    result = solve(
+        reduction.instance,
+        power,
+        reduction.n_processors,
+        reduction.energy_budget,
+    )
+    return result.makespan <= reduction.makespan_target * (1.0 + rtol)

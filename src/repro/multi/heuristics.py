@@ -1,0 +1,91 @@
+"""Assignment heuristics for multiprocessor makespan with unequal work.
+
+Theorem 11 makes the general problem NP-hard, so practical instances need
+heuristic assignments; once the assignment is fixed, the solver in
+:mod:`repro.multi.assigned` computes the optimal speeds for it exactly.  Two
+classic strategies are provided:
+
+* :func:`lpt_assignment` -- Longest Processing Time first (by work), each job
+  going to the currently least-loaded processor.  For all-zero releases the
+  resulting makespan is governed by the loads' ``L_alpha`` norm, so this is
+  the natural heuristic the paper's PTAS remark refines.
+* :func:`greedy_release_assignment` -- jobs in release order, each placed on
+  the processor whose assigned work so far is smallest (ties to the lowest
+  index).  Suited to instances whose releases are spread out.
+
+The benchmark ``bench_partition_hardness`` compares both against the exact
+exponential search to measure the optimality gap on hard (Partition-style)
+and easy (random) instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..exceptions import InvalidInstanceError
+from .assigned import AssignedMakespanResult, makespan_for_assignment
+from .exact import makespan_for_loads
+
+__all__ = [
+    "lpt_assignment",
+    "greedy_release_assignment",
+    "heuristic_multiprocessor_makespan",
+]
+
+
+def lpt_assignment(instance: Instance, n_processors: int) -> dict[int, list[int]]:
+    """Longest-Processing-Time-first assignment (by work) to the least-loaded processor."""
+    if n_processors <= 0:
+        raise InvalidInstanceError("n_processors must be positive")
+    order = sorted(range(instance.n_jobs), key=lambda j: -instance.works[j])
+    loads = np.zeros(n_processors)
+    assignment: dict[int, list[int]] = {p: [] for p in range(n_processors)}
+    for job in order:
+        proc = int(np.argmin(loads))
+        assignment[proc].append(job)
+        loads[proc] += instance.works[job]
+    for proc in assignment:
+        assignment[proc].sort()
+    return {p: jobs for p, jobs in assignment.items() if jobs}
+
+
+def greedy_release_assignment(instance: Instance, n_processors: int) -> dict[int, list[int]]:
+    """Release-order greedy assignment to the processor with the least work so far."""
+    if n_processors <= 0:
+        raise InvalidInstanceError("n_processors must be positive")
+    loads = np.zeros(n_processors)
+    assignment: dict[int, list[int]] = {p: [] for p in range(n_processors)}
+    for job in range(instance.n_jobs):
+        proc = int(np.argmin(loads))
+        assignment[proc].append(job)
+        loads[proc] += instance.works[job]
+    return {p: jobs for p, jobs in assignment.items() if jobs}
+
+
+def heuristic_multiprocessor_makespan(
+    instance: Instance,
+    power: PowerFunction,
+    n_processors: int,
+    energy_budget: float,
+    strategy: str | Callable[[Instance, int], dict[int, list[int]]] = "lpt",
+) -> AssignedMakespanResult:
+    """Heuristic multiprocessor makespan: pick an assignment, then solve it exactly.
+
+    ``strategy`` is ``"lpt"``, ``"greedy-release"`` or a callable mapping
+    ``(instance, n_processors)`` to an assignment dictionary.
+    """
+    if callable(strategy):
+        assignment = strategy(instance, n_processors)
+    elif strategy == "lpt":
+        assignment = lpt_assignment(instance, n_processors)
+    elif strategy == "greedy-release":
+        assignment = greedy_release_assignment(instance, n_processors)
+    else:
+        raise InvalidInstanceError(
+            f"unknown strategy {strategy!r}; expected 'lpt', 'greedy-release' or a callable"
+        )
+    return makespan_for_assignment(instance, power, assignment, energy_budget)

@@ -1,0 +1,68 @@
+"""Exact multiprocessor makespan for equal-work jobs (Theorem 10 + Section 5).
+
+The combination proved optimal by the paper:
+
+1. assign jobs to processors in cyclic order (Theorem 10 -- optimal for any
+   symmetric non-decreasing metric, in particular makespan),
+2. with the assignment fixed, all processors finish at the same time in a
+   non-dominated schedule, so the optimal common finish time solves
+   ``sum_p E_p(T) = E`` (handled by :mod:`repro.multi.assigned`).
+
+The front-end functions here check the equal-work precondition, perform the
+cyclic assignment, delegate, and also expose the laptop/server pair
+(makespan for an energy budget / energy for a makespan target).
+"""
+
+from __future__ import annotations
+
+from ..core.job import Instance
+from ..core.metrics import MAKESPAN
+from ..core.power import PowerFunction
+from ..core.schedule import Schedule
+from .assigned import (
+    AssignedMakespanResult,
+    energy_for_assignment_makespan,
+    makespan_for_assignment,
+)
+from .cyclic import check_cyclic_preconditions, cyclic_assignment
+
+__all__ = [
+    "multiprocessor_makespan_equal_work",
+    "multiprocessor_energy_for_makespan_equal_work",
+    "multiprocessor_makespan_schedule",
+]
+
+
+def multiprocessor_makespan_equal_work(
+    instance: Instance,
+    power: PowerFunction,
+    n_processors: int,
+    energy_budget: float,
+) -> AssignedMakespanResult:
+    """Minimum makespan of equal-work jobs on ``n_processors`` with a shared budget."""
+    check_cyclic_preconditions(instance, MAKESPAN)
+    assignment = cyclic_assignment(instance.n_jobs, n_processors)
+    return makespan_for_assignment(instance, power, assignment, energy_budget)
+
+
+def multiprocessor_energy_for_makespan_equal_work(
+    instance: Instance,
+    power: PowerFunction,
+    n_processors: int,
+    makespan_target: float,
+) -> float:
+    """Minimum shared energy for equal-work jobs to all finish by ``makespan_target``."""
+    check_cyclic_preconditions(instance, MAKESPAN)
+    assignment = cyclic_assignment(instance.n_jobs, n_processors)
+    return energy_for_assignment_makespan(instance, power, assignment, makespan_target)
+
+
+def multiprocessor_makespan_schedule(
+    instance: Instance,
+    power: PowerFunction,
+    n_processors: int,
+    energy_budget: float,
+) -> Schedule:
+    """Materialised optimal multiprocessor makespan schedule (equal-work jobs)."""
+    result = multiprocessor_makespan_equal_work(instance, power, n_processors, energy_budget)
+    return result.schedule(instance, power)

@@ -1,0 +1,145 @@
+"""PTAS-style load balancing for zero-release multiprocessor makespan.
+
+The paper notes (after Theorem 11, citing Pruhs, van Stee and Uthaisombut and
+the approximation schemes of Alon et al.) that the special case in which all
+jobs arrive immediately admits a PTAS because minimising the makespan for an
+energy budget reduces to minimising the ``L_alpha`` norm of the processor
+loads.
+
+The scheme implemented here follows the classical "solve the big jobs exactly,
+fill in the small ones greedily" template:
+
+1. the ``k`` largest jobs are assigned by exhaustive search (exact for the
+   ``L_alpha`` objective restricted to them), where ``k`` grows as the
+   accuracy parameter ``epsilon`` shrinks,
+2. the remaining (small) jobs are added greedily to the currently
+   least-loaded processor.
+
+Every small job has work at most an ``epsilon``-fraction of the average load
+once ``k >= m/epsilon`` jobs are handled exactly, which bounds the imbalance
+the greedy phase can introduce; the returned makespan is within a
+``(1 + epsilon)``-style factor of optimal for the ``L_alpha`` objective and is
+compared against the exact solver in the benchmarks.  (We do not reproduce the
+full Alon et al. machinery -- rounding into work classes and ILP over
+configurations -- because the paper only gestures at it; the exhaustive+greedy
+scheme exposes the same accuracy/running-time trade-off knob.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..exceptions import InvalidInstanceError
+from .assigned import AssignedMakespanResult
+from .exact import assignment_candidates, makespan_for_loads
+
+__all__ = ["PTASResult", "ptas_zero_release_makespan"]
+
+
+@dataclass(frozen=True)
+class PTASResult:
+    """Outcome of the PTAS-style scheme."""
+
+    makespan: float
+    assignment: dict[int, list[int]]
+    loads: np.ndarray
+    n_exact_jobs: int
+    epsilon: float
+
+    def as_assigned_result(
+        self, instance: Instance, power: PowerFunction, energy_budget: float
+    ) -> AssignedMakespanResult:
+        """Convert to the common result type (constant per-processor speeds)."""
+        speeds = np.empty(instance.n_jobs)
+        per_proc_energy: dict[int, float] = {}
+        for proc, jobs in self.assignment.items():
+            load = float(sum(instance.works[j] for j in jobs))
+            speed = load / self.makespan
+            for j in jobs:
+                speeds[j] = speed
+            per_proc_energy[proc] = power.energy(load, speed)
+        return AssignedMakespanResult(
+            makespan=self.makespan,
+            energy=float(sum(per_proc_energy.values())),
+            assignment=self.assignment,
+            speeds=speeds,
+            per_processor_energy=per_proc_energy,
+        )
+
+
+def ptas_zero_release_makespan(
+    instance: Instance,
+    power: PowerFunction,
+    n_processors: int,
+    energy_budget: float,
+    epsilon: float = 0.2,
+    max_exact_jobs: int = 12,
+) -> PTASResult:
+    """Approximate multiprocessor makespan for zero-release jobs.
+
+    Parameters
+    ----------
+    epsilon:
+        Accuracy knob; smaller values handle more jobs exactly.  The number of
+        exactly-assigned jobs is ``min(n, max_exact_jobs, ceil(m / epsilon))``.
+    max_exact_jobs:
+        Hard cap on the exhaustive phase so running time stays bounded
+        regardless of ``epsilon``.
+    """
+    if not instance.all_released_at_zero():
+        raise InvalidInstanceError("the PTAS applies to instances with all releases at zero")
+    if not 0.0 < epsilon <= 1.0:
+        raise InvalidInstanceError(f"epsilon must lie in (0, 1], got {epsilon}")
+    if n_processors <= 0:
+        raise InvalidInstanceError("n_processors must be positive")
+
+    works = instance.works
+    n = instance.n_jobs
+    order = sorted(range(n), key=lambda j: -works[j])
+    k = min(n, max_exact_jobs, int(math.ceil(n_processors / epsilon)))
+    big, small = order[:k], order[k:]
+
+    alpha = power.alpha if power.is_polynomial else 3.0
+
+    # Phase 1: exact assignment of the big jobs for the L_alpha objective.
+    best_value = math.inf
+    best_loads: np.ndarray | None = None
+    best_map: dict[int, list[int]] | None = None
+    for candidate in assignment_candidates(len(big), n_processors):
+        loads = np.zeros(n_processors)
+        mapping: dict[int, list[int]] = {p: [] for p in range(n_processors)}
+        for local, proc in enumerate(candidate):
+            job = big[local]
+            loads[proc] += works[job]
+            mapping[proc].append(job)
+        value = float(np.sum(loads[loads > 0.0] ** alpha))
+        if value < best_value - 1e-15:
+            best_value = value
+            best_loads = loads.copy()
+            best_map = {p: list(jobs) for p, jobs in mapping.items()}
+    assert best_loads is not None and best_map is not None
+
+    # Phase 2: greedy placement of the small jobs.
+    loads = best_loads
+    mapping = best_map
+    for job in small:
+        proc = int(np.argmin(loads))
+        loads[proc] += works[job]
+        mapping.setdefault(proc, []).append(job)
+
+    mapping = {p: sorted(jobs) for p, jobs in mapping.items() if jobs}
+    makespan = makespan_for_loads(
+        [float(l) for l in loads if l > 0.0], power, energy_budget
+    )
+    return PTASResult(
+        makespan=float(makespan),
+        assignment=mapping,
+        loads=loads,
+        n_exact_jobs=k,
+        epsilon=float(epsilon),
+    )

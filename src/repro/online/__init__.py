@@ -1,0 +1,38 @@
+"""Deadline-based speed scaling: the YDS substrate and the online algorithms.
+
+The paper's primary results are offline; its related-work and future-work
+sections lean on the deadline-feasibility model of Yao, Demers and Shenker.
+This subpackage provides:
+
+* :mod:`~repro.online.yds` -- the optimal offline algorithm (used as a
+  baseline/oracle for the makespan server problem and as OA's planner),
+* :mod:`~repro.online.avr` -- Average Rate,
+* :mod:`~repro.online.oa` -- Optimal Available,
+* :mod:`~repro.online.bkp` -- the Bansal-Kimbrel-Pruhs algorithm,
+* :mod:`~repro.online.executor` -- EDF execution of speed profiles.
+
+The online algorithms are *extension* experiments: the paper lists online
+power-aware scheduling as future work and cites these algorithms; the
+benchmark ``bench_online_competitive`` measures their empirical energy ratios
+against YDS.
+"""
+
+from .avr import avr_schedule, avr_speed_profile
+from .bkp import bkp_schedule, bkp_speed_at, bkp_speed_profile
+from .executor import execute_profile_edf
+from .oa import oa_schedule
+from .yds import YDSResult, edf_schedule_at_speeds, yds_schedule, yds_speeds
+
+__all__ = [
+    "avr_schedule",
+    "avr_speed_profile",
+    "bkp_schedule",
+    "bkp_speed_at",
+    "bkp_speed_profile",
+    "execute_profile_edf",
+    "oa_schedule",
+    "YDSResult",
+    "edf_schedule_at_speeds",
+    "yds_schedule",
+    "yds_speeds",
+]

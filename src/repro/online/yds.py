@@ -1,0 +1,192 @@
+"""Yao-Demers-Shenker (YDS) optimal speed scaling for jobs with deadlines.
+
+The paper's related-work section (and much of the follow-up literature it
+cites) is built on the deadline-feasibility model of Yao, Demers and Shenker:
+every job has a release time and a deadline, and the goal is the
+minimum-energy schedule meeting every deadline.  This package implements YDS
+because it serves three roles in the reproduction:
+
+* it is the optimal *offline* baseline against which the online algorithms
+  (AVR, OA, BKP -- Section 2 / Section 6 of the paper) are measured,
+* with a common deadline equal to a makespan target it solves the makespan
+  *server problem*, giving an oracle for Section 3 that shares no code with
+  IncMerge (:func:`repro.makespan.baselines.server_energy_via_yds`),
+* it is the planning subroutine inside Optimal Available (OA).
+
+Algorithm (classic): repeatedly find the *critical interval* -- the interval
+``[t1, t2]`` maximising the intensity ``w(t1, t2) / (t2 - t1)``, where
+``w(t1, t2)`` sums the work of jobs whose entire ``[release, deadline]``
+window lies inside ``[t1, t2]`` -- run those jobs at exactly that speed in
+EDF order, remove them, collapse the interval, and recurse.  The returned
+per-job speeds are then realised as an explicit schedule by an EDF
+simulation, which the tests validate against every deadline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..core.schedule import Piece, Schedule
+from ..exceptions import InfeasibleError, InvalidInstanceError
+
+__all__ = ["YDSResult", "yds_speeds", "yds_schedule", "edf_schedule_at_speeds"]
+
+
+@dataclass(frozen=True)
+class YDSResult:
+    """Per-job speeds chosen by YDS, plus the critical intervals found."""
+
+    speeds: np.ndarray
+    critical_intervals: tuple[tuple[float, float, float], ...]  # (t1, t2, intensity)
+
+
+def _require_deadlines(instance: Instance) -> None:
+    if not instance.has_deadlines():
+        raise InvalidInstanceError(
+            "YDS requires every job to carry a finite deadline; attach them with "
+            "Instance.with_deadlines()"
+        )
+
+
+def yds_speeds(instance: Instance) -> YDSResult:
+    """Compute the YDS speed of every job (independent of the power function).
+
+    The optimal speeds depend only on the releases, deadlines and works; the
+    power function matters only when converting the schedule to energy.
+    """
+    _require_deadlines(instance)
+    remaining: list[tuple[int, float, float, float]] = [
+        (job.index, job.release, float(job.deadline), job.work)  # type: ignore[arg-type]
+        for job in instance.jobs
+    ]
+    speeds = np.zeros(instance.n_jobs)
+    intervals: list[tuple[float, float, float]] = []
+
+    while remaining:
+        releases = sorted({r for _, r, _, _ in remaining})
+        deadlines = sorted({d for _, _, d, _ in remaining})
+        best_intensity = -1.0
+        best_pair: tuple[float, float] | None = None
+        best_set: list[int] = []
+        for t1 in releases:
+            for t2 in deadlines:
+                if t2 <= t1:
+                    continue
+                members = [idx for idx, (jid, r, d, w) in enumerate(remaining) if r >= t1 and d <= t2]
+                if not members:
+                    continue
+                work = sum(remaining[i][3] for i in members)
+                intensity = work / (t2 - t1)
+                if intensity > best_intensity + 1e-15:
+                    best_intensity = intensity
+                    best_pair = (t1, t2)
+                    best_set = members
+        if best_pair is None:  # pragma: no cover - defensive
+            raise InfeasibleError("YDS failed to find a critical interval")
+        t1, t2 = best_pair
+        intervals.append((t1, t2, best_intensity))
+        removed_ids = set()
+        for i in best_set:
+            jid = remaining[i][0]
+            speeds[jid] = best_intensity
+            removed_ids.add(jid)
+        length = t2 - t1
+        new_remaining = []
+        for jid, r, d, w in remaining:
+            if jid in removed_ids:
+                continue
+            if r >= t2:
+                r -= length
+            elif r > t1:
+                r = t1
+            if d >= t2:
+                d -= length
+            elif d > t1:
+                d = t1
+            new_remaining.append((jid, r, d, w))
+        remaining = new_remaining
+
+    return YDSResult(speeds=speeds, critical_intervals=tuple(intervals))
+
+
+def edf_schedule_at_speeds(
+    instance: Instance,
+    power: PowerFunction,
+    speeds: np.ndarray,
+) -> Schedule:
+    """Realise per-job speeds as an EDF (earliest-deadline-first) schedule.
+
+    At every instant the released, unfinished job with the earliest deadline
+    runs at *its own* assigned speed.  This reconstructs the YDS optimal
+    schedule from its speed assignment and is also reused to execute other
+    per-job speed assignments (e.g. quantised ones) under EDF.
+    """
+    _require_deadlines(instance)
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.shape != (instance.n_jobs,):
+        raise InvalidInstanceError("need one speed per job")
+    if np.any(speeds <= 0.0) or np.any(~np.isfinite(speeds)):
+        raise InvalidInstanceError("speeds must be finite and positive")
+
+    remaining = instance.works.astype(float).copy()
+    releases = instance.releases
+    deadlines = instance.deadlines
+    pieces: list[Piece] = []
+    t = float(releases.min())
+    active_piece: dict | None = None
+    # event-driven simulation: the state changes only at releases and
+    # completions, so we can jump between those.
+    for _ in range(10 * instance.n_jobs * (instance.n_jobs + 1) + 10):
+        unfinished = np.where(remaining > 1e-12)[0]
+        if len(unfinished) == 0:
+            break
+        available = unfinished[releases[unfinished] <= t + 1e-12]
+        if len(available) == 0:
+            t = float(releases[unfinished].min())
+            continue
+        job = int(available[np.argmin(deadlines[available])])
+        speed = float(speeds[job])
+        finish_time = t + remaining[job] / speed
+        future = unfinished[releases[unfinished] > t + 1e-12]
+        next_release = float(releases[future].min()) if len(future) else math.inf
+        end = min(finish_time, next_release)
+        if end > t + 1e-15:
+            pieces.append(Piece(job=job, processor=0, start=t, end=end, speed=speed))
+            remaining[job] -= speed * (end - t)
+        t = end
+    else:  # pragma: no cover - defensive
+        raise InfeasibleError("EDF simulation did not terminate")
+    return Schedule(instance, power, _merge_adjacent(pieces))
+
+
+def _merge_adjacent(pieces: list[Piece]) -> list[Piece]:
+    """Merge consecutive pieces of the same job at the same speed."""
+    merged: list[Piece] = []
+    for piece in pieces:
+        if (
+            merged
+            and merged[-1].job == piece.job
+            and math.isclose(merged[-1].end, piece.start, abs_tol=1e-12)
+            and math.isclose(merged[-1].speed, piece.speed, rel_tol=1e-12)
+        ):
+            merged[-1] = Piece(
+                job=piece.job,
+                processor=piece.processor,
+                start=merged[-1].start,
+                end=piece.end,
+                speed=piece.speed,
+            )
+        else:
+            merged.append(piece)
+    return merged
+
+
+def yds_schedule(instance: Instance, power: PowerFunction) -> Schedule:
+    """The full YDS minimum-energy schedule meeting every deadline."""
+    result = yds_speeds(instance)
+    return edf_schedule_at_speeds(instance, power, result.speeds)

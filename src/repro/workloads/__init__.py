@@ -1,0 +1,37 @@
+"""Workloads: the paper's concrete instances plus seeded synthetic generators."""
+
+from .generators import (
+    bursty_instance,
+    deadline_instance,
+    equal_work_instance,
+    partition_elements,
+    poisson_instance,
+    zero_release_instance,
+)
+from .paper_instances import (
+    FIGURE1_BREAKPOINTS,
+    FIGURE1_ENERGY_RANGE,
+    THEOREM8_ENERGY_BUDGET,
+    figure1_instance,
+    figure1_power,
+    theorem8_instance,
+    theorem8_power,
+    theorem11_example_elements,
+)
+
+__all__ = [
+    "bursty_instance",
+    "deadline_instance",
+    "equal_work_instance",
+    "partition_elements",
+    "poisson_instance",
+    "zero_release_instance",
+    "FIGURE1_BREAKPOINTS",
+    "FIGURE1_ENERGY_RANGE",
+    "THEOREM8_ENERGY_BUDGET",
+    "figure1_instance",
+    "figure1_power",
+    "theorem8_instance",
+    "theorem8_power",
+    "theorem11_example_elements",
+]

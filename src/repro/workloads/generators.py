@@ -1,0 +1,215 @@
+"""Synthetic workload generators.
+
+The paper is a theory paper and reports no traces, so its figures use tiny
+hand-constructed instances (provided in :mod:`repro.workloads.paper_instances`).
+The benchmarks additionally need families of synthetic instances to measure
+scaling behaviour, approximation gaps and online/offline energy ratios; this
+module provides deterministic (seeded) generators for them:
+
+* :func:`poisson_instance` -- exponential inter-arrival times, configurable
+  work distribution (uniform / exponential / Pareto-heavy-tailed),
+* :func:`bursty_instance` -- arrivals clustered into bursts separated by
+  quiet gaps, the regime where the block structure of Section 3 is rich,
+* :func:`equal_work_instance` -- equal-work jobs with Poisson arrivals (the
+  model of the flow and multiprocessor results),
+* :func:`partition_elements` -- integer multisets for the Theorem 11
+  reduction, with a switch for planted yes-instances and no-instances,
+* :func:`deadline_instance` -- jobs with laxity-controlled deadlines for the
+  YDS/online extension experiments.
+
+All generators take an explicit ``seed`` and are pure functions of their
+arguments, so every benchmark run is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+import numpy as np
+
+from ..core.job import Instance
+from ..exceptions import InvalidInstanceError
+
+__all__ = [
+    "poisson_instance",
+    "bursty_instance",
+    "equal_work_instance",
+    "partition_elements",
+    "deadline_instance",
+    "zero_release_instance",
+]
+
+WorkDistribution = Literal["uniform", "exponential", "pareto"]
+
+
+def _draw_works(
+    rng: np.random.Generator, n: int, distribution: WorkDistribution, mean_work: float
+) -> np.ndarray:
+    if mean_work <= 0:
+        raise InvalidInstanceError("mean_work must be positive")
+    if distribution == "uniform":
+        works = rng.uniform(0.2 * mean_work, 1.8 * mean_work, n)
+    elif distribution == "exponential":
+        works = rng.exponential(mean_work, n)
+    elif distribution == "pareto":
+        # Pareto with shape 2.5 has a finite mean; rescale to the target mean.
+        shape = 2.5
+        raw = rng.pareto(shape, n) + 1.0
+        works = raw * mean_work * (shape - 1.0) / shape
+    else:  # pragma: no cover - guarded by Literal
+        raise InvalidInstanceError(f"unknown work distribution {distribution!r}")
+    return np.maximum(works, 1e-3 * mean_work)
+
+
+def poisson_instance(
+    n_jobs: int,
+    seed: int,
+    arrival_rate: float = 1.0,
+    mean_work: float = 1.0,
+    work_distribution: WorkDistribution = "uniform",
+    name: str | None = None,
+) -> Instance:
+    """Jobs with exponential inter-arrival times and configurable works."""
+    if n_jobs <= 0:
+        raise InvalidInstanceError("n_jobs must be positive")
+    if arrival_rate <= 0:
+        raise InvalidInstanceError("arrival_rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / arrival_rate, n_jobs)
+    releases = np.concatenate([[0.0], np.cumsum(gaps[:-1])])
+    works = _draw_works(rng, n_jobs, work_distribution, mean_work)
+    return Instance.from_arrays(
+        releases, works, name=name or f"poisson-n{n_jobs}-seed{seed}"
+    )
+
+
+def bursty_instance(
+    n_jobs: int,
+    seed: int,
+    burst_size: int = 4,
+    burst_span: float = 0.5,
+    gap: float = 5.0,
+    mean_work: float = 1.0,
+    work_distribution: WorkDistribution = "uniform",
+    name: str | None = None,
+) -> Instance:
+    """Jobs arriving in bursts: ``burst_size`` releases within ``burst_span``, then a quiet ``gap``."""
+    if n_jobs <= 0 or burst_size <= 0:
+        raise InvalidInstanceError("n_jobs and burst_size must be positive")
+    rng = np.random.default_rng(seed)
+    releases = []
+    t = 0.0
+    while len(releases) < n_jobs:
+        within = np.sort(rng.uniform(0.0, burst_span, burst_size))
+        for offset in within:
+            releases.append(t + offset)
+            if len(releases) == n_jobs:
+                break
+        t += gap
+    releases = np.array(releases)
+    releases -= releases[0]
+    works = _draw_works(rng, n_jobs, work_distribution, mean_work)
+    return Instance.from_arrays(
+        releases, works, name=name or f"bursty-n{n_jobs}-seed{seed}"
+    )
+
+
+def equal_work_instance(
+    n_jobs: int,
+    seed: int,
+    arrival_rate: float = 1.0,
+    work: float = 1.0,
+    name: str | None = None,
+) -> Instance:
+    """Equal-work jobs with Poisson arrivals (the Section 4/5 model)."""
+    if n_jobs <= 0:
+        raise InvalidInstanceError("n_jobs must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / arrival_rate, n_jobs)
+    releases = np.concatenate([[0.0], np.cumsum(gaps[:-1])])
+    return Instance.equal_work(
+        releases, work=work, name=name or f"equal-work-n{n_jobs}-seed{seed}"
+    )
+
+
+def zero_release_instance(
+    n_jobs: int,
+    seed: int,
+    mean_work: float = 1.0,
+    work_distribution: WorkDistribution = "uniform",
+    name: str | None = None,
+) -> Instance:
+    """Unequal-work jobs all released at time zero (the Theorem 11 regime)."""
+    rng = np.random.default_rng(seed)
+    works = _draw_works(rng, n_jobs, work_distribution, mean_work)
+    return Instance.from_arrays(
+        np.zeros(n_jobs), works, name=name or f"zero-release-n{n_jobs}-seed{seed}"
+    )
+
+
+def partition_elements(
+    n_elements: int,
+    seed: int,
+    max_value: int = 50,
+    planted_yes: bool = True,
+) -> list[int]:
+    """Integer multisets for the Partition reduction of Theorem 11.
+
+    With ``planted_yes`` the multiset is built as two halves of equal sum (so a
+    perfect partition certainly exists); otherwise elements are drawn at
+    random and the total is forced odd, so no perfect partition can exist.
+    """
+    if n_elements < 2:
+        raise InvalidInstanceError("need at least two elements")
+    rng = np.random.default_rng(seed)
+    if planted_yes:
+        half = [int(rng.integers(1, max_value + 1)) for _ in range(n_elements // 2)]
+        other = list(half)
+        if n_elements % 2 == 1:
+            # keep the sums equal by splitting one element into two halves
+            value = int(rng.integers(2, max_value + 1))
+            even = value if value % 2 == 0 else value + 1
+            half.append(even)
+            other.extend([even // 2, even // 2])
+            elements = half + other
+            elements = elements[:n_elements] if len(elements) > n_elements else elements
+            # fall back to an even-sized planted instance if trimming broke the plant
+            if sum(elements[: len(elements) // 2]) != sum(elements[len(elements) // 2:]):
+                return partition_elements(n_elements + 1, seed, max_value, planted_yes)
+            return elements
+        return half + other
+    elements = [int(rng.integers(1, max_value + 1)) for _ in range(n_elements)]
+    if sum(elements) % 2 == 0:
+        elements[0] += 1
+    return elements
+
+
+def deadline_instance(
+    n_jobs: int,
+    seed: int,
+    arrival_rate: float = 1.0,
+    mean_work: float = 1.0,
+    laxity: float = 3.0,
+    work_distribution: WorkDistribution = "uniform",
+    name: str | None = None,
+) -> Instance:
+    """Jobs with deadlines ``release + Uniform(0.5, 1.5) * laxity`` for the YDS/online experiments."""
+    if laxity <= 0:
+        raise InvalidInstanceError("laxity must be positive")
+    base = poisson_instance(
+        n_jobs,
+        seed,
+        arrival_rate=arrival_rate,
+        mean_work=mean_work,
+        work_distribution=work_distribution,
+    )
+    rng = np.random.default_rng(seed + 1)
+    slack = rng.uniform(0.5, 1.5, n_jobs) * laxity
+    deadlines = base.releases + slack
+    return Instance.from_arrays(
+        base.releases,
+        base.works,
+        deadlines=deadlines,
+        name=name or f"deadline-n{n_jobs}-seed{seed}",
+    )

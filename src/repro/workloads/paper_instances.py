@@ -1,0 +1,61 @@
+"""The concrete instances used in the paper's figures and proofs.
+
+* :func:`figure1_instance` -- the three-job instance of Figures 1-3:
+  ``r = (0, 5, 6)``, ``w = (5, 2, 1)``, ``power = speed**3``.  Its
+  non-dominated curve has configuration changes at energies 8 and 17.
+* :func:`theorem8_instance` -- the flow-hardness instance of Theorem 8:
+  three unit-work jobs released at ``(0, 0, 1)``, energy budget 9,
+  ``power = speed**3``.
+* :func:`theorem11_example_elements` -- a small Partition multiset used in the
+  examples and tests to exercise the Theorem 11 reduction end to end.
+"""
+
+from __future__ import annotations
+
+from ..core.job import Instance
+from ..core.power import PolynomialPower
+
+__all__ = [
+    "figure1_instance",
+    "figure1_power",
+    "FIGURE1_BREAKPOINTS",
+    "FIGURE1_ENERGY_RANGE",
+    "theorem8_instance",
+    "theorem8_power",
+    "THEOREM8_ENERGY_BUDGET",
+    "theorem11_example_elements",
+]
+
+#: Energies at which the Figure 1 instance changes block configuration.
+FIGURE1_BREAKPOINTS: tuple[float, float] = (8.0, 17.0)
+
+#: Energy axis range plotted in the paper's Figure 1 (6 to 21).
+FIGURE1_ENERGY_RANGE: tuple[float, float] = (6.0, 21.0)
+
+#: Energy budget analysed in Theorem 8.
+THEOREM8_ENERGY_BUDGET: float = 9.0
+
+
+def figure1_instance() -> Instance:
+    """The instance plotted in Figures 1-3 of the paper."""
+    return Instance.from_arrays([0.0, 5.0, 6.0], [5.0, 2.0, 1.0], name="figure1")
+
+
+def figure1_power() -> PolynomialPower:
+    """The power function used for Figures 1-3 (``power = speed**3``)."""
+    return PolynomialPower(3.0)
+
+
+def theorem8_instance() -> Instance:
+    """The equal-work instance of Theorem 8 (releases 0, 0, 1; unit work)."""
+    return Instance.from_arrays([0.0, 0.0, 1.0], [1.0, 1.0, 1.0], name="theorem8")
+
+
+def theorem8_power() -> PolynomialPower:
+    """The power function of Theorem 8 (``power = speed**3``)."""
+    return PolynomialPower(3.0)
+
+
+def theorem11_example_elements() -> list[int]:
+    """A small Partition yes-instance used to illustrate the Theorem 11 reduction."""
+    return [3, 1, 1, 2, 2, 1]

@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance, PolynomialPower
+from repro.workloads import figure1_instance, theorem8_instance
+
+
+@pytest.fixture
+def cube() -> PolynomialPower:
+    """The paper's ``power = speed**3`` function."""
+    return CUBE
+
+
+@pytest.fixture
+def fig1() -> Instance:
+    """The Figure 1-3 instance: r = (0, 5, 6), w = (5, 2, 1)."""
+    return figure1_instance()
+
+
+@pytest.fixture
+def thm8() -> Instance:
+    """The Theorem 8 instance: unit-work jobs released at (0, 0, 1)."""
+    return theorem8_instance()
+
+
+def random_instance(
+    rng: np.random.Generator,
+    n_max: int = 8,
+    horizon: float = 10.0,
+    equal_work: bool = False,
+) -> Instance:
+    """A small random instance for cross-checking algorithms against oracles."""
+    n = int(rng.integers(1, n_max + 1))
+    releases = np.sort(rng.uniform(0.0, horizon, n))
+    releases[0] = 0.0
+    if equal_work:
+        return Instance.equal_work(releases, work=float(rng.uniform(0.5, 2.0)))
+    works = rng.uniform(0.2, 3.0, n)
+    return Instance.from_arrays(releases, works)

@@ -1,0 +1,121 @@
+"""Tests for the analysis helpers (derivatives, breakpoints, tables, plots)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_plot,
+    detect_breakpoints,
+    find_crossover,
+    finite_difference,
+    format_table,
+    relative_error_summary,
+    sample_function,
+    second_finite_difference,
+    to_csv,
+    write_csv,
+)
+from repro.core import CUBE
+from repro.exceptions import InvalidInstanceError
+from repro.makespan import makespan_frontier
+from repro.workloads import figure1_instance
+
+
+class TestDerivatives:
+    def test_finite_difference_on_quadratic(self):
+        grid = np.linspace(0, 5, 200)
+        values = grid**2
+        deriv = finite_difference(grid, values)
+        assert np.allclose(deriv[1:-1], 2 * grid[1:-1], atol=1e-3)
+
+    def test_second_difference_on_cubic(self):
+        grid = np.linspace(1, 3, 400)
+        second = second_finite_difference(grid, grid**3)
+        assert np.allclose(second[5:-5], 6 * grid[5:-5], rtol=1e-2)
+
+    def test_numeric_matches_analytic_frontier_derivatives(self):
+        inst = figure1_instance()
+        curve = makespan_frontier(inst, CUBE)
+        grid = np.linspace(9.0, 16.0, 400)  # inside one configuration
+        values = curve.sample(grid)
+        numeric = finite_difference(grid, values)
+        analytic = curve.sample_derivative(grid)
+        assert np.allclose(numeric[2:-2], analytic[2:-2], rtol=1e-3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            finite_difference(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+    def test_sample_function(self):
+        values = sample_function(lambda x: 2 * x, [1, 2, 3])
+        assert values.tolist() == [2.0, 4.0, 6.0]
+
+
+class TestBreakpointDetection:
+    def test_recovers_figure1_breakpoints(self):
+        inst = figure1_instance()
+        curve = makespan_frontier(inst, CUBE)
+        grid = np.linspace(6.0, 21.0, 1500)
+        second = curve.sample_second_derivative(grid)
+        found = detect_breakpoints(grid, second)
+        assert len(found) >= 2
+        assert min(abs(b - 8.0) for b in found) < 0.1
+        assert min(abs(b - 17.0) for b in found) < 0.1
+
+    def test_no_breakpoints_on_smooth_curve(self):
+        grid = np.linspace(1, 10, 300)
+        second = 1.0 / grid  # smooth
+        assert detect_breakpoints(grid, second) == []
+
+
+class TestCrossover:
+    def test_linear_crossover(self):
+        grid = np.linspace(0, 10, 101)
+        a = 10 - grid
+        b = grid
+        crossover = find_crossover(grid, a, b)
+        assert crossover == pytest.approx(5.0, abs=1e-9)
+
+    def test_no_crossover(self):
+        grid = np.linspace(0, 10, 11)
+        assert find_crossover(grid, grid + 5, grid) is None
+
+
+class TestErrorSummary:
+    def test_summary(self):
+        grid = np.array([1.0, 2.0, 3.0])
+        reference = np.array([1.0, 2.0, 4.0])
+        candidate = np.array([1.0, 2.2, 4.0])
+        summary = relative_error_summary(grid, reference, candidate)
+        assert summary.max_relative_error == pytest.approx(0.1)
+        assert summary.argmax == 2.0
+
+
+class TestTablesAndPlots:
+    def test_format_table(self):
+        text = format_table(["x", "value"], [[1, 2.5], [10, 3.25]], title="demo")
+        assert "demo" in text
+        assert "value" in text
+        assert "3.25" in text
+
+    def test_format_table_mismatched_row(self):
+        with pytest.raises(InvalidInstanceError):
+            format_table(["a", "b"], [[1]])
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, "x,y"], [2, "z"]])
+        content = path.read_text()
+        assert content.splitlines()[0] == "a,b"
+        assert '"x,y"' in content
+        assert to_csv(["a"], [[1]]).strip() == "a\n1".strip()
+
+    def test_ascii_plot(self):
+        text = ascii_plot([0, 1, 2, 3], [0, 1, 4, 9], width=30, height=8, title="parabola")
+        assert "parabola" in text
+        assert "*" in text
+        with pytest.raises(InvalidInstanceError):
+            ascii_plot([], [])
+        with pytest.raises(InvalidInstanceError):
+            ascii_plot([1, 2], [1, 2], width=5, height=2)

@@ -1,0 +1,93 @@
+"""Tests for the makespan baselines (uniform speed, quadratic solver, YDS server)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance
+from repro.exceptions import BudgetError
+from repro.makespan import (
+    incmerge,
+    minimum_energy_for_makespan,
+    quadratic_laptop,
+    server_energy_via_yds,
+    uniform_speed_schedule,
+)
+
+
+class TestUniformSpeedBaseline:
+    def test_respects_budget(self, fig1, cube):
+        for energy in [4.0, 10.0, 25.0]:
+            sched = uniform_speed_schedule(fig1, cube, energy)
+            sched.validate(energy_budget=energy * (1 + 1e-9))
+            assert sched.energy == pytest.approx(energy, rel=1e-9)
+
+    def test_never_beats_incmerge(self, cube):
+        rng = np.random.default_rng(21)
+        for _ in range(10):
+            n = int(rng.integers(2, 8))
+            releases = np.sort(rng.uniform(0, 8, n))
+            releases[0] = 0.0
+            works = rng.uniform(0.3, 2.0, n)
+            inst = Instance.from_arrays(releases, works)
+            energy = float(rng.uniform(1.0, 30.0))
+            baseline = uniform_speed_schedule(inst, cube, energy).makespan
+            optimal = incmerge(inst, cube, energy).makespan
+            assert baseline >= optimal - 1e-9
+
+    def test_strictly_worse_when_releases_are_spread(self, fig1, cube):
+        # at a generous budget the uniform baseline wastes energy racing ahead
+        # of the later releases and then idling
+        baseline = uniform_speed_schedule(fig1, cube, 17.0).makespan
+        optimal = incmerge(fig1, cube, 17.0).makespan
+        assert baseline > optimal + 1e-6
+
+    def test_invalid_budget(self, fig1, cube):
+        with pytest.raises(BudgetError):
+            uniform_speed_schedule(fig1, cube, -1.0)
+
+
+class TestQuadraticBaseline:
+    def test_identical_output_to_incmerge(self, fig1, cube):
+        for energy in [5.0, 12.0, 21.0]:
+            quad = quadratic_laptop(fig1, cube, energy)
+            fast = incmerge(fig1, cube, energy)
+            assert quad.makespan == pytest.approx(fast.makespan)
+            assert np.allclose(quad.speeds, fast.speeds)
+
+    def test_random_agreement(self, cube):
+        rng = np.random.default_rng(22)
+        for _ in range(5):
+            n = int(rng.integers(1, 7))
+            releases = np.sort(rng.uniform(0, 5, n))
+            releases[0] = 0.0
+            inst = Instance.from_arrays(releases, rng.uniform(0.2, 2.0, n))
+            energy = float(rng.uniform(1.0, 20.0))
+            assert quadratic_laptop(inst, cube, energy).makespan == pytest.approx(
+                incmerge(inst, cube, energy).makespan
+            )
+
+
+class TestYDSServerBaseline:
+    def test_agrees_with_frontier_inversion(self, fig1, cube):
+        for target in [6.3, 6.5, 7.5, 9.0, 14.0]:
+            yds_energy = server_energy_via_yds(fig1, cube, target)
+            frontier_energy = minimum_energy_for_makespan(fig1, cube, target)
+            assert yds_energy == pytest.approx(frontier_energy, rel=1e-9)
+
+    def test_random_agreement(self, cube):
+        rng = np.random.default_rng(23)
+        for _ in range(8):
+            n = int(rng.integers(1, 7))
+            releases = np.sort(rng.uniform(0, 6, n))
+            releases[0] = 0.0
+            inst = Instance.from_arrays(releases, rng.uniform(0.3, 2.0, n))
+            target = float(inst.last_release + rng.uniform(0.5, 6.0))
+            assert server_energy_via_yds(inst, cube, target) == pytest.approx(
+                minimum_energy_for_makespan(inst, cube, target), rel=1e-7
+            )
+
+    def test_target_before_last_release_rejected(self, fig1, cube):
+        with pytest.raises(BudgetError):
+            server_energy_via_yds(fig1, cube, 5.0)

@@ -1,0 +1,112 @@
+"""Tests for the block machinery of Section 3."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Block,
+    BlockConfiguration,
+    CUBE,
+    Instance,
+    blocks_from_speeds,
+    evaluate_configuration,
+    fixed_block_speed,
+)
+from repro.exceptions import InvalidInstanceError
+
+
+class TestBlock:
+    def test_derived_quantities(self, cube):
+        block = Block(first=0, last=1, start_time=0.0, work=6.0, speed=2.0)
+        assert block.n_jobs == 2
+        assert block.duration == pytest.approx(3.0)
+        assert block.end_time == pytest.approx(3.0)
+        assert block.energy(cube) == pytest.approx(6.0 * 4.0)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidInstanceError):
+            Block(first=2, last=1, start_time=0.0, work=1.0, speed=1.0)
+        with pytest.raises(InvalidInstanceError):
+            Block(first=0, last=0, start_time=0.0, work=1.0, speed=0.0)
+
+
+class TestBlockConfiguration:
+    def test_ranges(self):
+        config = BlockConfiguration(boundaries=(0, 2, 4), n_jobs=5)
+        assert config.n_blocks == 3
+        assert config.block_ranges() == [(0, 1), (2, 3), (4, 4)]
+
+    def test_invalid_boundaries(self):
+        with pytest.raises(InvalidInstanceError):
+            BlockConfiguration(boundaries=(1, 2), n_jobs=3)
+        with pytest.raises(InvalidInstanceError):
+            BlockConfiguration(boundaries=(0, 5), n_jobs=3)
+        with pytest.raises(InvalidInstanceError):
+            BlockConfiguration(boundaries=(0, 2, 2), n_jobs=3)
+
+
+class TestFixedBlockSpeed:
+    def test_fig1_speeds(self, fig1):
+        # block {0}: 5 work over [0, 5] -> speed 1; block {1}: 2 work over [5, 6] -> 2
+        assert fixed_block_speed(fig1, 0, 0) == pytest.approx(1.0)
+        assert fixed_block_speed(fig1, 1, 1) == pytest.approx(2.0)
+        # merged block {0,1}: 7 work over [0, 6]
+        assert fixed_block_speed(fig1, 0, 1) == pytest.approx(7.0 / 6.0)
+
+    def test_final_block_rejected(self, fig1):
+        with pytest.raises(InvalidInstanceError):
+            fixed_block_speed(fig1, 0, 2)
+
+    def test_coincident_releases_give_infinity(self):
+        inst = Instance.from_arrays([0, 0, 1], [1, 1, 1])
+        assert math.isinf(fixed_block_speed(inst, 0, 0))
+
+
+class TestEvaluateConfiguration:
+    def test_fig1_three_blocks_at_energy_17(self, fig1, cube):
+        config = BlockConfiguration(boundaries=(0, 1, 2), n_jobs=3)
+        outcome = evaluate_configuration(fig1, cube, config, 17.0)
+        assert outcome is not None
+        blocks, makespan = outcome
+        # fixed blocks use 5 + 8 = 13 energy; last block gets 4 -> speed 2
+        assert makespan == pytest.approx(6.5)
+        assert blocks[-1].speed == pytest.approx(2.0)
+
+    def test_single_block_configuration(self, fig1, cube):
+        config = BlockConfiguration(boundaries=(0,), n_jobs=3)
+        outcome = evaluate_configuration(fig1, cube, config, 8.0)
+        assert outcome is not None
+        blocks, makespan = outcome
+        assert len(blocks) == 1
+        assert makespan == pytest.approx(8.0)  # 8 work at speed 1
+
+    def test_infeasible_when_budget_below_fixed_energy(self, fig1, cube):
+        config = BlockConfiguration(boundaries=(0, 1, 2), n_jobs=3)
+        # fixed blocks alone need 13
+        assert evaluate_configuration(fig1, cube, config, 12.0) is None
+
+    def test_inconsistent_block_rejected(self, cube):
+        # splitting {0} | {1,2} with releases 0, 1, 5: block (1,2) at its fixed
+        # speed finishes job 1 well before job 2's release -> not a valid block
+        inst = Instance.from_arrays([0.0, 1.0, 5.0], [1.0, 0.1, 1.0])
+        config = BlockConfiguration(boundaries=(0, 1), n_jobs=3)
+        outcome = evaluate_configuration(inst, cube, config, 100.0)
+        assert outcome is None
+
+
+class TestBlocksFromSpeeds:
+    def test_fig1_blocks_at_high_energy(self, fig1):
+        # speeds 1, 2, fast: three blocks
+        ranges = blocks_from_speeds(fig1, [1.0, 2.0, 4.0])
+        assert ranges == [(0, 0), (1, 1), (2, 2)]
+
+    def test_fig1_single_block_at_low_energy(self, fig1):
+        ranges = blocks_from_speeds(fig1, [0.9, 0.9, 0.9])
+        assert ranges == [(0, 2)]
+
+    def test_wrong_length(self, fig1):
+        with pytest.raises(InvalidInstanceError):
+            blocks_from_speeds(fig1, [1.0])

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import save_instance
+from repro.workloads import equal_work_instance, figure1_instance
+
+
+FIG1_ARGS = ["--releases", "0,5,6", "--works", "5,2,1"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_laptop_requires_energy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["laptop", *FIG1_ARGS])
+
+
+class TestLaptop:
+    def test_table_output(self, capsys):
+        assert main(["laptop", *FIG1_ARGS, "--energy", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal makespan 6.5" in out
+
+    def test_json_output(self, capsys):
+        assert main(["laptop", *FIG1_ARGS, "--energy", "17", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["makespan"] == pytest.approx(6.5)
+        assert payload["speeds"] == pytest.approx([1.0, 2.0, 2.0])
+
+    def test_instance_file(self, tmp_path, capsys):
+        path = save_instance(figure1_instance(), tmp_path / "fig1.json")
+        assert main(["laptop", "--instance", str(path), "--energy", "17", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["makespan"] == pytest.approx(6.5)
+
+    def test_missing_instance_spec_is_an_error(self, capsys):
+        assert main(["laptop", "--energy", "17"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServerAndFrontier:
+    def test_server(self, capsys):
+        assert main(["server", *FIG1_ARGS, "--makespan", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["minimum_energy"] == pytest.approx(8.0)
+
+    def test_frontier(self, capsys):
+        assert main([
+            "frontier", *FIG1_ARGS, "--min-energy", "6", "--max-energy", "21",
+            "--points", "5", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["breakpoints"] == pytest.approx([8.0, 17.0])
+        assert len(payload["samples"]) == 5
+
+
+class TestFlowAndMulti:
+    def test_flow(self, capsys, tmp_path):
+        inst = equal_work_instance(4, seed=1)
+        path = save_instance(inst, tmp_path / "eq.json")
+        assert main(["flow", "--instance", str(path), "--energy", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["energy"] <= 5.0 * (1 + 1e-6)
+        assert len(payload["speeds"]) == 4
+
+    def test_multi_makespan_and_flow(self, capsys, tmp_path):
+        inst = equal_work_instance(6, seed=2)
+        path = save_instance(inst, tmp_path / "eq.json")
+        for metric in ("makespan", "flow"):
+            code = main([
+                "multi", "--instance", str(path), "--energy", "8",
+                "--processors", "2", "--metric", metric, "--json",
+            ])
+            assert code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["metric"] == metric
+            assert payload["value"] > 0
+
+
+class TestFigures:
+    def test_figures_json(self, capsys):
+        assert main(["figures", "--points", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["breakpoints"] == pytest.approx([8.0, 17.0])
+        assert len(payload["samples"]) == 7
+
+    def test_figures_table(self, capsys):
+        assert main(["figures", "--points", "5"]) == 0
+        assert "2nd_derivative" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Tests for discrete speed levels and schedule quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE
+from repro.discrete import (
+    ATHLON64,
+    SpeedLevels,
+    geometric_levels,
+    quantize_schedule,
+    two_level_split,
+    uniform_levels,
+)
+from repro.exceptions import InvalidInstanceError, InvalidScheduleError
+from repro.makespan import incmerge
+from repro.workloads import figure1_instance, poisson_instance
+
+
+class TestSpeedLevels:
+    def test_sorted_and_deduplicated(self):
+        levels = SpeedLevels("x", (2.0, 1.0, 2.0))
+        assert levels.levels == (1.0, 2.0)
+        assert levels.min_speed == 1.0
+        assert levels.max_speed == 2.0
+
+    def test_bracket(self):
+        levels = SpeedLevels("x", (1.0, 2.0, 4.0))
+        assert levels.bracket(3.0) == (2.0, 4.0)
+        assert levels.bracket(2.0) == (2.0, 2.0)
+        assert levels.bracket(0.5) == (1.0, 1.0)
+        assert levels.bracket(9.0) == (4.0, 4.0)
+
+    def test_nearest(self):
+        levels = SpeedLevels("x", (1.0, 2.0, 4.0))
+        assert levels.nearest(2.9) == 2.0
+        assert levels.nearest(3.1) == 4.0
+
+    def test_athlon_from_paper(self):
+        assert len(ATHLON64) == 3
+        assert ATHLON64.max_speed == pytest.approx(1.0)
+        assert ATHLON64.min_speed == pytest.approx(0.4)
+
+    def test_generators(self):
+        assert uniform_levels(4).levels == (0.25, 0.5, 0.75, 1.0)
+        geo = geometric_levels(3, max_speed=1.0, ratio=0.5)
+        assert geo.levels == (0.25, 0.5, 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidInstanceError):
+            SpeedLevels("x", ())
+        with pytest.raises(InvalidInstanceError):
+            SpeedLevels("x", (0.0, 1.0))
+        with pytest.raises(InvalidInstanceError):
+            uniform_levels(0)
+        with pytest.raises(InvalidInstanceError):
+            geometric_levels(2, ratio=1.5)
+
+
+class TestTwoLevelSplit:
+    def test_interpolation(self):
+        frac_hi, frac_lo = two_level_split(1.5, 1.0, 2.0)
+        assert frac_hi == pytest.approx(0.5)
+        assert frac_lo == pytest.approx(0.5)
+        assert frac_hi * 2.0 + frac_lo * 1.0 == pytest.approx(1.5)
+
+    def test_exact_level(self):
+        frac_hi, frac_lo = two_level_split(2.0, 2.0, 2.0)
+        assert (frac_hi, frac_lo) == (1.0, 0.0)
+
+    def test_out_of_bracket(self):
+        with pytest.raises(InvalidScheduleError):
+            two_level_split(3.0, 1.0, 2.0)
+
+
+class TestQuantizeSchedule:
+    def test_preserves_work_and_never_saves_energy(self, cube):
+        inst = poisson_instance(8, seed=4)
+        sched = incmerge(inst, cube, 20.0).schedule()
+        top = float(np.max(sched.speeds)) * 1.05
+        result = quantize_schedule(sched, uniform_levels(6, max_speed=top))
+        result.schedule.validate()
+        assert not result.clamped_jobs
+        assert result.energy_overhead >= -1e-9
+        assert result.makespan_increase == pytest.approx(0.0, abs=1e-9)
+
+    def test_finer_grid_reduces_overhead(self, cube):
+        inst = figure1_instance()
+        sched = incmerge(inst, cube, 12.0).schedule()
+        top = float(np.max(sched.speeds)) * 1.01
+        coarse = quantize_schedule(sched, uniform_levels(3, max_speed=top))
+        fine = quantize_schedule(sched, uniform_levels(24, max_speed=top))
+        assert fine.energy_overhead <= coarse.energy_overhead + 1e-12
+
+    def test_exact_when_speeds_are_levels(self, cube):
+        inst = figure1_instance()
+        sched = incmerge(inst, cube, 17.0).schedule()  # speeds 1, 2, 2
+        result = quantize_schedule(sched, SpeedLevels("exact", (1.0, 2.0)))
+        assert result.energy_overhead == pytest.approx(0.0, abs=1e-12)
+        assert result.discrete_energy == pytest.approx(sched.energy)
+
+    def test_clamping_reported_and_makespan_grows(self, cube):
+        inst = figure1_instance()
+        sched = incmerge(inst, cube, 30.0).schedule()  # final job runs faster than 1.0
+        result = quantize_schedule(sched, ATHLON64)
+        assert result.clamped_jobs  # at least the final job exceeds speed 1.0
+        assert result.makespan_increase > 0.0
+        result.schedule.validate()
+
+    def test_athlon_overhead_positive_for_intermediate_speeds(self, cube):
+        inst = figure1_instance()
+        sched = incmerge(inst, cube, 5.0).schedule()  # single block below speed 1
+        result = quantize_schedule(sched, ATHLON64)
+        assert not result.clamped_jobs
+        assert result.energy_overhead >= 0.0

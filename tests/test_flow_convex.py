@@ -1,0 +1,86 @@
+"""Tests for the convex flow solver (laptop and server forms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance, PolynomialPower
+from repro.exceptions import BudgetError, InfeasibleError
+from repro.flow import convex_flow_laptop, convex_flow_server
+
+
+class TestConvexFlowLaptop:
+    def test_energy_budget_respected_and_spent(self, cube):
+        inst = Instance.equal_work([0.0, 1.0, 3.0], work=1.0)
+        for energy in [1.0, 4.0, 12.0]:
+            result = convex_flow_laptop(inst, cube, energy)
+            assert result.energy <= energy * (1 + 1e-6)
+            # the optimum always uses (essentially) all the energy
+            assert result.energy == pytest.approx(energy, rel=1e-4)
+
+    def test_flow_decreasing_in_energy(self, cube):
+        inst = Instance.equal_work([0.0, 0.5, 1.5, 4.0], work=1.0)
+        budgets = np.linspace(0.5, 20.0, 12)
+        flows = [convex_flow_laptop(inst, cube, float(e)).flow for e in budgets]
+        assert all(b <= a + 1e-6 for a, b in zip(flows, flows[1:]))
+
+    def test_single_job_closed_form(self, cube):
+        inst = Instance.from_arrays([0.0], [2.0])
+        result = convex_flow_laptop(inst, cube, 8.0)
+        # single job: all energy on it -> speed 2, flow 1
+        assert result.flow == pytest.approx(1.0, rel=1e-6)
+        assert result.speeds[0] == pytest.approx(2.0, rel=1e-6)
+
+    def test_two_identical_jobs_zero_release(self, cube):
+        # symmetric instance with a known optimality condition: speeds satisfy
+        # sigma_1^3 = 2 * sigma_2^3 (Theorem 1 with n = 2)
+        inst = Instance.equal_work([0.0, 0.0], work=1.0)
+        result = convex_flow_laptop(inst, cube, 5.0)
+        s1, s2 = result.speeds
+        assert s1**3 == pytest.approx(2 * s2**3, rel=1e-3)
+        assert result.energy == pytest.approx(5.0, rel=1e-6)
+
+    def test_schedule_valid(self, cube):
+        inst = Instance.equal_work([0.0, 0.5, 2.0], work=1.0)
+        result = convex_flow_laptop(inst, cube, 6.0)
+        sched = result.schedule(inst, cube)
+        sched.validate(energy_budget=6.0 * (1 + 1e-5))
+        assert sched.total_flow == pytest.approx(result.flow, rel=1e-6)
+
+    def test_unequal_work_release_order(self, cube):
+        inst = Instance.from_arrays([0.0, 1.0, 2.0], [2.0, 1.0, 0.5])
+        result = convex_flow_laptop(inst, cube, 10.0)
+        assert result.energy <= 10.0 * (1 + 1e-6)
+        sched = result.schedule(inst, cube)
+        sched.validate()
+
+    def test_other_alpha(self):
+        power = PolynomialPower(2.0)
+        inst = Instance.equal_work([0.0, 1.0], work=1.0)
+        result = convex_flow_laptop(inst, power, 4.0)
+        assert result.energy == pytest.approx(4.0, rel=1e-5)
+
+    def test_invalid_budget(self, cube):
+        inst = Instance.equal_work([0.0, 1.0], work=1.0)
+        with pytest.raises(BudgetError):
+            convex_flow_laptop(inst, cube, 0.0)
+
+
+class TestConvexFlowServer:
+    def test_roundtrip(self, cube):
+        inst = Instance.equal_work([0.0, 1.0, 2.5], work=1.0)
+        laptop = convex_flow_laptop(inst, cube, 5.0)
+        server = convex_flow_server(inst, cube, laptop.flow * 1.0000001)
+        assert server.energy == pytest.approx(5.0, rel=1e-3)
+
+    def test_infeasible_flow_target(self, cube):
+        inst = Instance.equal_work([0.0, 1.0], work=1.0)
+        with pytest.raises(InfeasibleError):
+            convex_flow_server(inst, cube, 0.0)
+
+    def test_energy_increases_as_target_tightens(self, cube):
+        inst = Instance.equal_work([0.0, 0.5, 1.5], work=1.0)
+        targets = [8.0, 5.0, 3.0]
+        energies = [convex_flow_server(inst, cube, t).energy for t in targets]
+        assert energies[0] < energies[1] < energies[2]

@@ -1,0 +1,110 @@
+"""Tests for the equal-work flow solvers (laptop, server, frontier samples)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance, PolynomialPower
+from repro.exceptions import BudgetError, InfeasibleError, InvalidInstanceError
+from repro.flow import (
+    convex_flow_laptop,
+    equal_work_flow_laptop,
+    equal_work_flow_server,
+    flow_energy_frontier_samples,
+    verify_theorem1,
+)
+
+
+@pytest.fixture
+def spread() -> Instance:
+    """Equal-work jobs with spread-out releases (rich mix of configurations)."""
+    return Instance.equal_work([0.0, 0.5, 3.0, 3.2, 7.0], work=1.0)
+
+
+class TestLaptop:
+    def test_never_worse_than_convex(self, spread, cube):
+        for energy in [0.8, 2.0, 5.0, 20.0]:
+            refined = equal_work_flow_laptop(spread, cube, energy)
+            approx = convex_flow_laptop(spread, cube, energy)
+            assert refined.flow <= approx.flow * (1 + 1e-6)
+
+    def test_energy_budget_respected(self, spread, cube):
+        for energy in [1.0, 6.0, 15.0]:
+            result = equal_work_flow_laptop(spread, cube, energy)
+            assert result.energy <= energy * (1 + 1e-6)
+
+    def test_flow_decreasing_in_energy(self, spread, cube):
+        budgets = np.linspace(0.5, 25.0, 15)
+        flows = [equal_work_flow_laptop(spread, cube, float(e)).flow for e in budgets]
+        assert all(b <= a + 1e-6 for a, b in zip(flows, flows[1:]))
+
+    def test_theorem1_holds_at_optimum(self, spread, cube):
+        for energy in [1.0, 4.0, 12.0]:
+            result = equal_work_flow_laptop(spread, cube, energy)
+            assert verify_theorem1(spread, cube, result.speeds, rtol=2e-2)
+
+    def test_exact_refinement_when_no_tight_boundary(self, spread, cube):
+        result = equal_work_flow_laptop(spread, cube, 0.5)
+        if result.exact:
+            # the refined solution spends exactly the budget
+            assert result.energy == pytest.approx(0.5, rel=1e-12)
+
+    def test_schedule_valid(self, spread, cube):
+        result = equal_work_flow_laptop(spread, cube, 4.0)
+        sched = result.schedule(spread, cube)
+        sched.validate(energy_budget=4.0 * (1 + 1e-5))
+        assert sched.total_flow == pytest.approx(result.flow, rel=1e-6)
+
+    def test_single_job(self, cube):
+        inst = Instance.equal_work([0.0], work=1.0)
+        result = equal_work_flow_laptop(inst, cube, 4.0)
+        assert result.flow == pytest.approx(0.5)  # speed 2
+        assert result.exact
+
+    def test_requires_equal_work(self, cube):
+        inst = Instance.from_arrays([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(InvalidInstanceError):
+            equal_work_flow_laptop(inst, cube, 5.0)
+
+    def test_invalid_budget(self, spread, cube):
+        with pytest.raises(BudgetError):
+            equal_work_flow_laptop(spread, cube, -1.0)
+
+    def test_alpha_2(self, spread):
+        power = PolynomialPower(2.0)
+        result = equal_work_flow_laptop(spread, power, 5.0)
+        assert result.energy <= 5.0 * (1 + 1e-6)
+        assert verify_theorem1(spread, power, result.speeds, rtol=2e-2)
+
+
+class TestServer:
+    def test_roundtrip(self, spread, cube):
+        laptop = equal_work_flow_laptop(spread, cube, 5.0)
+        server = equal_work_flow_server(spread, cube, laptop.flow * 1.000001)
+        assert server.energy == pytest.approx(5.0, rel=1e-3)
+
+    def test_energy_increases_as_target_tightens(self, spread, cube):
+        energies = [
+            equal_work_flow_server(spread, cube, target).energy
+            for target in [12.0, 8.0, 6.0]
+        ]
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_infeasible_target(self, spread, cube):
+        with pytest.raises(InfeasibleError):
+            equal_work_flow_server(spread, cube, 0.0)
+
+    def test_requires_equal_work(self, cube):
+        inst = Instance.from_arrays([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(InvalidInstanceError):
+            equal_work_flow_server(inst, cube, 5.0)
+
+
+class TestFrontierSamples:
+    def test_monotone_series(self, spread, cube):
+        energies = np.linspace(1.0, 20.0, 8)
+        results = flow_energy_frontier_samples(spread, cube, energies)
+        flows = [r.flow for r in results]
+        assert all(b <= a + 1e-6 for a, b in zip(flows, flows[1:]))
+        assert len(results) == len(energies)

@@ -1,0 +1,116 @@
+"""Tests for the Theorem 1 structural machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance, SQUARE, TabulatedConvexPower
+from repro.exceptions import InvalidInstanceError, UnsupportedPowerFunctionError
+from repro.flow import (
+    Boundary,
+    FlowConfiguration,
+    classify_boundaries,
+    closed_form_speeds,
+    completion_times_for_speeds,
+    verify_theorem1,
+)
+
+
+class TestCompletionTimes:
+    def test_dense_run(self):
+        inst = Instance.equal_work([0.0, 0.0, 0.0], work=1.0)
+        completions = completion_times_for_speeds(inst, np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(completions, [1.0, 2.0, 3.0])
+
+    def test_idle_gap(self):
+        inst = Instance.equal_work([0.0, 5.0], work=1.0)
+        completions = completion_times_for_speeds(inst, np.array([1.0, 1.0]))
+        assert np.allclose(completions, [1.0, 6.0])
+
+
+class TestClassifyBoundaries:
+    def test_all_kinds(self):
+        inst = Instance.equal_work([0.0, 0.5, 3.0], work=1.0)
+        # speeds chosen so: C_0 = 1 > 0.5 (late); C_1 = 2 < 3 (early)
+        config = classify_boundaries(inst, np.array([1.0, 1.0, 1.0]))
+        assert config.boundaries == (Boundary.LATE, Boundary.EARLY)
+        assert not config.has_tight_boundary
+
+    def test_tight_detection(self):
+        inst = Instance.equal_work([0.0, 1.0], work=1.0)
+        config = classify_boundaries(inst, np.array([1.0, 1.0]), atol=1e-9)
+        assert config.boundaries == (Boundary.TIGHT,)
+        assert config.has_tight_boundary
+
+    def test_groups(self):
+        config = FlowConfiguration(
+            (Boundary.LATE, Boundary.EARLY, Boundary.TIGHT, Boundary.LATE)
+        )
+        assert config.groups() == [(0, 1), (2, 4)]
+
+    def test_wrong_length(self):
+        inst = Instance.equal_work([0.0, 1.0], work=1.0)
+        with pytest.raises(InvalidInstanceError):
+            classify_boundaries(inst, np.array([1.0]))
+
+
+class TestClosedFormSpeeds:
+    def test_single_dense_group(self):
+        inst = Instance.equal_work([0.0, 0.0, 0.0], work=1.0)
+        config = FlowConfiguration((Boundary.LATE, Boundary.LATE))
+        speeds = closed_form_speeds(inst, CUBE, config, sigma_n=2.0)
+        assert speeds[2] == pytest.approx(2.0)
+        assert speeds[1] == pytest.approx(2.0 * 2 ** (1 / 3))
+        assert speeds[0] == pytest.approx(2.0 * 3 ** (1 / 3))
+
+    def test_two_groups(self):
+        inst = Instance.equal_work([0.0, 0.0, 10.0], work=1.0)
+        config = FlowConfiguration((Boundary.LATE, Boundary.EARLY))
+        speeds = closed_form_speeds(inst, CUBE, config, sigma_n=1.0)
+        # first group: multiplicities 2, 1; second group: 1
+        assert speeds[0] == pytest.approx(2 ** (1 / 3))
+        assert speeds[1] == pytest.approx(1.0)
+        assert speeds[2] == pytest.approx(1.0)
+
+    def test_tight_configuration_rejected(self):
+        inst = Instance.equal_work([0.0, 1.0], work=1.0)
+        config = FlowConfiguration((Boundary.TIGHT,))
+        with pytest.raises(InvalidInstanceError):
+            closed_form_speeds(inst, CUBE, config, sigma_n=1.0)
+
+    def test_non_polynomial_power_rejected(self):
+        inst = Instance.equal_work([0.0, 0.0], work=1.0)
+        config = FlowConfiguration((Boundary.LATE,))
+        power = TabulatedConvexPower(lambda s: s**3)
+        with pytest.raises(UnsupportedPowerFunctionError):
+            closed_form_speeds(inst, power, config, sigma_n=1.0)
+
+    def test_nonpositive_sigma_rejected(self):
+        inst = Instance.equal_work([0.0, 0.0], work=1.0)
+        config = FlowConfiguration((Boundary.LATE,))
+        with pytest.raises(InvalidInstanceError):
+            closed_form_speeds(inst, CUBE, config, sigma_n=0.0)
+
+
+class TestVerifyTheorem1:
+    def test_accepts_closed_form_schedule(self):
+        inst = Instance.equal_work([0.0, 0.0, 0.0], work=1.0)
+        config = FlowConfiguration((Boundary.LATE, Boundary.LATE))
+        speeds = closed_form_speeds(inst, CUBE, config, sigma_n=1.3)
+        assert verify_theorem1(inst, CUBE, speeds)
+
+    def test_rejects_wrong_speeds(self):
+        inst = Instance.equal_work([0.0, 0.0, 0.0], work=1.0)
+        assert not verify_theorem1(inst, CUBE, np.array([1.0, 1.0, 1.0]))
+
+    def test_requires_equal_work(self):
+        inst = Instance.from_arrays([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(InvalidInstanceError):
+            verify_theorem1(inst, CUBE, np.array([1.0, 1.0]))
+
+    def test_alpha_2(self):
+        inst = Instance.equal_work([0.0, 0.0], work=1.0)
+        config = FlowConfiguration((Boundary.LATE,))
+        speeds = closed_form_speeds(inst, SQUARE, config, sigma_n=1.0)
+        assert verify_theorem1(inst, SQUARE, speeds)

@@ -1,0 +1,111 @@
+"""Tests for the Theorem 8 reproduction (hard instance, polynomial, windows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE
+from repro.exceptions import InvalidInstanceError
+from repro.flow import (
+    THEOREM8_COEFFICIENTS,
+    equal_work_flow_laptop,
+    hard_instance,
+    rational_roots,
+    solve_optimality_system,
+    theorem8_polynomial,
+    tight_configuration_energy_window,
+)
+from repro.workloads import THEOREM8_ENERGY_BUDGET, theorem8_instance
+
+
+class TestPolynomial:
+    def test_coefficients_match_paper(self):
+        # degree 12, leading coefficient 2, constant term -729, 13 coefficients
+        assert len(THEOREM8_COEFFICIENTS) == 13
+        assert THEOREM8_COEFFICIENTS[0] == 2
+        assert THEOREM8_COEFFICIENTS[-1] == -729
+        assert THEOREM8_COEFFICIENTS[1] == -12
+        assert sum(THEOREM8_COEFFICIENTS) == 2 - 12 + 6 + 108 - 159 - 738 + 2415 - 1026 - 5940 + 12150 - 10449 + 4374 - 729
+
+    def test_polynomial_evaluation_scalar_and_vector(self):
+        value = theorem8_polynomial(1.0)
+        assert value == pytest.approx(sum(THEOREM8_COEFFICIENTS))
+        values = theorem8_polynomial(np.array([1.0, 0.0]))
+        assert values[1] == pytest.approx(-729.0)
+
+    def test_no_rational_roots(self):
+        assert rational_roots() == []
+
+    def test_rational_root_helper_on_known_polynomial(self):
+        # (x - 2)(x + 3) = x^2 + x - 6
+        roots = rational_roots((1, 1, -6))
+        assert sorted(float(r) for r in roots) == [-3.0, 2.0]
+
+
+class TestOptimalitySystem:
+    def test_solution_is_root_of_paper_polynomial(self):
+        solution = solve_optimality_system(THEOREM8_ENERGY_BUDGET)
+        # the paper's degree-12 polynomial (coefficients up to ~1.2e4) should
+        # vanish at sigma_2 up to floating point round-off
+        assert abs(solution.polynomial_residual) < 1e-6
+
+    def test_system_equations_satisfied(self):
+        solution = solve_optimality_system(9.0)
+        assert solution.energy == pytest.approx(9.0, rel=1e-10)
+        assert 1.0 / solution.sigma1 + 1.0 / solution.sigma2 == pytest.approx(1.0, rel=1e-10)
+        assert solution.sigma1**3 == pytest.approx(
+            solution.sigma2**3 + solution.sigma3**3, rel=1e-9
+        )
+
+    def test_completion_times(self):
+        solution = solve_optimality_system(9.0)
+        c1, c2, c3 = solution.completion_times
+        assert c2 == pytest.approx(1.0, rel=1e-10)
+        assert c1 < c2 < c3
+
+    def test_solution_exists_inside_measured_window(self):
+        # budgets measured (see EXPERIMENTS.md) to have the tight configuration
+        solution = solve_optimality_system(10.8)
+        assert solution.sigma3 > 0
+        assert 1.0 / solution.sigma1 + 1.0 / solution.sigma2 == pytest.approx(1.0, rel=1e-9)
+
+    def test_no_solution_for_tiny_budget(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_optimality_system(4.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(InvalidInstanceError):
+            solve_optimality_system(-1.0)
+
+
+class TestHardInstance:
+    def test_instance_shape(self):
+        inst = hard_instance()
+        assert inst.n_jobs == 3
+        assert inst.is_equal_work()
+        assert np.allclose(inst.releases, [0.0, 0.0, 1.0])
+        assert np.allclose(theorem8_instance().releases, inst.releases)
+
+    def test_optimal_flow_at_budget_9_beats_or_matches_tight_candidate(self, cube):
+        # Our solvers find the dense (late, late) configuration optimal at E=9,
+        # with strictly lower flow than the C_2 = 1 candidate the paper analyses;
+        # this discrepancy is recorded in EXPERIMENTS.md.  Either way, the
+        # optimum can never be *worse* than the tight candidate.
+        tight = solve_optimality_system(9.0)
+        optimum = equal_work_flow_laptop(hard_instance(), cube, 9.0)
+        assert optimum.flow <= tight.flow + 1e-9
+
+    def test_tight_window_upper_end_matches_paper(self, cube):
+        lo, hi = tight_configuration_energy_window(resolution=0.1)
+        # paper: approximately (8.43, 11.54); our measurement reproduces the
+        # upper end (≈11.5) and finds the lower end at ≈10.3 (see EXPERIMENTS.md)
+        assert hi == pytest.approx(11.54, abs=0.25)
+        assert 9.5 < lo < 11.0
+        assert lo < hi
+
+    def test_tight_configuration_optimal_inside_window(self, cube):
+        result = equal_work_flow_laptop(hard_instance(), cube, 10.8)
+        assert result.completion_times[1] == pytest.approx(1.0, abs=5e-3)
+        system = solve_optimality_system(10.8)
+        assert result.flow == pytest.approx(system.flow, rel=5e-3)

@@ -1,0 +1,95 @@
+"""Tests for JSON/CSV serialisation of instances and schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, AffinePolynomialPower, Instance, PolynomialPower, TabulatedConvexPower
+from repro.exceptions import InvalidInstanceError, InvalidScheduleError
+from repro.io import (
+    instance_from_dict,
+    instance_to_csv,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    power_from_dict,
+    power_to_dict,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.makespan import incmerge
+from repro.workloads import deadline_instance, figure1_instance
+
+
+class TestInstanceSerialisation:
+    def test_roundtrip_dict(self):
+        inst = deadline_instance(5, seed=1)
+        back = instance_from_dict(instance_to_dict(inst))
+        assert np.allclose(back.releases, inst.releases)
+        assert np.allclose(back.works, inst.works)
+        assert np.allclose(back.deadlines, inst.deadlines)
+        assert back.name == inst.name
+
+    def test_roundtrip_file(self, tmp_path):
+        inst = figure1_instance()
+        path = save_instance(inst, tmp_path / "fig1.json")
+        back = load_instance(path)
+        assert np.allclose(back.releases, [0, 5, 6])
+        assert np.allclose(back.works, [5, 2, 1])
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            instance_from_dict({"kind": "schedule"})
+
+    def test_csv_export(self):
+        text = instance_to_csv(figure1_instance())
+        lines = text.strip().splitlines()
+        assert lines[0] == "job,release,work,deadline,weight"
+        assert len(lines) == 4
+
+
+class TestPowerSerialisation:
+    def test_polynomial_roundtrip(self):
+        power = power_from_dict(power_to_dict(PolynomialPower(2.5)))
+        assert isinstance(power, PolynomialPower)
+        assert power.alpha == 2.5
+
+    def test_affine_roundtrip(self):
+        original = AffinePolynomialPower(exponent=3.0, coefficient=2.0, static=0.5)
+        back = power_from_dict(power_to_dict(original))
+        assert isinstance(back, AffinePolynomialPower)
+        assert back.static == 0.5
+
+    def test_unserialisable_power_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            power_to_dict(TabulatedConvexPower(lambda s: s**3))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            power_from_dict({"type": "mystery"})
+
+
+class TestScheduleSerialisation:
+    def test_roundtrip_preserves_metrics(self, tmp_path):
+        inst = figure1_instance()
+        schedule = incmerge(inst, CUBE, 17.0).schedule()
+        path = save_schedule(schedule, tmp_path / "sched.json")
+        back = load_schedule(path)
+        assert back.makespan == pytest.approx(schedule.makespan)
+        assert back.energy == pytest.approx(schedule.energy)
+        assert back.total_flow == pytest.approx(schedule.total_flow)
+        back.validate(energy_budget=17.0 * (1 + 1e-9))
+
+    def test_dict_contains_summary(self):
+        inst = figure1_instance()
+        schedule = incmerge(inst, CUBE, 12.0).schedule()
+        data = schedule_to_dict(schedule)
+        assert data["summary"]["energy"] == pytest.approx(12.0)
+        assert len(data["pieces"]) == 3
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            schedule_from_dict({"kind": "instance"})

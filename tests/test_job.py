@@ -1,0 +1,155 @@
+"""Tests for the job / instance model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Job
+from repro.exceptions import InvalidInstanceError
+
+
+class TestJob:
+    def test_basic_construction(self):
+        job = Job(index=0, release=1.5, work=2.0)
+        assert job.release == 1.5
+        assert job.work == 2.0
+        assert job.deadline is None
+        assert not job.has_deadline
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(index=0, release=-1.0, work=1.0)
+
+    def test_non_finite_release_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(index=0, release=math.inf, work=1.0)
+
+    def test_zero_work_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(index=0, release=0.0, work=0.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(index=0, release=0.0, work=-2.0)
+
+    def test_deadline_must_exceed_release(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(index=0, release=2.0, work=1.0, deadline=2.0)
+
+    def test_valid_deadline(self):
+        job = Job(index=0, release=2.0, work=1.0, deadline=5.0)
+        assert job.has_deadline
+        assert job.deadline == 5.0
+
+    def test_with_deadline_returns_copy(self):
+        job = Job(index=3, release=1.0, work=1.0)
+        other = job.with_deadline(4.0)
+        assert other.deadline == 4.0
+        assert job.deadline is None
+        assert other.index == 3
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(index=0, release=0.0, work=1.0, weight=0.0)
+
+
+class TestInstance:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance([])
+
+    def test_jobs_sorted_and_reindexed(self):
+        jobs = [
+            Job(index=0, release=5.0, work=1.0),
+            Job(index=1, release=1.0, work=2.0),
+            Job(index=2, release=3.0, work=3.0),
+        ]
+        inst = Instance(jobs)
+        assert [j.release for j in inst] == [1.0, 3.0, 5.0]
+        assert [j.index for j in inst] == [0, 1, 2]
+        assert [j.work for j in inst] == [2.0, 3.0, 1.0]
+
+    def test_from_arrays_mismatched_lengths(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_arrays([0, 1], [1.0])
+
+    def test_from_arrays_deadline_length_check(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_arrays([0, 1], [1, 1], deadlines=[5])
+
+    def test_equal_work_constructor(self):
+        inst = Instance.equal_work([0, 1, 2], work=2.5)
+        assert inst.is_equal_work()
+        assert inst.total_work == pytest.approx(7.5)
+
+    def test_derived_arrays(self):
+        inst = Instance.from_arrays([0, 2, 5], [1, 2, 3])
+        assert np.allclose(inst.releases, [0, 2, 5])
+        assert np.allclose(inst.works, [1, 2, 3])
+        assert inst.n_jobs == 3
+        assert inst.first_release == 0
+        assert inst.last_release == 5
+        assert inst.total_work == 6
+
+    def test_deadlines_default_to_inf(self):
+        inst = Instance.from_arrays([0, 1], [1, 1])
+        assert np.all(np.isinf(inst.deadlines))
+        assert not inst.has_deadlines()
+
+    def test_with_deadlines_scalar(self):
+        inst = Instance.from_arrays([0, 1], [1, 1]).with_deadlines(10.0)
+        assert inst.has_deadlines()
+        assert np.allclose(inst.deadlines, [10.0, 10.0])
+
+    def test_with_deadlines_vector(self):
+        inst = Instance.from_arrays([0, 1], [1, 1]).with_deadlines([5.0, 7.0])
+        assert np.allclose(inst.deadlines, [5.0, 7.0])
+
+    def test_with_deadlines_wrong_length(self):
+        inst = Instance.from_arrays([0, 1], [1, 1])
+        with pytest.raises(InvalidInstanceError):
+            inst.with_deadlines([5.0])
+
+    def test_is_equal_work_false(self):
+        inst = Instance.from_arrays([0, 1], [1, 2])
+        assert not inst.is_equal_work()
+
+    def test_all_released_at_zero(self):
+        assert Instance.from_arrays([0, 0], [1, 1]).all_released_at_zero()
+        assert not Instance.from_arrays([0, 1], [1, 1]).all_released_at_zero()
+
+    def test_subset(self):
+        inst = Instance.from_arrays([0, 2, 5, 7], [1, 2, 3, 4])
+        sub = inst.subset([1, 3])
+        assert sub.n_jobs == 2
+        assert np.allclose(sub.releases, [2, 7])
+        assert np.allclose(sub.works, [2, 4])
+
+    def test_subset_out_of_range(self):
+        inst = Instance.from_arrays([0, 1], [1, 1])
+        with pytest.raises(InvalidInstanceError):
+            inst.subset([0, 5])
+
+    def test_subset_empty(self):
+        inst = Instance.from_arrays([0, 1], [1, 1])
+        with pytest.raises(InvalidInstanceError):
+            inst.subset([])
+
+    def test_shifted(self):
+        inst = Instance.from_arrays([0, 1], [1, 1], deadlines=[2, 3]).shifted(10.0)
+        assert np.allclose(inst.releases, [10, 11])
+        assert np.allclose(inst.deadlines, [12, 13])
+
+    def test_container_protocol(self):
+        inst = Instance.from_arrays([0, 1, 2], [1, 1, 1])
+        assert len(inst) == 3
+        assert inst[1].release == 1
+        assert [j.index for j in inst] == [0, 1, 2]
+
+    def test_release_tie_preserves_original_order(self):
+        inst = Instance.from_arrays([0, 0], [5.0, 7.0])
+        assert inst[0].work == 5.0
+        assert inst[1].work == 7.0

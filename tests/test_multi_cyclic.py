@@ -1,0 +1,73 @@
+"""Tests for cyclic assignment and its preconditions (Theorem 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, MAKESPAN, TOTAL_FLOW, TOTAL_WEIGHTED_FLOW
+from repro.exceptions import InvalidInstanceError
+from repro.multi import assignment_to_subinstances, check_cyclic_preconditions, cyclic_assignment
+
+
+class TestCyclicAssignment:
+    def test_round_robin(self):
+        assignment = cyclic_assignment(7, 3)
+        assert assignment == {0: [0, 3, 6], 1: [1, 4], 2: [2, 5]}
+
+    def test_single_processor(self):
+        assert cyclic_assignment(4, 1) == {0: [0, 1, 2, 3]}
+
+    def test_more_processors_than_jobs(self):
+        assignment = cyclic_assignment(2, 4)
+        assert assignment[0] == [0]
+        assert assignment[1] == [1]
+        assert assignment[2] == []
+        assert assignment[3] == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(InvalidInstanceError):
+            cyclic_assignment(0, 2)
+        with pytest.raises(InvalidInstanceError):
+            cyclic_assignment(3, 0)
+
+
+class TestAssignmentToSubinstances:
+    def test_slicing(self):
+        inst = Instance.equal_work([0, 1, 2, 3, 4], work=1.0)
+        subs = assignment_to_subinstances(inst, cyclic_assignment(5, 2))
+        assert subs[0].n_jobs == 3
+        assert subs[1].n_jobs == 2
+        assert list(subs[0].releases) == [0, 2, 4]
+        assert list(subs[1].releases) == [1, 3]
+
+    def test_empty_processor_omitted(self):
+        inst = Instance.equal_work([0, 1], work=1.0)
+        subs = assignment_to_subinstances(inst, {0: [0, 1], 1: []})
+        assert set(subs) == {0}
+
+    def test_duplicate_assignment_rejected(self):
+        inst = Instance.equal_work([0, 1], work=1.0)
+        with pytest.raises(InvalidInstanceError):
+            assignment_to_subinstances(inst, {0: [0, 1], 1: [1]})
+
+    def test_missing_job_rejected(self):
+        inst = Instance.equal_work([0, 1], work=1.0)
+        with pytest.raises(InvalidInstanceError):
+            assignment_to_subinstances(inst, {0: [0]})
+
+
+class TestPreconditions:
+    def test_equal_work_symmetric_metric_accepted(self):
+        inst = Instance.equal_work([0, 1, 2], work=1.0)
+        check_cyclic_preconditions(inst, MAKESPAN)
+        check_cyclic_preconditions(inst, TOTAL_FLOW)
+
+    def test_unequal_work_rejected(self):
+        inst = Instance.from_arrays([0, 1], [1.0, 2.0])
+        with pytest.raises(InvalidInstanceError):
+            check_cyclic_preconditions(inst, MAKESPAN)
+
+    def test_non_symmetric_metric_rejected(self):
+        inst = Instance.equal_work([0, 1], work=1.0)
+        with pytest.raises(InvalidInstanceError):
+            check_cyclic_preconditions(inst, TOTAL_WEIGHTED_FLOW)

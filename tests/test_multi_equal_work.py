@@ -1,0 +1,94 @@
+"""Tests for the equal-work multiprocessor front ends (Theorem 10 + Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance
+from repro.exceptions import InvalidInstanceError
+from repro.multi import (
+    exact_multiprocessor_makespan,
+    flow_for_assignment,
+    last_job_speeds,
+    multiprocessor_energy_for_makespan_equal_work,
+    multiprocessor_flow_equal_work,
+    multiprocessor_flow_schedule,
+    multiprocessor_makespan_equal_work,
+    multiprocessor_makespan_schedule,
+)
+
+
+@pytest.fixture
+def inst() -> Instance:
+    return Instance.equal_work([0.0, 0.3, 1.0, 2.0, 2.5, 4.0], work=1.0)
+
+
+class TestMakespanEqualWork:
+    def test_matches_exact_assignment_search(self, inst, cube):
+        cyclic = multiprocessor_makespan_equal_work(inst, cube, 2, 10.0)
+        exact = exact_multiprocessor_makespan(inst, cube, 2, 10.0)
+        assert cyclic.makespan == pytest.approx(exact.makespan, rel=1e-7)
+
+    def test_single_processor_case(self, inst, cube):
+        from repro.makespan import incmerge
+
+        result = multiprocessor_makespan_equal_work(inst, cube, 1, 10.0)
+        assert result.makespan == pytest.approx(incmerge(inst, cube, 10.0).makespan, rel=1e-9)
+
+    def test_server_roundtrip(self, inst, cube):
+        laptop = multiprocessor_makespan_equal_work(inst, cube, 3, 9.0)
+        energy = multiprocessor_energy_for_makespan_equal_work(inst, cube, 3, laptop.makespan)
+        assert energy == pytest.approx(9.0, rel=1e-7)
+
+    def test_schedule_valid(self, inst, cube):
+        sched = multiprocessor_makespan_schedule(inst, cube, 2, 10.0)
+        sched.validate(energy_budget=10.0 * (1 + 1e-6))
+        assert sched.n_processors == 2
+
+    def test_unequal_work_rejected(self, cube):
+        inst = Instance.from_arrays([0, 1], [1.0, 2.0])
+        with pytest.raises(InvalidInstanceError):
+            multiprocessor_makespan_equal_work(inst, cube, 2, 5.0)
+
+    def test_makespan_decreases_with_processors(self, inst, cube):
+        values = [
+            multiprocessor_makespan_equal_work(inst, cube, m, 8.0).makespan for m in [1, 2, 3]
+        ]
+        assert values[1] <= values[0] + 1e-9
+        assert values[2] <= values[1] + 1e-9
+
+
+class TestFlowEqualWork:
+    def test_last_job_speeds_equal(self, inst, cube):
+        result = multiprocessor_flow_equal_work(inst, cube, 2, 10.0)
+        speeds = last_job_speeds(result)
+        assert speeds[0] == pytest.approx(speeds[1], rel=1e-3)
+
+    def test_cyclic_beats_or_matches_other_assignments(self, inst, cube):
+        cyclic = multiprocessor_flow_equal_work(inst, cube, 2, 8.0)
+        # a few alternative assignments for comparison
+        alternatives = [
+            {0: [0, 1, 2], 1: [3, 4, 5]},
+            {0: [0, 2, 4, 5], 1: [1, 3]},
+            {0: [0], 1: [1, 2, 3, 4, 5]},
+        ]
+        for assignment in alternatives:
+            other = flow_for_assignment(inst, cube, assignment, 8.0)
+            assert cyclic.flow <= other.flow * (1 + 1e-4)
+
+    def test_schedule_valid(self, inst, cube):
+        sched = multiprocessor_flow_schedule(inst, cube, 3, 9.0)
+        sched.validate(energy_budget=9.0 * (1 + 1e-5))
+
+    def test_unequal_work_rejected(self, cube):
+        bad = Instance.from_arrays([0, 1], [1.0, 2.0])
+        with pytest.raises(InvalidInstanceError):
+            multiprocessor_flow_equal_work(bad, cube, 2, 5.0)
+
+    def test_flow_decreases_with_processors(self, inst, cube):
+        values = [
+            multiprocessor_flow_equal_work(inst, cube, m, 6.0).flow for m in [1, 2, 3]
+        ]
+        assert values[1] <= values[0] + 1e-6
+        assert values[2] <= values[1] + 1e-6

@@ -1,0 +1,103 @@
+"""Tests for the Theorem 11 Partition reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CUBE, SQUARE
+from repro.exceptions import InvalidInstanceError
+from repro.multi import (
+    decide_partition_via_scheduling,
+    exact_zero_release_makespan,
+    has_perfect_partition_dp,
+    partition_from_schedule,
+    partition_to_scheduling,
+)
+
+
+class TestReductionConstruction:
+    def test_instance_shape(self):
+        reduction = partition_to_scheduling([3, 1, 2, 2], CUBE)
+        assert reduction.instance.n_jobs == 4
+        assert reduction.instance.all_released_at_zero()
+        assert reduction.total == 8
+        assert reduction.makespan_target == 4.0
+        # energy to run total work 8 at speed 1 with alpha = 3 is 8
+        assert reduction.energy_budget == pytest.approx(8.0)
+        assert reduction.n_processors == 2
+
+    def test_alpha_2_energy_budget(self):
+        reduction = partition_to_scheduling([1, 1], SQUARE)
+        assert reduction.energy_budget == pytest.approx(2.0)
+
+    def test_invalid_elements(self):
+        with pytest.raises(InvalidInstanceError):
+            partition_to_scheduling([])
+        with pytest.raises(InvalidInstanceError):
+            partition_to_scheduling([1, -2])
+
+
+class TestDPOracle:
+    def test_yes_instances(self):
+        assert has_perfect_partition_dp([3, 1, 1, 2, 2, 1])
+        assert has_perfect_partition_dp([2, 2])
+        assert has_perfect_partition_dp([1, 2, 3])
+
+    def test_no_instances(self):
+        assert not has_perfect_partition_dp([3, 1, 1])
+        assert not has_perfect_partition_dp([1, 2, 4])
+        assert not has_perfect_partition_dp([7])
+
+    def test_invalid_elements(self):
+        with pytest.raises(InvalidInstanceError):
+            has_perfect_partition_dp([0, 1])
+
+
+class TestDecisionViaScheduling:
+    @pytest.mark.parametrize(
+        "elements",
+        [
+            [3, 1, 1, 2, 2, 1],
+            [2, 2],
+            [1, 2, 3],
+            [5, 5, 4, 3, 3],
+            [3, 1, 1],
+            [1, 2, 4],
+            [6, 1, 1, 1],
+            [10, 1, 2, 3],
+        ],
+    )
+    def test_agrees_with_dp(self, elements):
+        assert decide_partition_via_scheduling(elements) == has_perfect_partition_dp(elements)
+
+    def test_makespan_gap_between_yes_and_no(self):
+        yes = partition_to_scheduling([3, 1, 2, 2])      # perfect split 4 | 4
+        no = partition_to_scheduling([3, 3, 3])          # best split 6 | 3
+        yes_result = exact_zero_release_makespan(
+            yes.instance, CUBE, 2, yes.energy_budget
+        )
+        no_result = exact_zero_release_makespan(no.instance, CUBE, 2, no.energy_budget)
+        assert yes_result.makespan == pytest.approx(yes.makespan_target, rel=1e-9)
+        assert no_result.makespan > no.makespan_target * (1 + 1e-6)
+
+
+class TestPartitionExtraction:
+    def test_extracts_balanced_sides(self):
+        reduction = partition_to_scheduling([3, 1, 2, 2])
+        result = exact_zero_release_makespan(
+            reduction.instance, CUBE, 2, reduction.energy_budget
+        )
+        schedule = result.schedule(reduction.instance, CUBE)
+        sides = partition_from_schedule(reduction, schedule)
+        assert sides is not None
+        first, second = sides
+        assert sum(reduction.elements[i] for i in first) == pytest.approx(4.0)
+        assert sorted(first + second) == [0, 1, 2, 3]
+
+    def test_returns_none_for_unbalanced_schedule(self):
+        reduction = partition_to_scheduling([3, 3, 3])
+        result = exact_zero_release_makespan(
+            reduction.instance, CUBE, 2, reduction.energy_budget
+        )
+        schedule = result.schedule(reduction.instance, CUBE)
+        assert partition_from_schedule(reduction, schedule) is None

@@ -1,0 +1,114 @@
+"""Tests for the LPT/greedy heuristics and the PTAS-style scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance
+from repro.exceptions import InvalidInstanceError
+from repro.multi import (
+    exact_zero_release_makespan,
+    greedy_release_assignment,
+    heuristic_multiprocessor_makespan,
+    lpt_assignment,
+    ptas_zero_release_makespan,
+)
+from repro.workloads import zero_release_instance
+
+
+class TestAssignments:
+    def test_lpt_covers_all_jobs(self):
+        inst = Instance.from_arrays([0] * 6, [5, 3, 3, 2, 2, 1])
+        assignment = lpt_assignment(inst, 2)
+        assigned = sorted(j for jobs in assignment.values() for j in jobs)
+        assert assigned == list(range(6))
+
+    def test_lpt_balances_loads(self):
+        inst = Instance.from_arrays([0] * 4, [4.0, 3.0, 2.0, 1.0])
+        assignment = lpt_assignment(inst, 2)
+        loads = {p: sum(inst.works[j] for j in jobs) for p, jobs in assignment.items()}
+        assert sorted(loads.values()) == [5.0, 5.0]
+
+    def test_greedy_release_covers_all_jobs(self):
+        inst = Instance.from_arrays([0, 1, 2, 3], [1, 2, 1, 2])
+        assignment = greedy_release_assignment(inst, 3)
+        assigned = sorted(j for jobs in assignment.values() for j in jobs)
+        assert assigned == list(range(4))
+
+    def test_invalid_processor_count(self):
+        inst = Instance.from_arrays([0], [1.0])
+        with pytest.raises(InvalidInstanceError):
+            lpt_assignment(inst, 0)
+        with pytest.raises(InvalidInstanceError):
+            greedy_release_assignment(inst, 0)
+
+
+class TestHeuristicMakespan:
+    def test_never_beats_exact(self, cube):
+        rng = np.random.default_rng(31)
+        for seed in range(4):
+            inst = zero_release_instance(7, seed=seed, mean_work=1.0)
+            energy = float(rng.uniform(3.0, 15.0))
+            exact = exact_zero_release_makespan(inst, cube, 2, energy)
+            for strategy in ("lpt", "greedy-release"):
+                heuristic = heuristic_multiprocessor_makespan(inst, cube, 2, energy, strategy)
+                assert heuristic.makespan >= exact.makespan * (1 - 1e-9)
+
+    def test_lpt_close_to_exact_on_zero_release(self, cube):
+        inst = zero_release_instance(8, seed=5, mean_work=1.0)
+        exact = exact_zero_release_makespan(inst, cube, 2, 10.0)
+        lpt = heuristic_multiprocessor_makespan(inst, cube, 2, 10.0, "lpt")
+        assert lpt.makespan <= exact.makespan * 1.25
+
+    def test_callable_strategy(self, cube):
+        inst = zero_release_instance(5, seed=1)
+        result = heuristic_multiprocessor_makespan(
+            inst, cube, 2, 6.0, strategy=lambda i, m: lpt_assignment(i, m)
+        )
+        assert result.makespan > 0
+
+    def test_unknown_strategy(self, cube):
+        inst = zero_release_instance(5, seed=1)
+        with pytest.raises(InvalidInstanceError):
+            heuristic_multiprocessor_makespan(inst, cube, 2, 6.0, "nonsense")
+
+
+class TestPTAS:
+    def test_exact_when_all_jobs_in_exhaustive_phase(self, cube):
+        inst = zero_release_instance(8, seed=9)
+        exact = exact_zero_release_makespan(inst, cube, 2, 12.0)
+        ptas = ptas_zero_release_makespan(inst, cube, 2, 12.0, epsilon=0.01, max_exact_jobs=8)
+        assert ptas.makespan == pytest.approx(exact.makespan, rel=1e-9)
+
+    def test_never_beats_exact(self, cube):
+        for seed in range(3):
+            inst = zero_release_instance(9, seed=seed)
+            exact = exact_zero_release_makespan(inst, cube, 3, 10.0)
+            ptas = ptas_zero_release_makespan(inst, cube, 3, 10.0, epsilon=0.5, max_exact_jobs=5)
+            assert ptas.makespan >= exact.makespan * (1 - 1e-9)
+
+    def test_smaller_epsilon_does_not_hurt(self, cube):
+        inst = zero_release_instance(10, seed=12)
+        loose = ptas_zero_release_makespan(inst, cube, 2, 10.0, epsilon=1.0, max_exact_jobs=10)
+        tight = ptas_zero_release_makespan(inst, cube, 2, 10.0, epsilon=0.2, max_exact_jobs=10)
+        assert tight.makespan <= loose.makespan * (1 + 1e-9)
+        assert tight.n_exact_jobs >= loose.n_exact_jobs
+
+    def test_result_conversion_and_validity(self, cube):
+        inst = zero_release_instance(6, seed=2)
+        ptas = ptas_zero_release_makespan(inst, cube, 2, 8.0, epsilon=0.3)
+        assigned = ptas.as_assigned_result(inst, cube, 8.0)
+        sched = assigned.schedule(inst, cube)
+        sched.validate(energy_budget=8.0 * (1 + 1e-6))
+        assert assigned.makespan == pytest.approx(ptas.makespan)
+
+    def test_requires_zero_releases(self, cube):
+        inst = Instance.from_arrays([0, 1], [1.0, 1.0])
+        with pytest.raises(InvalidInstanceError):
+            ptas_zero_release_makespan(inst, cube, 2, 5.0)
+
+    def test_invalid_epsilon(self, cube):
+        inst = zero_release_instance(4, seed=3)
+        with pytest.raises(InvalidInstanceError):
+            ptas_zero_release_makespan(inst, cube, 2, 5.0, epsilon=0.0)

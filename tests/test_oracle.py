@@ -1,0 +1,76 @@
+"""Tests for the brute-force and DP reference solvers (and their mutual agreement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance
+from repro.exceptions import BudgetError, InfeasibleError
+from repro.makespan import brute_force_laptop, dp_laptop, incmerge
+
+
+class TestBruteForce:
+    def test_fig1_matches_incmerge(self, fig1, cube):
+        for energy in [3.0, 8.0, 12.0, 17.0, 30.0]:
+            assert brute_force_laptop(fig1, cube, energy).makespan == pytest.approx(
+                incmerge(fig1, cube, energy).makespan
+            )
+
+    def test_energy_equals_budget(self, fig1, cube):
+        result = brute_force_laptop(fig1, cube, 11.0)
+        assert result.energy == pytest.approx(11.0)
+
+    def test_schedule_constructible(self, fig1, cube):
+        result = brute_force_laptop(fig1, cube, 11.0)
+        sched = result.schedule(fig1, cube)
+        sched.validate(energy_budget=11.0 * (1 + 1e-9))
+
+    def test_job_limit(self, cube):
+        inst = Instance.from_arrays(list(range(25)), [1.0] * 25)
+        with pytest.raises(InfeasibleError):
+            brute_force_laptop(inst, cube, 10.0)
+
+    def test_invalid_budget(self, fig1, cube):
+        with pytest.raises(BudgetError):
+            brute_force_laptop(fig1, cube, 0.0)
+
+
+class TestDP:
+    def test_fig1_matches_incmerge(self, fig1, cube):
+        for energy in [3.0, 8.0, 12.0, 17.0, 30.0]:
+            assert dp_laptop(fig1, cube, energy).makespan == pytest.approx(
+                incmerge(fig1, cube, energy).makespan
+            )
+
+    def test_matches_brute_force_on_random_instances(self, cube):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            n = int(rng.integers(1, 9))
+            releases = np.sort(rng.uniform(0, 10, n))
+            releases[0] = 0.0
+            works = rng.uniform(0.2, 3.0, n)
+            inst = Instance.from_arrays(releases, works)
+            energy = float(rng.uniform(0.5, 40.0))
+            assert dp_laptop(inst, cube, energy).makespan == pytest.approx(
+                brute_force_laptop(inst, cube, energy).makespan, rel=1e-9
+            )
+
+    def test_configuration_reconstruction_is_consistent(self, fig1, cube):
+        # E = 18 is strictly inside the three-block region (the breakpoint at
+        # E = 17 admits two equivalent configurations, so it is avoided here)
+        result = dp_laptop(fig1, cube, 18.0)
+        assert result.configuration.boundaries == (0, 1, 2)
+        result_low = dp_laptop(fig1, cube, 6.0)
+        assert result_low.configuration.boundaries == (0,)
+
+    def test_coincident_releases(self, cube):
+        inst = Instance.from_arrays([0, 0, 1, 1, 4], [1, 2, 1, 1, 2])
+        for energy in [2.0, 10.0, 40.0]:
+            assert dp_laptop(inst, cube, energy).makespan == pytest.approx(
+                incmerge(inst, cube, energy).makespan, rel=1e-9
+            )
+
+    def test_invalid_budget(self, fig1, cube):
+        with pytest.raises(BudgetError):
+            dp_laptop(fig1, cube, -5.0)

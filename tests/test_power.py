@@ -1,0 +1,145 @@
+"""Tests for the power/speed models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CUBE,
+    SQUARE,
+    AffinePolynomialPower,
+    PolynomialPower,
+    TabulatedConvexPower,
+)
+from repro.exceptions import BudgetError, UnsupportedPowerFunctionError
+
+
+class TestPolynomialPower:
+    def test_cube_constants(self):
+        assert CUBE.alpha == 3.0
+        assert CUBE.is_polynomial
+        assert CUBE.power(2.0) == pytest.approx(8.0)
+
+    def test_energy_per_work(self):
+        assert CUBE.energy_per_work(2.0) == pytest.approx(4.0)
+        assert SQUARE.energy_per_work(2.0) == pytest.approx(2.0)
+
+    def test_energy(self):
+        # 5 units of work at speed 1: time 5, power 1 -> energy 5
+        assert CUBE.energy(5.0, 1.0) == pytest.approx(5.0)
+        # 2 units at speed 2: time 1, power 8 -> energy 8
+        assert CUBE.energy(2.0, 2.0) == pytest.approx(8.0)
+
+    def test_zero_work_energy_is_zero(self):
+        assert CUBE.energy(0.0, 1.0) == 0.0
+
+    def test_energy_for_duration(self):
+        # 2 units of work over 1 time unit = speed 2
+        assert CUBE.energy_for_duration(2.0, 1.0) == pytest.approx(8.0)
+
+    def test_speed_for_energy_inverse(self):
+        for speed in [0.1, 1.0, 2.5, 7.0]:
+            energy = CUBE.energy(3.0, speed)
+            assert CUBE.speed_for_energy(3.0, energy) == pytest.approx(speed)
+
+    def test_duration_for_energy(self):
+        duration = CUBE.duration_for_energy(2.0, 8.0)
+        assert duration == pytest.approx(1.0)
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(UnsupportedPowerFunctionError):
+            PolynomialPower(1.0)
+        with pytest.raises(UnsupportedPowerFunctionError):
+            PolynomialPower(0.5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(BudgetError):
+            CUBE.energy(1.0, 0.0)
+        with pytest.raises(BudgetError):
+            CUBE.energy(-1.0, 1.0)
+        with pytest.raises(BudgetError):
+            CUBE.speed_for_energy(1.0, 0.0)
+        with pytest.raises(BudgetError):
+            CUBE.power(-1.0)
+
+    def test_denergy_dduration_matches_finite_difference(self):
+        w, d = 2.0, 1.3
+        h = 1e-7
+        numeric = (CUBE.energy_for_duration(w, d + h) - CUBE.energy_for_duration(w, d - h)) / (2 * h)
+        assert CUBE.denergy_dduration(w, d) == pytest.approx(numeric, rel=1e-5)
+
+    def test_strict_convexity_of_energy_per_work(self):
+        speeds = np.linspace(0.1, 5.0, 50)
+        values = [CUBE.energy_per_work(s) for s in speeds]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestAffinePolynomialPower:
+    def test_no_leakage_matches_polynomial(self):
+        affine = AffinePolynomialPower(exponent=3.0, coefficient=1.0, static=0.0)
+        assert affine.power(2.0) == pytest.approx(CUBE.power(2.0))
+        assert affine.energy_per_work(2.0) == pytest.approx(CUBE.energy_per_work(2.0))
+        assert affine.speed_for_energy_per_work(4.0) == pytest.approx(2.0)
+
+    def test_critical_speed_positive_with_leakage(self):
+        affine = AffinePolynomialPower(exponent=3.0, coefficient=1.0, static=2.0)
+        assert affine.critical_speed > 0.0
+        assert affine.critical_speed == pytest.approx(1.0, rel=1e-9)  # (2/(1*2))^(1/3)
+
+    def test_inverse_roundtrip_with_leakage(self):
+        affine = AffinePolynomialPower(exponent=3.0, coefficient=1.0, static=0.5)
+        for speed in [affine.critical_speed * 1.01, 1.5, 4.0]:
+            e = affine.energy_per_work(speed)
+            assert affine.speed_for_energy_per_work(e) == pytest.approx(speed, rel=1e-8)
+
+    def test_below_critical_speed_rejected(self):
+        affine = AffinePolynomialPower(exponent=3.0, coefficient=1.0, static=2.0)
+        with pytest.raises(BudgetError):
+            affine.energy_per_work(affine.critical_speed * 0.5)
+
+    def test_not_polynomial(self):
+        affine = AffinePolynomialPower(static=1.0)
+        assert not affine.is_polynomial
+        with pytest.raises(UnsupportedPowerFunctionError):
+            _ = affine.alpha
+
+    def test_invalid_parameters(self):
+        with pytest.raises(UnsupportedPowerFunctionError):
+            AffinePolynomialPower(exponent=1.0)
+        with pytest.raises(UnsupportedPowerFunctionError):
+            AffinePolynomialPower(coefficient=0.0)
+        with pytest.raises(UnsupportedPowerFunctionError):
+            AffinePolynomialPower(static=-1.0)
+
+
+class TestTabulatedConvexPower:
+    def test_wraps_cubic(self):
+        power = TabulatedConvexPower(lambda s: s**3, name="cubic")
+        assert power.power(2.0) == pytest.approx(8.0)
+        assert power.energy_per_work(2.0) == pytest.approx(4.0)
+        assert power.speed_for_energy_per_work(4.0) == pytest.approx(2.0, rel=1e-9)
+
+    def test_wireless_style_power(self):
+        # e^s - 1 style transmission power (strictly convex through the origin);
+        # restrict the convexity spot-check range so the exponential does not
+        # overflow at the default upper bound of 1e3
+        power = TabulatedConvexPower(lambda s: math.expm1(s), name="exp", check_range=(1e-3, 50.0))
+        speed = power.speed_for_energy_per_work(power.energy_per_work(1.7))
+        assert speed == pytest.approx(1.7, rel=1e-8)
+
+    def test_non_convex_rejected(self):
+        with pytest.raises(UnsupportedPowerFunctionError):
+            TabulatedConvexPower(lambda s: math.sqrt(s), name="sqrt")
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(UnsupportedPowerFunctionError):
+            TabulatedConvexPower(lambda s: -s**3)
+
+    def test_zero_speed(self):
+        power = TabulatedConvexPower(lambda s: s**2.5)
+        assert power.power(0.0) == 0.0
+        with pytest.raises(BudgetError):
+            power.energy_per_work(0.0)

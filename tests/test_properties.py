@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) for the core invariants of the paper.
+
+Each property encodes one structural fact proved in the paper (or required by
+the model), checked on randomly generated instances:
+
+* IncMerge spends exactly the budget, never violates it, and its makespan is
+  never beaten by the exhaustive block-configuration search (Lemma 7).
+* Block speeds are non-decreasing (Lemma 6) and the schedule has the
+  Lemma 2-5 structure.
+* The non-dominated frontier is consistent with IncMerge and non-increasing.
+* The server problem inverts the laptop problem.
+* Equal-work flow: energy budget respected, more energy never increases the
+  optimal flow, Theorem 1 holds at the optimum.
+* Cyclic assignment is no worse than random assignments for equal-work
+  multiprocessor makespan (Theorem 10).
+* YDS meets every deadline and never uses more energy than AVR (optimality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CUBE, Instance, PolynomialPower, check_optimal_structure
+from repro.flow import equal_work_flow_laptop, verify_theorem1
+from repro.makespan import (
+    brute_force_laptop,
+    incmerge,
+    makespan_frontier,
+    minimum_energy_for_makespan,
+)
+from repro.multi import cyclic_assignment, makespan_for_assignment
+from repro.online import avr_schedule, yds_schedule
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+releases_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+works_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=3.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+energy_strategy = st.floats(min_value=0.2, max_value=50.0, allow_nan=False, allow_infinity=False)
+alpha_strategy = st.floats(min_value=1.3, max_value=4.0, allow_nan=False, allow_infinity=False)
+
+
+def build_instance(releases: list[float], works: list[float]) -> Instance:
+    n = min(len(releases), len(works))
+    rel = sorted(releases[:n])
+    rel[0] = 0.0
+    return Instance.from_arrays(rel, works[:n])
+
+
+common_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ----------------------------------------------------------------------
+# makespan properties
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, energy=energy_strategy)
+def test_incmerge_budget_and_structure(releases, works, energy):
+    inst = build_instance(releases, works)
+    result = incmerge(inst, CUBE, energy)
+    # exact budget use (the optimum always exhausts the budget)
+    assert result.energy == pytest.approx(energy, rel=1e-8)
+    # schedule feasibility and Lemma 2-6 structure
+    sched = result.schedule()
+    sched.validate(energy_budget=energy * (1 + 1e-8))
+    assert check_optimal_structure(sched).satisfies_all
+    # non-decreasing block speeds
+    speeds = [b.speed for b in result.blocks]
+    assert all(s2 >= s1 * (1 - 1e-12) for s1, s2 in zip(speeds, speeds[1:]))
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, energy=energy_strategy)
+def test_incmerge_is_optimal_against_brute_force(releases, works, energy):
+    inst = build_instance(releases, works)
+    assume(inst.n_jobs <= 6)
+    fast = incmerge(inst, CUBE, energy)
+    slow = brute_force_laptop(inst, CUBE, energy)
+    assert fast.makespan == pytest.approx(slow.makespan, rel=1e-8)
+
+
+@common_settings
+@given(
+    releases=releases_strategy,
+    works=works_strategy,
+    energy=energy_strategy,
+    alpha=alpha_strategy,
+)
+def test_frontier_matches_incmerge_for_any_alpha(releases, works, energy, alpha):
+    inst = build_instance(releases, works)
+    power = PolynomialPower(alpha)
+    curve = makespan_frontier(inst, power)
+    assert curve.value(energy) == pytest.approx(incmerge(inst, power, energy).makespan, rel=1e-7)
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, energy=energy_strategy)
+def test_more_energy_never_increases_makespan(releases, works, energy):
+    inst = build_instance(releases, works)
+    low = incmerge(inst, CUBE, energy).makespan
+    high = incmerge(inst, CUBE, energy * 1.5).makespan
+    assert high <= low + 1e-9
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, energy=energy_strategy)
+def test_server_inverts_laptop(releases, works, energy):
+    inst = build_instance(releases, works)
+    makespan = incmerge(inst, CUBE, energy).makespan
+    recovered = minimum_energy_for_makespan(inst, CUBE, makespan)
+    assert recovered == pytest.approx(energy, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# flow properties (equal work)
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(releases=releases_strategy, energy=st.floats(min_value=0.5, max_value=30.0))
+def test_equal_work_flow_budget_and_theorem1(releases, energy):
+    rel = sorted(releases)
+    rel[0] = 0.0
+    inst = Instance.equal_work(rel, work=1.0)
+    result = equal_work_flow_laptop(inst, CUBE, energy)
+    assert result.energy <= energy * (1 + 1e-5)
+    assert verify_theorem1(inst, CUBE, result.speeds, rtol=5e-2)
+    sched = result.schedule(inst, CUBE)
+    sched.validate(energy_budget=energy * (1 + 1e-4))
+
+
+@common_settings
+@given(releases=releases_strategy, energy=st.floats(min_value=0.5, max_value=20.0))
+def test_equal_work_flow_monotone_in_energy(releases, energy):
+    rel = sorted(releases)
+    rel[0] = 0.0
+    inst = Instance.equal_work(rel, work=1.0)
+    low = equal_work_flow_laptop(inst, CUBE, energy).flow
+    high = equal_work_flow_laptop(inst, CUBE, energy * 2.0).flow
+    assert high <= low + 1e-5
+
+
+# ----------------------------------------------------------------------
+# multiprocessor properties
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(
+    releases=st.lists(
+        st.floats(min_value=0.0, max_value=6.0, allow_nan=False), min_size=2, max_size=6
+    ),
+    energy=st.floats(min_value=1.0, max_value=30.0),
+    n_processors=st.integers(min_value=2, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_cyclic_never_worse_than_random_assignment(releases, energy, n_processors, seed):
+    rel = sorted(releases)
+    rel[0] = 0.0
+    inst = Instance.equal_work(rel, work=1.0)
+    cyclic = makespan_for_assignment(
+        inst, CUBE, cyclic_assignment(inst.n_jobs, n_processors), energy
+    )
+    rng = np.random.default_rng(seed)
+    mapping: dict[int, list[int]] = {p: [] for p in range(n_processors)}
+    for job in range(inst.n_jobs):
+        mapping[int(rng.integers(0, n_processors))].append(job)
+    mapping = {p: jobs for p, jobs in mapping.items() if jobs}
+    other = makespan_for_assignment(inst, CUBE, mapping, energy)
+    assert cyclic.makespan <= other.makespan * (1 + 1e-7)
+
+
+# ----------------------------------------------------------------------
+# deadline / online properties
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(
+    releases=st.lists(
+        st.floats(min_value=0.0, max_value=8.0, allow_nan=False), min_size=1, max_size=5
+    ),
+    works=st.lists(
+        st.floats(min_value=0.2, max_value=2.0, allow_nan=False), min_size=1, max_size=5
+    ),
+    laxities=st.lists(
+        st.floats(min_value=0.5, max_value=5.0, allow_nan=False), min_size=1, max_size=5
+    ),
+)
+def test_yds_feasible_and_no_worse_than_avr(releases, works, laxities):
+    n = min(len(releases), len(works), len(laxities))
+    rel = sorted(releases[:n])
+    rel[0] = 0.0
+    deadlines = [r + l for r, l in zip(rel, laxities[:n])]
+    inst = Instance.from_arrays(rel, works[:n], deadlines=deadlines)
+    optimal = yds_schedule(inst, CUBE)
+    optimal.validate(require_deadlines=True)
+    heuristic = avr_schedule(inst, CUBE)
+    heuristic.validate(require_deadlines=True)
+    assert optimal.energy <= heuristic.energy * (1 + 1e-9)

@@ -1,0 +1,82 @@
+"""Tests for the makespan server problem (minimum energy for a deadline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CUBE, Instance
+from repro.exceptions import InfeasibleError
+from repro.makespan import (
+    incmerge,
+    makespan_frontier,
+    minimum_energy_for_makespan,
+    minimum_energy_for_makespan_direct,
+    schedule_for_makespan,
+)
+
+
+class TestServerProblem:
+    def test_fig1_known_values(self, fig1, cube):
+        # at T = 6.5 the optimum is the 3-block schedule with speeds 1, 2, 2
+        assert minimum_energy_for_makespan(fig1, cube, 6.5) == pytest.approx(17.0)
+        # at T = 8 the optimum is the single block at speed 1 -> energy 8
+        assert minimum_energy_for_makespan(fig1, cube, 8.0) == pytest.approx(8.0)
+
+    def test_direct_matches_frontier_inversion(self, fig1, cube):
+        for target in [6.3, 6.5, 7.0, 8.0, 9.5, 15.0]:
+            a = minimum_energy_for_makespan(fig1, cube, target)
+            b = minimum_energy_for_makespan_direct(fig1, cube, target)
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_roundtrip_with_laptop_problem(self, fig1, cube):
+        for target in [6.4, 7.3, 9.0, 20.0]:
+            energy = minimum_energy_for_makespan(fig1, cube, target)
+            achieved = incmerge(fig1, cube, energy).makespan
+            assert achieved == pytest.approx(target, rel=1e-9)
+
+    def test_roundtrip_from_energy_side(self, fig1, cube):
+        for energy in [5.0, 9.0, 14.0, 22.0]:
+            makespan = incmerge(fig1, cube, energy).makespan
+            recovered = minimum_energy_for_makespan(fig1, cube, makespan)
+            assert recovered == pytest.approx(energy, rel=1e-8)
+
+    def test_precomputed_frontier_reused(self, fig1, cube):
+        curve = makespan_frontier(fig1, cube)
+        value = minimum_energy_for_makespan(fig1, cube, 7.0, frontier=curve)
+        assert value == pytest.approx(minimum_energy_for_makespan(fig1, cube, 7.0))
+
+    def test_infeasible_targets(self, fig1, cube):
+        with pytest.raises(InfeasibleError):
+            minimum_energy_for_makespan(fig1, cube, 6.0)  # equal to the last release
+        with pytest.raises(InfeasibleError):
+            minimum_energy_for_makespan(fig1, cube, 3.0)
+        with pytest.raises(InfeasibleError):
+            minimum_energy_for_makespan_direct(fig1, cube, 5.9)
+        with pytest.raises(InfeasibleError):
+            minimum_energy_for_makespan(fig1, cube, float("inf"))
+
+    def test_monotone_in_target(self, cube):
+        inst = Instance.from_arrays([0, 1, 4, 4.2], [1, 2, 1, 1])
+        targets = np.linspace(4.5, 20.0, 25)
+        energies = [minimum_energy_for_makespan(inst, cube, float(t)) for t in targets]
+        assert all(b <= a + 1e-9 for a, b in zip(energies, energies[1:]))
+
+    def test_schedule_for_makespan(self, fig1, cube):
+        sched = schedule_for_makespan(fig1, cube, 7.0)
+        assert sched.makespan == pytest.approx(7.0, rel=1e-9)
+        sched.validate()
+
+    def test_random_roundtrips(self, cube):
+        rng = np.random.default_rng(11)
+        for _ in range(15):
+            n = int(rng.integers(1, 7))
+            releases = np.sort(rng.uniform(0, 6, n))
+            releases[0] = 0.0
+            works = rng.uniform(0.3, 2.0, n)
+            inst = Instance.from_arrays(releases, works)
+            energy = float(rng.uniform(0.5, 30.0))
+            makespan = incmerge(inst, cube, energy).makespan
+            assert minimum_energy_for_makespan(inst, cube, makespan) == pytest.approx(
+                energy, rel=1e-7
+            )

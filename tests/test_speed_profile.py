@@ -1,0 +1,76 @@
+"""Tests for piecewise-constant speed profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CUBE, Instance, Schedule, SpeedProfile, SpeedSegment, profile_from_schedule
+from repro.exceptions import InvalidScheduleError
+
+
+class TestSpeedSegment:
+    def test_work(self):
+        seg = SpeedSegment(0.0, 2.0, 1.5)
+        assert seg.work == pytest.approx(3.0)
+        assert seg.duration == pytest.approx(2.0)
+
+    def test_invalid(self):
+        with pytest.raises(InvalidScheduleError):
+            SpeedSegment(1.0, 1.0, 1.0)
+        with pytest.raises(InvalidScheduleError):
+            SpeedSegment(0.0, 1.0, -1.0)
+
+
+class TestSpeedProfile:
+    def test_overlap_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            SpeedProfile([SpeedSegment(0, 2, 1), SpeedSegment(1, 3, 1)])
+
+    def test_coalescing(self):
+        profile = SpeedProfile([SpeedSegment(0, 1, 2.0), SpeedSegment(1, 2, 2.0)])
+        assert len(profile.segments) == 1
+        assert profile.segments[0].end == pytest.approx(2.0)
+
+    def test_speed_at_and_idle_gaps(self):
+        profile = SpeedProfile([SpeedSegment(0, 1, 2.0), SpeedSegment(3, 4, 1.0)])
+        assert profile.speed_at(0.5) == pytest.approx(2.0)
+        assert profile.speed_at(2.0) == 0.0
+        assert profile.speed_at(3.5) == pytest.approx(1.0)
+        assert profile.speed_at(-1.0) == 0.0
+        assert profile.speed_at(10.0) == 0.0
+
+    def test_work_between(self):
+        profile = SpeedProfile([SpeedSegment(0, 2, 1.0), SpeedSegment(4, 5, 3.0)])
+        assert profile.work_between(0, 5) == pytest.approx(2.0 + 3.0)
+        assert profile.work_between(1, 4.5) == pytest.approx(1.0 + 1.5)
+        assert profile.work_between(2.5, 3.5) == 0.0
+        assert profile.total_work == pytest.approx(5.0)
+
+    def test_energy(self):
+        profile = SpeedProfile([SpeedSegment(0, 2, 2.0)])
+        # power = 8 for 2 time units
+        assert profile.energy(CUBE) == pytest.approx(16.0)
+
+    def test_busy_time_and_max_speed(self):
+        profile = SpeedProfile([SpeedSegment(0, 2, 1.0), SpeedSegment(5, 6, 4.0)])
+        assert profile.busy_time() == pytest.approx(3.0)
+        assert profile.max_speed() == pytest.approx(4.0)
+
+    def test_sample(self):
+        profile = SpeedProfile([SpeedSegment(0, 1, 1.0)])
+        values = profile.sample([0.0, 0.5, 2.0])
+        assert values.tolist() == [1.0, 1.0, 0.0]
+
+
+class TestProfileFromSchedule:
+    def test_roundtrip_energy_and_work(self, fig1, cube):
+        sched = Schedule.from_speeds(fig1, cube, [1.0, 2.0, 2.0])
+        profile = profile_from_schedule(sched, processor=0)
+        assert profile.total_work == pytest.approx(fig1.total_work)
+        assert profile.energy(cube) == pytest.approx(sched.energy)
+        assert profile.end == pytest.approx(sched.makespan)
+
+    def test_missing_processor(self, fig1, cube):
+        sched = Schedule.from_speeds(fig1, cube, [1.0, 2.0, 2.0])
+        with pytest.raises(InvalidScheduleError):
+            profile_from_schedule(sched, processor=3)

@@ -1,0 +1,105 @@
+"""Tests for the workload generators and paper instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.multi import has_perfect_partition_dp
+from repro.workloads import (
+    FIGURE1_BREAKPOINTS,
+    THEOREM8_ENERGY_BUDGET,
+    bursty_instance,
+    deadline_instance,
+    equal_work_instance,
+    figure1_instance,
+    figure1_power,
+    partition_elements,
+    poisson_instance,
+    theorem8_instance,
+    theorem8_power,
+    theorem11_example_elements,
+    zero_release_instance,
+)
+
+
+class TestPaperInstances:
+    def test_figure1(self):
+        inst = figure1_instance()
+        assert np.allclose(inst.releases, [0, 5, 6])
+        assert np.allclose(inst.works, [5, 2, 1])
+        assert figure1_power().alpha == 3.0
+        assert FIGURE1_BREAKPOINTS == (8.0, 17.0)
+
+    def test_theorem8(self):
+        inst = theorem8_instance()
+        assert inst.is_equal_work()
+        assert np.allclose(inst.releases, [0, 0, 1])
+        assert theorem8_power().alpha == 3.0
+        assert THEOREM8_ENERGY_BUDGET == 9.0
+
+    def test_theorem11_example_has_perfect_partition(self):
+        assert has_perfect_partition_dp(theorem11_example_elements())
+
+
+class TestGenerators:
+    def test_poisson_deterministic(self):
+        a = poisson_instance(10, seed=3)
+        b = poisson_instance(10, seed=3)
+        assert np.allclose(a.releases, b.releases)
+        assert np.allclose(a.works, b.works)
+        c = poisson_instance(10, seed=4)
+        assert not np.allclose(a.releases, c.releases)
+
+    def test_poisson_shape(self):
+        inst = poisson_instance(15, seed=1, arrival_rate=2.0, mean_work=0.5)
+        assert inst.n_jobs == 15
+        assert inst.first_release == 0.0
+        assert np.all(np.diff(inst.releases) >= 0)
+
+    @pytest.mark.parametrize("distribution", ["uniform", "exponential", "pareto"])
+    def test_work_distributions(self, distribution):
+        inst = poisson_instance(30, seed=2, work_distribution=distribution)
+        assert np.all(inst.works > 0)
+
+    def test_bursty(self):
+        inst = bursty_instance(12, seed=5, burst_size=3, gap=10.0)
+        assert inst.n_jobs == 12
+        assert inst.first_release == 0.0
+
+    def test_equal_work(self):
+        inst = equal_work_instance(9, seed=6, work=2.0)
+        assert inst.is_equal_work()
+        assert inst.works[0] == 2.0
+
+    def test_zero_release(self):
+        inst = zero_release_instance(7, seed=7)
+        assert inst.all_released_at_zero()
+        assert not inst.is_equal_work()
+
+    def test_deadline_instance(self):
+        inst = deadline_instance(8, seed=8, laxity=2.0)
+        assert inst.has_deadlines()
+        assert np.all(inst.deadlines > inst.releases)
+
+    def test_partition_planted_yes(self):
+        for seed in range(5):
+            elements = partition_elements(6, seed=seed, planted_yes=True)
+            assert has_perfect_partition_dp(elements)
+
+    def test_partition_no_instances(self):
+        for seed in range(5):
+            elements = partition_elements(6, seed=seed, planted_yes=False)
+            assert sum(elements) % 2 == 1
+            assert not has_perfect_partition_dp(elements)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(InvalidInstanceError):
+            poisson_instance(0, seed=1)
+        with pytest.raises(InvalidInstanceError):
+            poisson_instance(3, seed=1, arrival_rate=0.0)
+        with pytest.raises(InvalidInstanceError):
+            partition_elements(1, seed=1)
+        with pytest.raises(InvalidInstanceError):
+            deadline_instance(3, seed=1, laxity=0.0)
