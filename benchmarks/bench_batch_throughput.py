@@ -1,0 +1,85 @@
+"""BATCH-THROUGHPUT -- instances/second through the batch engine.
+
+The batch engine (:mod:`repro.batch`) is the serving path of the repo: many
+instances through one solver, serial or across worker processes.  This
+benchmark measures end-to-end throughput of ``solve_many`` with the IncMerge
+laptop solver at n in {100, 500, 2000} jobs, serial vs ``workers=4``, checks
+that the parallel results are byte-identical to the serial ones, and writes a
+machine-readable summary to ``benchmarks/results/BENCH_batch.json``.
+
+The >2x parallel-speedup assertion is gated on the machine actually having
+multiple cores (process pools cannot beat serial on one CPU); the JSON
+records ``cpu_count`` so downstream readers can interpret the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.batch import solve_many
+from repro.workloads import figure1_power, poisson_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+#: instances per batch at each problem size
+BATCHES = {100: 24, 500: 8, 2000: 3}
+ENERGY_PER_JOB = 2.5
+
+
+def _make_batch(n: int, count: int):
+    return [poisson_instance(n, seed=1000 * n + i, arrival_rate=1.0) for i in range(count)]
+
+
+def test_batch_throughput():
+    power = figure1_power()
+    report: dict = {
+        "benchmark": "batch_throughput",
+        "solver": "laptop",
+        "cpu_count": os.cpu_count(),
+        "sizes": {},
+    }
+    multi_core = (os.cpu_count() or 1) >= 4
+
+    for n, count in BATCHES.items():
+        instances = _make_batch(n, count)
+        energy = ENERGY_PER_JOB * n
+
+        start = time.perf_counter()
+        serial = solve_many(instances, power, energy, solver="laptop", workers=1)
+        t_serial = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = solve_many(instances, power, energy, solver="laptop", workers=4)
+        t_parallel = time.perf_counter() - start
+
+        # determinism: parallel results are byte-identical to serial
+        assert len(serial) == len(parallel) == count
+        for a, b in zip(serial, parallel):
+            assert a.index == b.index
+            assert a.value == b.value
+            assert a.energy == b.energy
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+        speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+        report["sizes"][str(n)] = {
+            "n_jobs": n,
+            "batch_size": count,
+            "serial_seconds": t_serial,
+            "parallel_seconds": t_parallel,
+            "serial_instances_per_second": count / t_serial,
+            "parallel_instances_per_second": count / t_parallel,
+            "parallel_speedup": speedup,
+        }
+        if multi_core:
+            assert speedup > 2.0, (
+                f"workers=4 should beat serial by >2x on a multi-core machine, "
+                f"got {speedup:.2f}x at n={n}"
+            )
+
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "BENCH_batch.json").write_text(
+        json.dumps(report, indent=2), encoding="utf-8"
+    )

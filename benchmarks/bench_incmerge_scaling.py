@@ -46,10 +46,12 @@ def _sweep():
     for n in (10, 20, 40, 80, 160):
         instance = poisson_instance(n, seed=n, arrival_rate=1.0, mean_work=1.0)
         energy = energy_per_job * n
-        t_inc, inc = _time(lambda: incmerge(instance, power, energy))
-        t_quad, quad = _time(lambda: quadratic_laptop(instance, power, energy))
+        # bind the loop variables as defaults so each closure times the
+        # instance/energy of its own sweep row even if called later
+        t_inc, inc = _time(lambda inst=instance, e=energy: incmerge(inst, power, e))
+        t_quad, quad = _time(lambda inst=instance, e=energy: quadratic_laptop(inst, power, e))
         if n <= 80:
-            t_dp, dp = _time(lambda: dp_laptop(instance, power, energy))
+            t_dp, dp = _time(lambda inst=instance, e=energy: dp_laptop(inst, power, e))
             dp_makespan = dp.makespan
         else:
             t_dp, dp_makespan = float("nan"), float("nan")

@@ -1,0 +1,80 @@
+"""YDS-KERNEL -- vectorized YDS speedup over the retained scalar reference.
+
+The vectorized ``yds_speeds`` finds each critical interval with one 2-D
+prefix-sum/argmax over the release x deadline grid
+(:func:`repro.core.kernels.max_density_interval`); the retained reference
+``yds_speeds_reference`` re-enumerates every pair's member set, which is the
+seed implementation's behaviour (~O(n^4) in practice).  This benchmark
+
+* checks the two agree (speeds to 1e-9) on the measured instance,
+* measures both at n in {100, 200, 500} (one reference run each -- the
+  reference needs about a minute at n=500, which is the point),
+* asserts the >= 10x acceptance bar at n=500,
+* writes ``benchmarks/results/BENCH_yds_kernel.json`` plus a human-readable
+  table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.online import yds_speeds, yds_speeds_reference
+from repro.workloads import deadline_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+SIZES = (100, 200, 500)
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_yds_kernel_speedup():
+    rows = []
+    report: dict = {"benchmark": "yds_kernel", "sizes": {}}
+    for n in SIZES:
+        instance = deadline_instance(n, seed=7, laxity=3.0)
+        t_fast, fast = _best_of(lambda inst=instance: yds_speeds(inst), repeats=3)
+        t_ref, ref = _best_of(lambda inst=instance: yds_speeds_reference(inst), repeats=1)
+        assert np.allclose(fast.speeds, ref.speeds, rtol=1e-9, atol=1e-9)
+        speedup = t_ref / t_fast
+        rows.append([n, t_ref, t_fast, speedup])
+        report["sizes"][str(n)] = {
+            "n_jobs": n,
+            "reference_seconds": t_ref,
+            "vectorized_seconds": t_fast,
+            "speedup": speedup,
+        }
+        if n == 500:
+            assert speedup >= 10.0, (
+                f"vectorized YDS must be >= 10x the seed implementation at "
+                f"n=500, got {speedup:.1f}x"
+            )
+
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "BENCH_yds_kernel.json").write_text(
+        json.dumps(report, indent=2), encoding="utf-8"
+    )
+    (RESULTS / "yds_kernel_speedup.txt").write_text(
+        format_table(
+            ["n_jobs", "reference_seconds", "vectorized_seconds", "speedup"],
+            rows,
+            title=(
+                "vectorized YDS (prefix-sum critical-interval kernel) vs the "
+                "retained scalar reference (Poisson deadline workload, laxity 3)"
+            ),
+        ),
+        encoding="utf-8",
+    )

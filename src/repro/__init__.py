@@ -13,12 +13,15 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
   (Theorem 11), exact search, heuristics and the PTAS-style scheme.
 * :mod:`repro.online` -- the YDS substrate and the online algorithms
   (AVR, OA, BKP) used for the extension experiments.
+* :mod:`repro.batch` -- the batch engine: many instances through one solver,
+  optionally across worker processes (``repro batch`` on the command line).
 * :mod:`repro.discrete` -- discrete speed levels (future-work extension).
 * :mod:`repro.workloads` -- the paper's instances and synthetic generators.
 * :mod:`repro.analysis` -- derivatives, breakpoints, tables, ASCII plots.
 """
 
-from . import analysis, core, discrete, flow, io, makespan, multi, online, workloads
+from . import analysis, batch, core, discrete, flow, io, makespan, multi, online, workloads
+from .batch import BatchResult, solve_many
 from .core import (
     CUBE,
     SQUARE,
@@ -34,6 +37,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "batch",
+    "BatchResult",
+    "solve_many",
     "core",
     "discrete",
     "flow",

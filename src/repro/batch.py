@@ -1,0 +1,194 @@
+"""Batch solving engine: many instances through one API, optionally in parallel.
+
+The serving scenario the ROADMAP targets is not "solve one instance" but
+"solve a stream of instances": sweeps over workloads, parameter studies, and
+request batches.  This module provides :func:`solve_many`, which runs any of
+the registered solvers over a list of instances with
+
+* chunked process-pool parallelism (``workers=N``) for CPU-bound fan-out,
+* deterministic result ordering — results come back aligned with the input
+  list regardless of worker count or chunk boundaries, byte-identical to the
+  serial path (the workers run exactly the same code on the same inputs),
+* picklable, structured results (:class:`BatchResult`).
+
+Exposed on the command line as ``repro batch`` (see :mod:`repro.cli`), and
+measured by ``benchmarks/bench_batch_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .core.job import Instance
+from .core.power import PowerFunction
+from .exceptions import InvalidInstanceError
+
+__all__ = ["BatchResult", "SOLVERS", "solve_many"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Result of one instance inside a :func:`solve_many` batch.
+
+    ``value`` is the solver's objective (makespan for ``laptop``, minimum
+    energy for ``server``, total flow for ``flow``, schedule energy for
+    ``yds``); ``energy`` is the energy actually consumed by the returned
+    speed assignment.
+    """
+
+    index: int
+    solver: str
+    n_jobs: int
+    value: float
+    energy: float
+    speeds: np.ndarray
+
+
+# ----------------------------------------------------------------------
+# solver registry
+# ----------------------------------------------------------------------
+
+def _solve_laptop(instance: Instance, power: PowerFunction, budget: float):
+    from .makespan.incmerge import incmerge
+
+    result = incmerge(instance, power, budget)
+    return result.makespan, result.energy, result.speeds
+
+
+def _solve_server(instance: Instance, power: PowerFunction, target: float):
+    from .makespan.incmerge import incmerge
+    from .makespan.server import minimum_energy_for_makespan
+
+    energy = minimum_energy_for_makespan(instance, power, target)
+    result = incmerge(instance, power, energy)
+    return energy, result.energy, result.speeds
+
+
+def _solve_flow(instance: Instance, power: PowerFunction, budget: float):
+    from .flow import equal_work_flow_laptop
+
+    result = equal_work_flow_laptop(instance, power, budget)
+    return result.flow, result.energy, result.speeds
+
+
+def _solve_yds(instance: Instance, power: PowerFunction, budget: float):
+    from .online.yds import yds_schedule
+
+    schedule = yds_schedule(instance, power)
+    energy = schedule.energy
+    return energy, energy, schedule.speeds
+
+
+#: Registered batch solvers: name -> (instance, power, budget) -> (value, energy, speeds).
+#: ``budget`` is the energy budget for ``laptop``/``flow``, the makespan
+#: target for ``server``, and unused by ``yds`` (which needs per-job
+#: deadlines on the instance instead).
+SOLVERS: Mapping[str, Callable] = {
+    "laptop": _solve_laptop,
+    "server": _solve_server,
+    "flow": _solve_flow,
+    "yds": _solve_yds,
+}
+
+
+def _solve_chunk(payload: tuple) -> list[BatchResult]:
+    """Worker entry point: solve one chunk of (index, instance, budget) items.
+
+    Must stay module-level (and take a single picklable argument) so the
+    process pool can ship it to workers.
+    """
+    solver_name, power, items = payload
+    solve = SOLVERS[solver_name]
+    out = []
+    for index, instance, budget in items:
+        value, energy, speeds = solve(instance, power, budget)
+        out.append(
+            BatchResult(
+                index=index,
+                solver=solver_name,
+                n_jobs=instance.n_jobs,
+                value=float(value),
+                energy=float(energy),
+                speeds=np.asarray(speeds, dtype=float),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+def solve_many(
+    instances: Iterable[Instance],
+    power: PowerFunction,
+    budgets: float | Sequence[float],
+    solver: str = "laptop",
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> list[BatchResult]:
+    """Solve many instances with one solver, optionally across processes.
+
+    Parameters
+    ----------
+    instances:
+        The problem instances.
+    power:
+        Shared power function (must be picklable for ``workers > 1``; the
+        built-in power functions are).
+    budgets:
+        One budget per instance, or a single scalar broadcast to all.
+        Interpreted per solver (energy budget, makespan target, ...).
+    solver:
+        A key of :data:`SOLVERS`.
+    workers:
+        ``<= 1`` solves serially in-process; otherwise a process pool with
+        this many workers.  Results are identical either way.
+    chunk_size:
+        Items per worker task; defaults to ``ceil(len / (workers * 4))`` so
+        each worker gets several chunks for load balancing.
+
+    Returns
+    -------
+    list[BatchResult]
+        In input order (``result[i].index == i``), deterministically.
+    """
+    if solver not in SOLVERS:
+        raise InvalidInstanceError(
+            f"unknown batch solver {solver!r}; known solvers: {sorted(SOLVERS)}"
+        )
+    instance_list = list(instances)
+    count = len(instance_list)
+    if count == 0:
+        return []
+    if np.isscalar(budgets):
+        budget_list = [float(budgets)] * count  # type: ignore[arg-type]
+    else:
+        budget_list = [float(b) for b in budgets]  # type: ignore[union-attr]
+        if len(budget_list) != count:
+            raise InvalidInstanceError(
+                f"got {len(budget_list)} budgets for {count} instances; "
+                "pass one per instance or a single scalar"
+            )
+    items = list(zip(range(count), instance_list, budget_list))
+
+    if workers <= 1:
+        return _solve_chunk((solver, power, items))
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(count / (workers * 4)))
+    chunks = [items[i : i + chunk_size] for i in range(0, count, chunk_size)]
+    payloads = [(solver, power, chunk) for chunk in chunks]
+    max_workers = min(workers, len(chunks))
+    results: list[BatchResult] = []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        # pool.map preserves submission order, so flattening the chunk
+        # results reconstructs the input order exactly.
+        for chunk_result in pool.map(_solve_chunk, payloads):
+            results.extend(chunk_result)
+    return results

@@ -7,6 +7,7 @@ Exposes the library's main entry points without writing any Python:
 * ``repro frontier`` -- sample the non-dominated energy/makespan curve,
 * ``repro flow``     -- minimum total flow for an energy budget (equal work),
 * ``repro multi``    -- equal-work multiprocessor makespan/flow,
+* ``repro batch``    -- solve many instances at once (optionally in parallel),
 * ``repro figures``  -- regenerate the paper's Figure 1-3 series as a table.
 
 Instances are given either inline (``--releases 0,5,6 --works 5,2,1``) or as
@@ -22,15 +23,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
 
 from .analysis import format_table
+from .batch import SOLVERS, solve_many
 from .core import Instance, PolynomialPower
 from .exceptions import ReproError
 from .flow import equal_work_flow_laptop
-from .io import load_instance
+from .io import load_instance, load_instances
 from .makespan import incmerge, makespan_frontier, minimum_energy_for_makespan
 from .multi import multiprocessor_flow_equal_work, multiprocessor_makespan_equal_work
 from .workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
@@ -158,6 +161,50 @@ def _cmd_multi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    instances = load_instances(args.instances)
+    power = _power_from_args(args)
+    budgets = _parse_floats(args.energy)
+    if len(budgets) == 1:
+        budgets = budgets * len(instances)
+    start = time.perf_counter()
+    results = solve_many(
+        instances,
+        power,
+        budgets,
+        solver=args.solver,
+        workers=args.workers,
+    )
+    elapsed = time.perf_counter() - start
+    throughput = len(results) / elapsed if elapsed > 0 else float("inf")
+    rows = [
+        [r.index, instances[r.index].name, r.n_jobs, r.value, r.energy]
+        for r in results
+    ]
+    payload = {
+        "solver": args.solver,
+        "workers": args.workers,
+        "elapsed_seconds": elapsed,
+        "instances_per_second": throughput,
+        "results": [
+            {
+                "index": r.index,
+                "name": instances[r.index].name,
+                "n_jobs": r.n_jobs,
+                "value": r.value,
+                "energy": r.energy,
+                "speeds": r.speeds.tolist(),
+            }
+            for r in results
+        ],
+    }
+    _emit(args, ["index", "instance", "n_jobs", "value", "energy"], rows,
+          f"batch of {len(results)} instances via {args.solver!r} "
+          f"({args.workers} worker(s), {elapsed:.3g}s, {throughput:.4g} instances/s)",
+          payload)
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     curve = makespan_frontier(figure1_instance(), figure1_power())
     lo, hi = FIGURE1_ENERGY_RANGE
@@ -225,6 +272,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", choices=["makespan", "flow"], default="makespan")
     p.set_defaults(func=_cmd_multi)
 
+    p = sub.add_parser("batch", help="solve many instances at once (optionally in parallel)")
+    p.add_argument(
+        "--instances", required=True,
+        help="path to a JSON instance-batch file (see repro.io.save_instances)",
+    )
+    p.add_argument(
+        "--energy", required=True,
+        help="energy budget(s): one value broadcast to all instances, or a "
+             "comma-separated list with one per instance (makespan targets "
+             "for --solver server)",
+    )
+    p.add_argument("--solver", choices=sorted(SOLVERS), default="laptop")
+    p.add_argument("--workers", type=int, default=1, help="worker processes (default 1 = serial)")
+    p.add_argument("--alpha", type=float, default=3.0, help="power = speed^alpha (default 3)")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.set_defaults(func=_cmd_batch)
+
     p = sub.add_parser("figures", help="regenerate the paper's Figure 1-3 series")
     p.add_argument("--points", type=int, default=31)
     p.add_argument("--json", action="store_true")
@@ -240,6 +304,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return int(args.func(args))
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, json.JSONDecodeError) as exc:
+        # unreadable/malformed instance files surface as CLI errors, not
+        # tracebacks
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -6,6 +6,7 @@ block machinery of Section 3, and the Pareto-curve representation used for
 the non-dominated frontier of Section 3.2.
 """
 
+from . import kernels
 from .blocks import Block, BlockConfiguration, blocks_from_speeds, evaluate_configuration, fixed_block_speed
 from .job import Instance, Job
 from .metrics import (
@@ -31,6 +32,7 @@ from .speed_profile import SpeedProfile, SpeedSegment, profile_from_schedule
 from .validation import StructureReport, assert_optimal_structure, check_optimal_structure
 
 __all__ = [
+    "kernels",
     "Block",
     "BlockConfiguration",
     "blocks_from_speeds",

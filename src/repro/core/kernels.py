@@ -1,0 +1,192 @@
+"""Vectorized kernel layer shared by the solver stack.
+
+Every hot path in the package ultimately evaluates one of a small number of
+primitives: prefix sums of work over the (sorted) release order, power /
+energy of many speeds at once, the canonical run-in-release-order timing
+recurrence, and — for the YDS substrate — the maximum-density interval over
+the release x deadline critical grid.  This module implements those
+primitives once, as NumPy array kernels, so that
+
+* :func:`repro.online.yds.yds_speeds` finds each critical interval with a
+  single 2-D prefix-sum/argmax instead of re-enumerating member sets
+  (the seed implementation was ~O(n^4) in practice),
+* :func:`repro.makespan.incmerge.incmerge` precomputes all initial block
+  speeds/energies in bulk and runs its merge loop on closed-form scalar
+  closures instead of per-call method dispatch,
+* :meth:`repro.core.schedule.Schedule.from_speeds` and the schedule
+  aggregation properties (energy, completion times, per-processor totals)
+  are single array expressions,
+* the batch engine (:mod:`repro.batch`) amortises all of the above over many
+  instances.
+
+Scalar reference implementations are retained next to each vectorized
+caller; ``tests/test_kernels.py`` pins the two to each other at 1e-9 on
+randomized instances.
+
+Fast closed forms are used only for :class:`~repro.core.power.PolynomialPower`
+(``power = speed ** alpha``), where they are exact; every other power
+function falls back to the scalar methods element-wise, preserving their
+validation and error behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .power import PolynomialPower, PowerFunction
+
+__all__ = [
+    "prefix_sums",
+    "power_eval",
+    "energy_eval",
+    "scalar_energy_fn",
+    "scalar_speed_for_energy_fn",
+    "chain_start_times",
+    "max_density_interval",
+]
+
+
+def prefix_sums(values: np.ndarray) -> np.ndarray:
+    """Prefix sums with a leading zero: ``out[i] = sum(values[:i])``.
+
+    ``out`` has one more entry than ``values`` so that range sums are
+    ``out[j] - out[i]`` for the half-open range ``[i, j)``.
+    """
+    values = np.asarray(values, dtype=float)
+    out = np.empty(len(values) + 1)
+    out[0] = 0.0
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+# ----------------------------------------------------------------------
+# vectorized power-function evaluation
+# ----------------------------------------------------------------------
+
+def power_eval(power: PowerFunction, speeds: np.ndarray) -> np.ndarray:
+    """Vectorised ``P(speed)`` over an array of non-negative speeds."""
+    speeds = np.asarray(speeds, dtype=float)
+    if isinstance(power, PolynomialPower):
+        return speeds**power.exponent
+    return np.array([power.power(float(s)) for s in speeds.ravel()]).reshape(
+        speeds.shape
+    )
+
+
+def energy_eval(
+    power: PowerFunction, works: np.ndarray, speeds: np.ndarray
+) -> np.ndarray:
+    """Vectorised ``power.energy(work, speed)`` over aligned arrays.
+
+    All speeds must be finite and positive (callers mask out the sentinel
+    infinite-speed blocks before evaluating).
+    """
+    works = np.asarray(works, dtype=float)
+    speeds = np.asarray(speeds, dtype=float)
+    if isinstance(power, PolynomialPower):
+        return works * speeds ** (power.exponent - 1.0)
+    return np.array(
+        [power.energy(float(w), float(s)) for w, s in zip(works, speeds)]
+    )
+
+
+def scalar_energy_fn(power: PowerFunction) -> Callable[[float, float], float]:
+    """A fast scalar ``(work, speed) -> energy`` closure.
+
+    Closed form for polynomial powers (skipping per-call validation that the
+    solver loops already guarantee); the bound method otherwise.
+    """
+    if isinstance(power, PolynomialPower):
+        a1 = power.exponent - 1.0
+
+        def energy(work: float, speed: float, _a1: float = a1) -> float:
+            return work * speed**_a1
+
+        return energy
+    return power.energy
+
+
+def scalar_speed_for_energy_fn(power: PowerFunction) -> Callable[[float, float], float]:
+    """A fast scalar ``(work, energy) -> speed`` closure (inverse of the above)."""
+    if isinstance(power, PolynomialPower):
+        inv = 1.0 / (power.exponent - 1.0)
+
+        def speed(work: float, energy: float, _inv: float = inv) -> float:
+            return (energy / work) ** _inv
+
+        return speed
+    return power.speed_for_energy
+
+
+# ----------------------------------------------------------------------
+# canonical run-in-release-order timing recurrence
+# ----------------------------------------------------------------------
+
+def chain_start_times(
+    releases: np.ndarray, durations: np.ndarray, clock0: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Start and end times of jobs run back-to-back in the given order.
+
+    Implements the recurrence ``start[i] = max(release[i], end[i-1])`` with
+    ``end[i] = start[i] + duration[i]`` and ``end[-1] = clock0`` as a single
+    prefix-maximum: with ``P[i] = sum(durations[:i])``,
+    ``start[i] = max_{j<=i}(release[j] - P[j]) + P[i]`` (treating ``clock0``
+    as an extra release of job 0).
+    """
+    releases = np.asarray(releases, dtype=float)
+    durations = np.asarray(durations, dtype=float)
+    prefix = prefix_sums(durations)
+    adjusted = releases - prefix[:-1]
+    adjusted[0] = max(float(clock0), float(releases[0]))
+    base = np.maximum.accumulate(adjusted)
+    starts = base + prefix[:-1]
+    ends = starts + durations
+    return starts, ends
+
+
+# ----------------------------------------------------------------------
+# YDS critical-interval kernel
+# ----------------------------------------------------------------------
+
+def max_density_interval(
+    releases: np.ndarray, deadlines: np.ndarray, works: np.ndarray
+) -> tuple[float, float, float, np.ndarray] | None:
+    """Maximum-density interval over the release x deadline critical grid.
+
+    For every pair ``(t1, t2)`` with ``t1`` a release, ``t2`` a deadline and
+    ``t2 > t1``, the density is ``w(t1, t2) / (t2 - t1)`` where ``w(t1, t2)``
+    sums the work of jobs whose entire ``[release, deadline]`` window lies in
+    ``[t1, t2]``.  Returns ``(t1, t2, density, member_mask)`` for the best
+    pair, or ``None`` if no pair contains any job.
+
+    The member-work matrix is computed in one shot: bucket every job at its
+    (release, deadline) grid cell, then a suffix prefix-sum over releases
+    (``r >= t1``) and a prefix sum over deadlines (``d <= t2``).  Ties are
+    broken like the scalar reference loop: the first maximum in
+    (t1 ascending, t2 ascending) order wins.
+    """
+    releases = np.asarray(releases, dtype=float)
+    deadlines = np.asarray(deadlines, dtype=float)
+    works = np.asarray(works, dtype=float)
+
+    grid_r, idx_r = np.unique(releases, return_inverse=True)
+    grid_d, idx_d = np.unique(deadlines, return_inverse=True)
+    cell_work = np.zeros((len(grid_r), len(grid_d)))
+    np.add.at(cell_work, (idx_r, idx_d), works)
+    # member_work[a, b] = total work of jobs with release >= grid_r[a] and
+    # deadline <= grid_d[b]
+    member_work = np.cumsum(np.cumsum(cell_work[::-1, :], axis=0)[::-1, :], axis=1)
+
+    length = grid_d[np.newaxis, :] - grid_r[:, np.newaxis]
+    valid = (length > 0.0) & (member_work > 0.0)
+    if not np.any(valid):
+        return None
+    density = np.where(valid, member_work / np.where(valid, length, 1.0), -np.inf)
+    flat = int(np.argmax(density))
+    a, b = divmod(flat, len(grid_d))
+    t1 = float(grid_r[a])
+    t2 = float(grid_d[b])
+    members = (releases >= t1) & (deadlines <= t2)
+    return t1, t2, float(density[a, b]), members

@@ -56,6 +56,15 @@ class CurveSegment:
     second_derivative: Callable[[float], float] | None = None
     label: str = ""
     payload: Any = None
+    #: Optional vectorised twin of ``value``: maps an ``np.ndarray`` of
+    #: in-segment energies to the array of values in one call.  Used by
+    #: :meth:`TradeoffCurve.sample`; when absent, sampling falls back to the
+    #: scalar ``value`` per point.
+    value_array: Callable[[np.ndarray], np.ndarray] | None = None
+    #: Whether ``derivative``/``second_derivative`` are NumPy-ufunc-safe
+    #: (accept arrays and broadcast element-wise), enabling the vectorised
+    #: derivative sampling paths.
+    array_safe: bool = False
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.energy_lo) or self.energy_lo < 0.0:
@@ -117,6 +126,9 @@ class TradeoffCurve:
                     f"{a.energy_hi} and {b.energy_lo}"
                 )
         self.segments: tuple[CurveSegment, ...] = tuple(segs)
+        # sorted upper edges of the segments, for O(log n) budget->segment
+        # lookup via searchsorted (the last entry may be +inf)
+        self._energy_his: np.ndarray = np.array([s.energy_hi for s in self.segments])
         self.metric_name = metric_name
         self._check_monotone()
 
@@ -139,16 +151,33 @@ class TradeoffCurve:
         return [seg.energy_lo for seg in self.segments[1:]]
 
     def segment_at(self, energy: float) -> CurveSegment:
-        """The segment containing the given energy budget."""
+        """The segment containing the given energy budget (binary search)."""
         if energy < self.min_energy - 1e-12 or energy > self.max_energy + 1e-12:
             raise BudgetError(
                 f"energy {energy:g} outside the curve's range "
                 f"[{self.min_energy:g}, {self.max_energy:g}]"
             )
-        for seg in self.segments:
-            if energy <= seg.energy_hi + 1e-12:
-                return seg
-        return self.segments[-1]  # pragma: no cover - defensive
+        # first segment with energy <= energy_hi + 1e-12
+        idx = int(np.searchsorted(self._energy_his, energy - 1e-12, side="left"))
+        if idx >= len(self.segments):  # pragma: no cover - defensive
+            idx = len(self.segments) - 1
+        return self.segments[idx]
+
+    def _segment_indices(self, energies: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`segment_at`: one searchsorted for all points."""
+        out_of_range = (energies < self.min_energy - 1e-12) | (
+            energies > self.max_energy + 1e-12
+        )
+        if np.any(out_of_range):
+            bad = float(energies[np.argmax(out_of_range)])
+            raise BudgetError(
+                f"energy {bad:g} outside the curve's range "
+                f"[{self.min_energy:g}, {self.max_energy:g}]"
+            )
+        return np.minimum(
+            np.searchsorted(self._energy_his, energies - 1e-12, side="left"),
+            len(self.segments) - 1,
+        )
 
     # ------------------------------------------------------------------
     # evaluation
@@ -165,17 +194,56 @@ class TradeoffCurve:
         """Second derivative of the value with respect to the energy budget."""
         return self.segment_at(energy).second_derivative_at(energy)
 
+    def _sample_grouped(
+        self,
+        energies: Sequence[float],
+        array_fn: Callable[[CurveSegment], Callable[[np.ndarray], np.ndarray] | None],
+        scalar_fn: Callable[[CurveSegment, float], float],
+    ) -> np.ndarray:
+        """Shared sampling core: locate all segments with one searchsorted,
+        then evaluate each involved segment once on its sub-array (falling
+        back to per-point scalar calls when no array evaluator is available).
+        """
+        energies = np.asarray(energies, dtype=float)
+        indices = self._segment_indices(energies)
+        out = np.empty(energies.shape)
+        for idx in np.unique(indices):
+            seg = self.segments[int(idx)]
+            mask = indices == idx
+            vectorised = array_fn(seg)
+            if vectorised is not None:
+                out[mask] = vectorised(energies[mask])
+            else:
+                out[mask] = [scalar_fn(seg, float(e)) for e in energies[mask]]
+        return out
+
     def sample(self, energies: Sequence[float]) -> np.ndarray:
         """Vectorised :meth:`value` over an array of budgets."""
-        return np.array([self.value(float(e)) for e in energies])
+        return self._sample_grouped(
+            energies,
+            lambda seg: seg.value_array,
+            lambda seg, e: float(seg.value(e)),
+        )
 
     def sample_derivative(self, energies: Sequence[float]) -> np.ndarray:
         """Vectorised :meth:`derivative`."""
-        return np.array([self.derivative(float(e)) for e in energies])
+        return self._sample_grouped(
+            energies,
+            lambda seg: seg.derivative if seg.array_safe and seg.derivative else None,
+            lambda seg, e: seg.derivative_at(e),
+        )
 
     def sample_second_derivative(self, energies: Sequence[float]) -> np.ndarray:
         """Vectorised :meth:`second_derivative`."""
-        return np.array([self.second_derivative(float(e)) for e in energies])
+        return self._sample_grouped(
+            energies,
+            lambda seg: (
+                seg.second_derivative
+                if seg.array_safe and seg.second_derivative
+                else None
+            ),
+            lambda seg, e: seg.second_derivative_at(e),
+        )
 
     def energy_grid(self, n: int = 200, max_energy: float | None = None) -> np.ndarray:
         """A convenient energy grid spanning the curve for plotting/sampling.
@@ -235,11 +303,43 @@ class TradeoffCurve:
                 # The value may be undefined at the segment's lower endpoint
                 # (e.g. the single-block makespan segment diverges as the
                 # budget approaches the fixed-block energy); treat it as +inf
-                # and nudge the bracket's lower end inwards.
+                # and bracket away from the endpoint below.
                 v_lo = math.inf
-                lo = lo + (hi - lo) * 1e-12
             if v_lo <= target + 1e-12:
                 return float(lo)
+            if v_hi >= target:
+                # v_hi passed the acceptance screen above only by the 1e-12
+                # tolerance, so the true crossing sits (numerically) at the
+                # segment's upper edge; brentq would see the same sign at
+                # both ends and raise.
+                return float(hi)
+            if not math.isfinite(v_lo):
+                # March the bracket's lower end inward until the value is
+                # defined and still above the target.  A fixed relative nudge
+                # is not enough: on segments spanning many orders of magnitude
+                # the first probe can overshoot the crossing (its value already
+                # below the target), so shrink the bracket and retry whenever
+                # that happens.
+                nudge = (hi - lo) * 1e-12
+                for _ in range(200):
+                    probe = lo + nudge
+                    try:
+                        v_probe = seg.value(probe)
+                    except BudgetError:
+                        nudge *= 2.0
+                        continue
+                    if v_probe > target:
+                        lo = probe
+                        break
+                    # the probe already achieves the target: the crossing lies
+                    # between the endpoint and the probe
+                    hi = probe
+                    nudge *= 1e-6
+                else:  # pragma: no cover - defensive
+                    raise InfeasibleError(
+                        f"could not bracket the minimum energy for "
+                        f"{self.metric_name} = {target:g}"
+                    )
             result = optimize.brentq(
                 lambda e: seg.value(e) - target, lo, hi, xtol=1e-12, rtol=1e-12
             )

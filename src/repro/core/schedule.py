@@ -28,6 +28,7 @@ import numpy as np
 
 from ..exceptions import InvalidScheduleError
 from .job import Instance
+from .kernels import chain_start_times, power_eval
 from .power import PowerFunction
 
 __all__ = ["Piece", "Schedule"]
@@ -120,6 +121,29 @@ class Schedule:
         self.n_processors = int(n_processors)
         self._completion_cache: np.ndarray | None = None
         self._start_cache: np.ndarray | None = None
+        self._piece_arrays_cache: tuple[np.ndarray, ...] | None = None
+
+    def _piece_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar view of the pieces: (jobs, processors, starts, ends, speeds).
+
+        Built once and cached; every aggregate metric below is a single array
+        expression over these columns instead of a Python loop over pieces.
+        """
+        if self._piece_arrays_cache is None:
+            count = len(self.pieces)
+            jobs = np.fromiter((p.job for p in self.pieces), dtype=np.intp, count=count)
+            procs = np.fromiter((p.processor for p in self.pieces), dtype=np.intp, count=count)
+            starts = np.fromiter((p.start for p in self.pieces), dtype=float, count=count)
+            ends = np.fromiter((p.end for p in self.pieces), dtype=float, count=count)
+            speeds = np.fromiter((p.speed for p in self.pieces), dtype=float, count=count)
+            if jobs.max() >= self.instance.n_jobs:
+                bad = int(jobs.max())
+                raise InvalidScheduleError(
+                    f"piece references job {bad} but the instance has only "
+                    f"{self.instance.n_jobs} jobs"
+                )
+            self._piece_arrays_cache = (jobs, procs, starts, ends, speeds)
+        return self._piece_arrays_cache
 
     # ------------------------------------------------------------------
     # constructors
@@ -145,26 +169,26 @@ class Schedule:
             raise InvalidScheduleError(
                 f"need one speed per job ({instance.n_jobs}), got {len(speeds)}"
             )
-        pieces: list[Piece] = []
-        clock = instance.first_release if start_time is None else float(start_time)
-        for job, speed in zip(instance.jobs, speeds):
-            speed = float(speed)
-            if speed <= 0.0 or not math.isfinite(speed):
-                raise InvalidScheduleError(
-                    f"job {job.index}: speed must be finite and > 0, got {speed}"
-                )
-            begin = max(clock, job.release)
-            duration = job.work / speed
-            pieces.append(
-                Piece(
-                    job=job.index,
-                    processor=processor,
-                    start=begin,
-                    end=begin + duration,
-                    speed=speed,
-                )
+        speeds_arr = np.asarray(speeds, dtype=float)
+        bad = np.where((speeds_arr <= 0.0) | ~np.isfinite(speeds_arr))[0]
+        if len(bad):
+            j = int(bad[0])
+            raise InvalidScheduleError(
+                f"job {j}: speed must be finite and > 0, got {float(speeds_arr[j])}"
             )
-            clock = begin + duration
+        clock = instance.first_release if start_time is None else float(start_time)
+        durations = instance.works / speeds_arr
+        starts, ends = chain_start_times(instance.releases, durations, clock)
+        pieces = [
+            Piece(
+                job=j,
+                processor=processor,
+                start=float(starts[j]),
+                end=float(ends[j]),
+                speed=float(speeds_arr[j]),
+            )
+            for j in range(instance.n_jobs)
+        ]
         return cls(instance, power, pieces, n_processors=n_processors)
 
     @classmethod
@@ -243,11 +267,11 @@ class Schedule:
         return self._completion_cache
 
     def _compute_times(self) -> None:
+        jobs, _, piece_starts, piece_ends, _ = self._piece_arrays()
         starts = np.full(self.instance.n_jobs, math.inf)
         ends = np.full(self.instance.n_jobs, -math.inf)
-        for piece in self.pieces:
-            starts[piece.job] = min(starts[piece.job], piece.start)
-            ends[piece.job] = max(ends[piece.job], piece.end)
+        np.minimum.at(starts, jobs, piece_starts)
+        np.maximum.at(ends, jobs, piece_ends)
         if np.any(~np.isfinite(starts)) or np.any(~np.isfinite(ends)):
             missing = [i for i in range(self.instance.n_jobs) if not math.isfinite(starts[i])]
             raise InvalidScheduleError(f"jobs with no execution pieces: {missing}")
@@ -262,12 +286,14 @@ class Schedule:
         *work-weighted average* speed is returned; the canonical optimal
         schedules always have a single speed per job so this is exact there.
         """
-        result = np.zeros(self.instance.n_jobs)
-        for j, pieces in enumerate(self._job_pieces()):
-            total_work = sum(p.work for p in pieces)
-            total_time = sum(p.duration for p in pieces)
-            result[j] = total_work / total_time if total_time > 0 else math.nan
-        return result
+        jobs, _, starts, ends, piece_speeds = self._piece_arrays()
+        durations = ends - starts
+        total_time = np.bincount(jobs, weights=durations, minlength=self.instance.n_jobs)
+        total_work = np.bincount(
+            jobs, weights=piece_speeds * durations, minlength=self.instance.n_jobs
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(total_time > 0, total_work / total_time, math.nan)
 
     # ------------------------------------------------------------------
     # aggregate metrics
@@ -297,22 +323,23 @@ class Schedule:
     @property
     def energy(self) -> float:
         """Total energy consumed by all pieces."""
-        return float(
-            sum(self.power.power(p.speed) * p.duration for p in self.pieces)
-        )
+        _, _, starts, ends, speeds = self._piece_arrays()
+        return float(np.sum(power_eval(self.power, speeds) * (ends - starts)))
 
     def energy_by_processor(self) -> np.ndarray:
         """Energy consumed on each processor."""
-        result = np.zeros(self.n_processors)
-        for piece in self.pieces:
-            result[piece.processor] += self.power.power(piece.speed) * piece.duration
-        return result
+        _, procs, starts, ends, speeds = self._piece_arrays()
+        return np.bincount(
+            procs,
+            weights=power_eval(self.power, speeds) * (ends - starts),
+            minlength=self.n_processors,
+        )
 
     def processor_completion_times(self) -> np.ndarray:
         """Latest piece end on each processor (``0`` for idle processors)."""
+        _, procs, _, ends, _ = self._piece_arrays()
         result = np.zeros(self.n_processors)
-        for piece in self.pieces:
-            result[piece.processor] = max(result[piece.processor], piece.end)
+        np.maximum.at(result, procs, ends)
         return result
 
     # ------------------------------------------------------------------

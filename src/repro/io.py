@@ -31,6 +31,10 @@ __all__ = [
     "instance_from_dict",
     "save_instance",
     "load_instance",
+    "instances_to_dict",
+    "instances_from_dict",
+    "save_instances",
+    "load_instances",
     "instance_to_csv",
     "power_to_dict",
     "power_from_dict",
@@ -95,6 +99,51 @@ def load_instance(path: str | Path) -> Instance:
     """Read an instance from a JSON file produced by :func:`save_instance`."""
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     return instance_from_dict(data)
+
+
+def instances_to_dict(instances: list[Instance]) -> dict[str, Any]:
+    """JSON-ready representation of a batch of instances."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "instance-batch",
+        "instances": [instance_to_dict(inst) for inst in instances],
+    }
+
+
+def instances_from_dict(data: dict[str, Any] | list) -> list[Instance]:
+    """Rebuild a batch of instances.
+
+    Accepts the ``instance-batch`` payload of :func:`instances_to_dict`, a
+    bare JSON list of instance payloads, or a single ``instance`` payload
+    (returned as a one-element batch).
+    """
+    if isinstance(data, list):
+        return [instance_from_dict(row) for row in data]
+    kind = data.get("kind")
+    if kind == "instance-batch":
+        rows = data.get("instances")
+        if not isinstance(rows, list):
+            raise InvalidInstanceError(
+                "instance-batch payload is missing its 'instances' list"
+            )
+        return [instance_from_dict(row) for row in rows]
+    if kind == "instance":
+        return [instance_from_dict(data)]
+    raise InvalidInstanceError(f"not an instance batch payload: kind={kind!r}")
+
+
+def save_instances(instances: list[Instance], path: str | Path) -> Path:
+    """Write a batch of instances to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(instances_to_dict(instances), indent=2), encoding="utf-8")
+    return path
+
+
+def load_instances(path: str | Path) -> list[Instance]:
+    """Read a batch of instances from a JSON file (see :func:`instances_from_dict`)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return instances_from_dict(data)
 
 
 def instance_to_csv(instance: Instance) -> str:

@@ -217,6 +217,7 @@ def _build_segment(
 
     derivative = None
     second_derivative = None
+    value_array = None
     if power.is_polynomial:
         alpha = power.alpha
         beta = 1.0 / (alpha - 1.0)
@@ -228,6 +229,19 @@ def _build_segment(
         def second_derivative(energy: float, _b=beta, _c=coeff, _f=fixed_energy) -> float:
             return _b * (_b + 1.0) * _c * (energy - _f) ** (-_b - 2.0)
 
+        def value_array(
+            energies: np.ndarray, _b=beta, _w=work, _t0=t0, _f=fixed_energy
+        ) -> np.ndarray:
+            remaining = np.asarray(energies, dtype=float) - _f
+            if np.any(remaining <= 0.0):
+                bad = float(np.min(remaining) + _f)
+                raise BudgetError(
+                    f"energy {bad:g} is below the fixed-block energy {_f:g} "
+                    "of this configuration"
+                )
+            # same closed form as the scalar path: speed = (E_rem/W)^(1/(a-1))
+            return _t0 + _w / (remaining / _w) ** _b
+
     label = f"final block jobs {info.final_first}..{info.final_last}"
     return CurveSegment(
         energy_lo=float(energy_lo),
@@ -237,6 +251,8 @@ def _build_segment(
         second_derivative=second_derivative,
         label=label,
         payload=info,
+        value_array=value_array,
+        array_safe=power.is_polynomial,
     )
 
 

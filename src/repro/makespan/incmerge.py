@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.blocks import Block, coincident_release_threshold
 from ..core.job import Instance
+from ..core.kernels import energy_eval, scalar_energy_fn, scalar_speed_for_energy_fn
 from ..core.power import PowerFunction
 from ..core.schedule import Schedule
 from ..exceptions import BudgetError
@@ -108,6 +109,27 @@ def incmerge(
     n = instance.n_jobs
     tiny = coincident_release_threshold(releases)
 
+    # vectorized pre-pass: every job's initial (single-job, non-final) block
+    # speed and energy, computed in bulk through the kernel layer instead of
+    # one power-function call per push in the loop below.
+    energy_fn = scalar_energy_fn(power)
+    speed_for_energy_fn = scalar_speed_for_energy_fn(power)
+    if n > 1:
+        windows = releases[1:] - releases[:-1]
+        coincident = windows <= tiny
+        init_speeds = np.where(
+            coincident, math.inf, works[:-1] / np.where(coincident, 1.0, windows)
+        )
+        init_energies = np.zeros(n - 1)
+        finite = ~coincident
+        if np.any(finite):
+            init_energies[finite] = energy_eval(
+                power, works[:-1][finite], init_speeds[finite]
+            )
+    else:
+        init_speeds = np.empty(0)
+        init_energies = np.empty(0)
+
     stack: list[_MutableBlock] = []
     fixed_energy = 0.0  # total energy of the *non-final* blocks currently on the stack
 
@@ -118,7 +140,7 @@ def incmerge(
             # Not enough energy for the current fixed blocks: signal "slower
             # than anything" so the merge loop absorbs the predecessor.
             return 0.0
-        return power.speed_for_energy(work, remaining)
+        return speed_for_energy_fn(work, remaining)
 
     for i in range(n):
         is_last = i == n - 1
@@ -126,9 +148,8 @@ def incmerge(
             speed = final_speed(works[i])
             energy = 0.0
         else:
-            window = releases[i + 1] - releases[i]
-            speed = math.inf if window <= tiny else works[i] / window
-            energy = 0.0 if math.isinf(speed) else power.energy(works[i], speed)
+            speed = float(init_speeds[i])
+            energy = float(init_energies[i])
         block = _MutableBlock(
             first=i,
             last=i,
@@ -160,7 +181,7 @@ def incmerge(
                 window = releases[merged_last + 1] - merged_start
                 merged_speed = math.inf if window <= tiny else merged_work / window
                 merged_energy = (
-                    0.0 if math.isinf(merged_speed) else power.energy(merged_work, merged_speed)
+                    0.0 if math.isinf(merged_speed) else energy_fn(merged_work, merged_speed)
                 )
                 fixed_energy += merged_energy
             stack.append(
@@ -180,28 +201,31 @@ def incmerge(
     stack[-1].speed = final_speed(stack[-1].work)
     if stack[-1].speed <= 0.0:  # pragma: no cover - defensive; cannot happen with E > 0
         raise BudgetError("energy budget too small to schedule the final block")
-    stack[-1].energy = power.energy(stack[-1].work, stack[-1].speed)
+    stack[-1].energy = energy_fn(stack[-1].work, stack[-1].speed)
 
     blocks: list[Block] = []
-    speeds = np.empty(n)
     for mutable in stack:
         if math.isinf(mutable.speed):  # pragma: no cover - defensive
             raise BudgetError(
                 "an internal block kept infinite speed; this indicates coincident "
                 "releases that should have been merged"
             )
-        block = Block(
-            first=mutable.first,
-            last=mutable.last,
-            start_time=mutable.start_time,
-            work=mutable.work,
-            speed=mutable.speed,
+        blocks.append(
+            Block(
+                first=mutable.first,
+                last=mutable.last,
+                start_time=mutable.start_time,
+                work=mutable.work,
+                speed=mutable.speed,
+            )
         )
-        blocks.append(block)
-        speeds[block.first : block.last + 1] = block.speed
 
+    block_speeds = np.array([b.speed for b in blocks])
+    block_works = np.array([b.work for b in blocks])
+    block_sizes = np.array([b.n_jobs for b in blocks])
+    speeds = np.repeat(block_speeds, block_sizes)
     makespan = blocks[-1].end_time
-    energy = float(sum(b.energy(power) for b in blocks))
+    energy = float(np.sum(energy_eval(power, block_works, block_speeds)))
     return IncMergeResult(
         instance=instance,
         power=power,

@@ -21,7 +21,13 @@ from .avr import avr_schedule, avr_speed_profile
 from .bkp import bkp_schedule, bkp_speed_at, bkp_speed_profile
 from .executor import execute_profile_edf
 from .oa import oa_schedule
-from .yds import YDSResult, edf_schedule_at_speeds, yds_schedule, yds_speeds
+from .yds import (
+    YDSResult,
+    edf_schedule_at_speeds,
+    yds_schedule,
+    yds_speeds,
+    yds_speeds_reference,
+)
 
 __all__ = [
     "avr_schedule",
@@ -35,4 +41,5 @@ __all__ = [
     "edf_schedule_at_speeds",
     "yds_schedule",
     "yds_speeds",
+    "yds_speeds_reference",
 ]

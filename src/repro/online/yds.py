@@ -30,11 +30,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.job import Instance
+from ..core.kernels import max_density_interval
 from ..core.power import PowerFunction
 from ..core.schedule import Piece, Schedule
 from ..exceptions import InfeasibleError, InvalidInstanceError
 
-__all__ = ["YDSResult", "yds_speeds", "yds_schedule", "edf_schedule_at_speeds"]
+__all__ = [
+    "YDSResult",
+    "yds_speeds",
+    "yds_speeds_reference",
+    "yds_schedule",
+    "edf_schedule_at_speeds",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +65,53 @@ def yds_speeds(instance: Instance) -> YDSResult:
 
     The optimal speeds depend only on the releases, deadlines and works; the
     power function matters only when converting the schedule to energy.
+
+    Each round finds the critical (maximum-density) interval with the
+    vectorised prefix-sum kernel
+    :func:`repro.core.kernels.max_density_interval` instead of re-enumerating
+    the member set of every release/deadline pair; the interval-collapse step
+    is a pair of array updates.  Results match
+    :func:`yds_speeds_reference` (the retained scalar implementation) to
+    floating-point accuracy; ``tests/test_kernels.py`` pins the two together.
+    """
+    _require_deadlines(instance)
+    n = instance.n_jobs
+    releases = instance.releases
+    deadlines = instance.deadlines
+    works = instance.works
+    alive = np.ones(n, dtype=bool)
+    speeds = np.zeros(n)
+    intervals: list[tuple[float, float, float]] = []
+
+    while np.any(alive):
+        live = np.where(alive)[0]
+        found = max_density_interval(releases[live], deadlines[live], works[live])
+        if found is None:  # pragma: no cover - defensive
+            raise InfeasibleError("YDS failed to find a critical interval")
+        t1, t2, intensity, members = found
+        intervals.append((t1, t2, intensity))
+        removed = live[members]
+        speeds[removed] = intensity
+        alive[removed] = False
+        # collapse [t1, t2]: times past t2 shift left by the interval length,
+        # times inside (t1, t2) snap to t1
+        length = t2 - t1
+        rest = np.where(alive)[0]
+        r = releases[rest]
+        d = deadlines[rest]
+        releases[rest] = np.where(r >= t2, r - length, np.where(r > t1, t1, r))
+        deadlines[rest] = np.where(d >= t2, d - length, np.where(d > t1, t1, d))
+
+    return YDSResult(speeds=speeds, critical_intervals=tuple(intervals))
+
+
+def yds_speeds_reference(instance: Instance) -> YDSResult:
+    """Scalar reference implementation of :func:`yds_speeds`.
+
+    Re-enumerates every release/deadline pair's member set each round, exactly
+    as the classic algorithm is usually stated.  Kept as the correctness
+    anchor for the vectorised kernel (and it is what the equivalence tests
+    compare against); use :func:`yds_speeds` everywhere else.
     """
     _require_deadlines(instance)
     remaining: list[tuple[int, float, float, float]] = [
@@ -82,7 +136,9 @@ def yds_speeds(instance: Instance) -> YDSResult:
                     continue
                 work = sum(remaining[i][3] for i in members)
                 intensity = work / (t2 - t1)
-                if intensity > best_intensity + 1e-15:
+                # strict > : keep the first pair attaining the maximum, the
+                # same tie-break the vectorised kernel's argmax applies
+                if intensity > best_intensity:
                     best_intensity = intensity
                     best_pair = (t1, t2)
                     best_set = members

@@ -1,0 +1,140 @@
+"""Tests for the batch solving engine (:mod:`repro.batch`) and its CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.batch import SOLVERS, solve_many
+from repro.cli import main
+from repro.core import CUBE, Instance
+from repro.exceptions import InvalidInstanceError
+from repro.io import load_instances, save_instances
+from repro.makespan import incmerge, minimum_energy_for_makespan
+from repro.workloads import deadline_instance, equal_work_instance, poisson_instance
+
+
+@pytest.fixture(scope="module")
+def instances() -> list[Instance]:
+    return [poisson_instance(20, seed=s, arrival_rate=1.0) for s in range(8)]
+
+
+class TestSolveMany:
+    def test_serial_matches_direct_calls(self, instances):
+        results = solve_many(instances, CUBE, 50.0, solver="laptop")
+        assert [r.index for r in results] == list(range(len(instances)))
+        for r, inst in zip(results, instances):
+            direct = incmerge(inst, CUBE, 50.0)
+            assert r.value == direct.makespan
+            assert np.array_equal(r.speeds, direct.speeds)
+
+    def test_workers_are_deterministic_and_byte_identical(self, instances):
+        serial = solve_many(instances, CUBE, 50.0, solver="laptop", workers=1)
+        parallel = solve_many(instances, CUBE, 50.0, solver="laptop", workers=4)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.index == b.index
+            assert a.value == b.value
+            assert a.energy == b.energy
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    def test_parallel_chunking_preserves_order(self, instances):
+        parallel = solve_many(
+            instances, CUBE, 50.0, solver="laptop", workers=3, chunk_size=1
+        )
+        assert [r.index for r in parallel] == list(range(len(instances)))
+
+    def test_per_instance_budgets(self, instances):
+        budgets = [40.0 + i for i in range(len(instances))]
+        results = solve_many(instances, CUBE, budgets, solver="laptop")
+        for r, inst, budget in zip(results, instances, budgets):
+            assert r.energy == pytest.approx(budget, rel=1e-8)
+
+    def test_server_solver_inverts_laptop(self, instances):
+        inst = instances[0]
+        laptop = incmerge(inst, CUBE, 50.0)
+        results = solve_many([inst], CUBE, laptop.makespan, solver="server")
+        assert results[0].value == pytest.approx(
+            minimum_energy_for_makespan(inst, CUBE, laptop.makespan), rel=1e-9
+        )
+        assert results[0].value == pytest.approx(50.0, rel=1e-6)
+
+    def test_yds_solver(self):
+        insts = [deadline_instance(8, seed=s, laxity=3.0) for s in range(3)]
+        results = solve_many(insts, CUBE, 0.0, solver="yds")
+        assert all(r.value > 0 for r in results)
+        assert all(r.value == pytest.approx(r.energy) for r in results)
+
+    def test_flow_solver(self):
+        insts = [equal_work_instance(5, seed=s) for s in range(2)]
+        results = solve_many(insts, CUBE, 20.0, solver="flow")
+        assert all(r.value > 0 for r in results)
+        assert all(r.energy <= 20.0 * (1 + 1e-5) for r in results)
+
+    def test_validation_errors(self, instances):
+        with pytest.raises(InvalidInstanceError):
+            solve_many(instances, CUBE, 50.0, solver="nope")
+        with pytest.raises(InvalidInstanceError):
+            solve_many(instances, CUBE, [1.0, 2.0], solver="laptop")
+        assert solve_many([], CUBE, 50.0) == []
+
+
+class TestInstanceBatchIO:
+    def test_roundtrip(self, tmp_path, instances):
+        path = tmp_path / "batch.json"
+        save_instances(instances, path)
+        loaded = load_instances(path)
+        assert len(loaded) == len(instances)
+        for a, b in zip(loaded, instances):
+            assert np.array_equal(a.releases, b.releases)
+            assert np.array_equal(a.works, b.works)
+
+    def test_single_instance_payload_accepted(self, tmp_path, instances):
+        from repro.io import save_instance
+
+        path = tmp_path / "one.json"
+        save_instance(instances[0], path)
+        loaded = load_instances(path)
+        assert len(loaded) == 1
+
+    def test_bare_list_accepted(self, tmp_path, instances):
+        from repro.io import instance_to_dict
+
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([instance_to_dict(i) for i in instances[:2]]))
+        assert len(load_instances(path)) == 2
+
+
+class TestBatchCLI:
+    def test_table_output(self, tmp_path, instances, capsys):
+        path = tmp_path / "batch.json"
+        save_instances(instances[:3], path)
+        code = main(["batch", "--instances", str(path), "--energy", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch of 3 instances" in out
+        assert "instances/s" in out
+
+    def test_json_output_matches_library(self, tmp_path, instances, capsys):
+        path = tmp_path / "batch.json"
+        save_instances(instances[:3], path)
+        code = main(
+            ["batch", "--instances", str(path), "--energy", "50", "--json",
+             "--workers", "2"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 2
+        expected = solve_many(instances[:3], CUBE, 50.0)
+        assert len(payload["results"]) == 3
+        for row, r in zip(payload["results"], expected):
+            assert row["value"] == pytest.approx(r.value, rel=1e-12)
+
+    def test_budget_count_mismatch_is_cli_error(self, tmp_path, instances, capsys):
+        path = tmp_path / "batch.json"
+        save_instances(instances[:3], path)
+        code = main(["batch", "--instances", str(path), "--energy", "50,60"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

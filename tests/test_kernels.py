@@ -1,0 +1,275 @@
+"""Equivalence suite for the vectorized kernel layer (:mod:`repro.core.kernels`).
+
+Every vectorized hot path introduced by the kernel layer is pinned to a
+retained scalar reference implementation on randomized (Hypothesis)
+instances:
+
+* ``yds_speeds`` (prefix-sum critical-interval kernel) vs
+  ``yds_speeds_reference`` (the classic member-set re-enumeration),
+* ``incmerge`` (bulk-precomputed block energies) vs ``quadratic_laptop``
+  and ``brute_force_laptop`` (structurally independent solvers),
+* ``TradeoffCurve.sample*`` / ``segment_at`` (searchsorted + grouped array
+  evaluation) vs the per-point scalar entry points,
+* ``Schedule.from_speeds`` / aggregation (prefix-max timing recurrence,
+  bincount energy) vs a direct piece-by-piece replay,
+* the low-level kernels themselves against their obvious NumPy/Python
+  counterparts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CUBE, Instance, PolynomialPower
+from repro.core.kernels import (
+    chain_start_times,
+    energy_eval,
+    max_density_interval,
+    power_eval,
+    prefix_sums,
+)
+from repro.makespan import brute_force_laptop, incmerge, makespan_frontier, quadratic_laptop
+from repro.online import yds_speeds, yds_speeds_reference
+
+TOL = 1e-9
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+releases_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+works_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=3.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+laxities_strategy = st.lists(
+    st.floats(min_value=0.3, max_value=5.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+energy_strategy = st.floats(min_value=0.2, max_value=50.0, allow_nan=False)
+alpha_strategy = st.floats(min_value=1.3, max_value=4.0, allow_nan=False)
+
+
+def _deadline_instance(releases, works, laxities) -> Instance:
+    n = min(len(releases), len(works), len(laxities))
+    rel = sorted(releases[:n])
+    rel[0] = 0.0
+    deadlines = [r + l for r, l in zip(rel, laxities[:n])]
+    return Instance.from_arrays(rel, works[:n], deadlines=deadlines)
+
+
+def _plain_instance(releases, works) -> Instance:
+    n = min(len(releases), len(works))
+    rel = sorted(releases[:n])
+    rel[0] = 0.0
+    return Instance.from_arrays(rel, works[:n])
+
+
+# ----------------------------------------------------------------------
+# low-level kernels
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(works=works_strategy)
+def test_prefix_sums_matches_python(works):
+    out = prefix_sums(np.array(works))
+    assert out[0] == 0.0
+    for i in range(len(works) + 1):
+        assert out[i] == pytest.approx(sum(works[:i]), rel=1e-12, abs=1e-12)
+
+
+@common_settings
+@given(works=works_strategy, alpha=alpha_strategy)
+def test_power_and_energy_eval_match_scalar_methods(works, alpha):
+    power = PolynomialPower(alpha)
+    speeds = np.array(works)  # any positive array works as speeds
+    expect_power = [power.power(float(s)) for s in speeds]
+    assert np.allclose(power_eval(power, speeds), expect_power, rtol=1e-12)
+    expect_energy = [power.energy(float(w), float(s)) for w, s in zip(works, speeds)]
+    assert np.allclose(energy_eval(power, np.array(works), speeds), expect_energy, rtol=1e-12)
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy)
+def test_chain_start_times_matches_sequential_replay(releases, works):
+    inst = _plain_instance(releases, works)
+    durations = inst.works  # pretend speed 1
+    starts, ends = chain_start_times(inst.releases, durations, inst.first_release)
+    clock = inst.first_release
+    for i in range(inst.n_jobs):
+        begin = max(clock, inst.releases[i])
+        assert starts[i] == pytest.approx(begin, rel=1e-12, abs=1e-12)
+        clock = begin + durations[i]
+        assert ends[i] == pytest.approx(clock, rel=1e-12, abs=1e-12)
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, laxities=laxities_strategy)
+def test_max_density_interval_matches_pairwise_scan(releases, works, laxities):
+    inst = _deadline_instance(releases, works, laxities)
+    r, d, w = inst.releases, inst.deadlines, inst.works
+    found = max_density_interval(r, d, w)
+    assert found is not None
+    t1, t2, density, members = found
+    # brute-force the best density over the critical grid
+    best = -1.0
+    for a in sorted(set(r)):
+        for b in sorted(set(d)):
+            if b <= a:
+                continue
+            mask = (r >= a) & (d <= b)
+            if not mask.any():
+                continue
+            best = max(best, float(w[mask].sum()) / (b - a))
+    assert density == pytest.approx(best, rel=TOL)
+    assert np.array_equal(members, (r >= t1) & (d <= t2))
+
+
+# ----------------------------------------------------------------------
+# YDS: vectorized vs retained reference
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, laxities=laxities_strategy)
+def test_yds_vectorized_matches_reference(releases, works, laxities):
+    inst = _deadline_instance(releases, works, laxities)
+    fast = yds_speeds(inst)
+    slow = yds_speeds_reference(inst)
+    assert np.allclose(fast.speeds, slow.speeds, rtol=TOL, atol=TOL)
+    assert len(fast.critical_intervals) == len(slow.critical_intervals)
+    # exact interval endpoints may legitimately differ between the two when
+    # several intervals are critical at (numerically) the same density, so
+    # compare the density sequences, which are the quantities that define the
+    # speeds.
+    fast_densities = sorted(i for _, _, i in fast.critical_intervals)
+    slow_densities = sorted(i for _, _, i in slow.critical_intervals)
+    assert np.allclose(fast_densities, slow_densities, rtol=TOL, atol=TOL)
+
+
+def test_yds_vectorized_matches_reference_midsize():
+    from repro.workloads import deadline_instance
+
+    for seed in range(3):
+        inst = deadline_instance(60, seed=seed, laxity=3.0)
+        fast = yds_speeds(inst)
+        slow = yds_speeds_reference(inst)
+        assert np.allclose(fast.speeds, slow.speeds, rtol=TOL, atol=TOL)
+
+
+# ----------------------------------------------------------------------
+# IncMerge on the kernel layer vs independent solvers
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(
+    releases=releases_strategy,
+    works=works_strategy,
+    energy=energy_strategy,
+    alpha=alpha_strategy,
+)
+def test_incmerge_matches_quadratic_solver(releases, works, energy, alpha):
+    inst = _plain_instance(releases, works)
+    power = PolynomialPower(alpha)
+    fast = incmerge(inst, power, energy)
+    slow = quadratic_laptop(inst, power, energy)
+    assert fast.makespan == pytest.approx(slow.makespan, rel=TOL)
+    assert np.allclose(fast.speeds, slow.speeds, rtol=TOL)
+    assert fast.energy == pytest.approx(energy, rel=1e-8)
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, energy=energy_strategy)
+def test_incmerge_matches_brute_force(releases, works, energy):
+    inst = _plain_instance(releases, works)
+    assume(inst.n_jobs <= 6)
+    fast = incmerge(inst, CUBE, energy)
+    slow = brute_force_laptop(inst, CUBE, energy)
+    assert fast.makespan == pytest.approx(slow.makespan, rel=TOL)
+
+
+# ----------------------------------------------------------------------
+# TradeoffCurve vectorized sampling vs scalar evaluation
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(
+    releases=releases_strategy,
+    works=works_strategy,
+    alpha=alpha_strategy,
+)
+def test_curve_sampling_matches_scalar_path(releases, works, alpha):
+    inst = _plain_instance(releases, works)
+    power = PolynomialPower(alpha)
+    curve = makespan_frontier(inst, power)
+    grid = curve.energy_grid(64)
+    sampled = curve.sample(grid)
+    scalar = np.array([curve.segment_at(float(e)).value(float(e)) for e in grid])
+    assert np.allclose(sampled, scalar, rtol=TOL)
+    d1 = curve.sample_derivative(grid)
+    scalar_d1 = np.array([curve.segment_at(float(e)).derivative_at(float(e)) for e in grid])
+    assert np.allclose(d1, scalar_d1, rtol=TOL)
+    d2 = curve.sample_second_derivative(grid)
+    scalar_d2 = np.array(
+        [curve.segment_at(float(e)).second_derivative_at(float(e)) for e in grid]
+    )
+    assert np.allclose(d2, scalar_d2, rtol=TOL)
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy)
+def test_segment_at_matches_linear_scan(releases, works):
+    inst = _plain_instance(releases, works)
+    curve = makespan_frontier(inst, CUBE)
+    for e in curve.energy_grid(32):
+        fast = curve.segment_at(float(e))
+        slow = next(
+            seg for seg in curve.segments if float(e) <= seg.energy_hi + 1e-12
+        )
+        assert fast is slow
+
+
+# ----------------------------------------------------------------------
+# Schedule construction/aggregation vs piece-by-piece replay
+# ----------------------------------------------------------------------
+
+
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, energy=energy_strategy)
+def test_schedule_aggregation_matches_replay(releases, works, energy):
+    inst = _plain_instance(releases, works)
+    sched = incmerge(inst, CUBE, energy).schedule()
+    # energy: replay every piece through the scalar power function
+    replay_energy = sum(CUBE.power(p.speed) * p.duration for p in sched.pieces)
+    assert sched.energy == pytest.approx(replay_energy, rel=1e-12)
+    # completion times: last piece end per job
+    for j in range(inst.n_jobs):
+        ends = [p.end for p in sched.pieces if p.job == j]
+        starts = [p.start for p in sched.pieces if p.job == j]
+        assert sched.completion_times[j] == pytest.approx(max(ends), rel=1e-12)
+        assert sched.start_times[j] == pytest.approx(min(starts), rel=1e-12)
+    # per-job speeds: work-weighted average
+    for j, s in enumerate(sched.speeds):
+        pieces = [p for p in sched.pieces if p.job == j]
+        expect = sum(p.work for p in pieces) / sum(p.duration for p in pieces)
+        assert s == pytest.approx(expect, rel=1e-12)
+    assert sched.energy_by_processor().sum() == pytest.approx(sched.energy, rel=1e-12)
+    assert sched.processor_completion_times()[0] == pytest.approx(
+        sched.makespan, rel=1e-12
+    )
