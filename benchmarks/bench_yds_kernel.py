@@ -17,11 +17,11 @@ seed implementation's behaviour (~O(n^4) in practice).  This benchmark
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 
 import numpy as np
 
+from conftest import best_of as _best_of
 from repro.analysis import format_table
 from repro.online import yds_speeds, yds_speeds_reference
 from repro.workloads import deadline_instance
@@ -29,16 +29,6 @@ from repro.workloads import deadline_instance
 RESULTS = Path(__file__).parent / "results"
 
 SIZES = (100, 200, 500)
-
-
-def _best_of(fn, repeats: int) -> tuple[float, object]:
-    best = float("inf")
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
 
 
 def test_yds_kernel_speedup():

@@ -84,15 +84,43 @@ def _solve_yds(instance: Instance, power: PowerFunction, budget: float):
     return energy, energy, schedule.speeds
 
 
+def _solve_avr(instance: Instance, power: PowerFunction, budget: float):
+    from .online.avr import avr_schedule
+
+    schedule = avr_schedule(instance, power)
+    energy = schedule.energy
+    return energy, energy, schedule.speeds
+
+
+def _solve_oa(instance: Instance, power: PowerFunction, budget: float):
+    from .online.oa import oa_schedule_incremental
+
+    schedule = oa_schedule_incremental(instance, power)
+    energy = schedule.energy
+    return energy, energy, schedule.speeds
+
+
+def _solve_bkp(instance: Instance, power: PowerFunction, budget: float):
+    from .online.bkp import bkp_schedule
+
+    schedule = bkp_schedule(instance, power)
+    energy = schedule.energy
+    return energy, energy, schedule.speeds
+
+
 #: Registered batch solvers: name -> (instance, power, budget) -> (value, energy, speeds).
 #: ``budget`` is the energy budget for ``laptop``/``flow``, the makespan
-#: target for ``server``, and unused by ``yds`` (which needs per-job
-#: deadlines on the instance instead).
+#: target for ``server``, and unused by the deadline-based solvers ``yds`` /
+#: ``avr`` / ``oa`` / ``bkp`` (which need per-job deadlines on the instance
+#: instead; ``oa`` runs the incremental engine).
 SOLVERS: Mapping[str, Callable] = {
     "laptop": _solve_laptop,
     "server": _solve_server,
     "flow": _solve_flow,
     "yds": _solve_yds,
+    "avr": _solve_avr,
+    "oa": _solve_oa,
+    "bkp": _solve_bkp,
 }
 
 

@@ -8,6 +8,8 @@ Exposes the library's main entry points without writing any Python:
 * ``repro flow``     -- minimum total flow for an energy budget (equal work),
 * ``repro multi``    -- equal-work multiprocessor makespan/flow,
 * ``repro batch``    -- solve many instances at once (optionally in parallel),
+* ``repro compete``  -- online-vs-YDS competitive-ratio sweep over workload
+  grids (through the batch engine), with machine-readable JSON output,
 * ``repro figures``  -- regenerate the paper's Figure 1-3 series as a table.
 
 Instances are given either inline (``--releases 0,5,6 --works 5,2,1``) or as
@@ -24,6 +26,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -36,6 +39,7 @@ from .flow import equal_work_flow_laptop
 from .io import load_instance, load_instances
 from .makespan import incmerge, makespan_frontier, minimum_energy_for_makespan
 from .multi import multiprocessor_flow_equal_work, multiprocessor_makespan_equal_work
+from .online.compete import ALGORITHMS, FAMILIES, competitive_sweep
 from .workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
 
 __all__ = ["main", "build_parser"]
@@ -45,9 +49,22 @@ def _parse_floats(text: str) -> list[float]:
     return [float(part) for part in text.split(",") if part.strip() != ""]
 
 
+def _load_checked(loader, path):
+    """Run an instance-file loader, turning I/O and JSON problems into CLI errors.
+
+    Scoped to the file-loading call sites: an ``OSError`` raised elsewhere
+    (e.g. a broken stdout pipe) is a runtime condition, not a malformed-input
+    error, and must not be rebranded as exit code 2.
+    """
+    try:
+        return loader(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(str(exc)) from exc
+
+
 def _instance_from_args(args: argparse.Namespace) -> Instance:
     if getattr(args, "instance", None):
-        return load_instance(args.instance)
+        return _load_checked(load_instance, args.instance)
     if not getattr(args, "releases", None) or not getattr(args, "works", None):
         raise ReproError(
             "provide either --instance FILE.json or both --releases and --works"
@@ -162,7 +179,7 @@ def _cmd_multi(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    instances = load_instances(args.instances)
+    instances = _load_checked(load_instances, args.instances)
     power = _power_from_args(args)
     budgets = _parse_floats(args.energy)
     if len(budgets) == 1:
@@ -202,6 +219,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
           f"batch of {len(results)} instances via {args.solver!r} "
           f"({args.workers} worker(s), {elapsed:.3g}s, {throughput:.4g} instances/s)",
           payload)
+    return 0
+
+
+def _cmd_compete(args: argparse.Namespace) -> int:
+    payload = competitive_sweep(
+        algorithms=[a.strip() for a in args.algorithms.split(",") if a.strip()],
+        alphas=_parse_floats(args.alphas),
+        families=[f.strip() for f in args.families.split(",") if f.strip()],
+        sizes=[int(s) for s in _parse_floats(args.sizes)],
+        seeds=args.seeds,
+        workers=args.workers,
+    )
+    if args.output:
+        # canonical deterministic dump: equal grids give byte-identical files
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        out = Path(args.output)
+        try:
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(text, encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot write {out}: {exc}") from exc
+    rows = [
+        [
+            r["algorithm"],
+            r["alpha"],
+            r["family"],
+            r["cells"],
+            r["mean_ratio"],
+            r["max_ratio"],
+            r["bound"],
+        ]
+        for r in payload["summary"]
+    ]
+    _emit(
+        args,
+        ["algorithm", "alpha", "family", "cells", "mean_ratio", "max_ratio", "bound"],
+        rows,
+        f"empirical energy ratios vs YDS over {len(payload['cells'])} grid cells",
+        payload,
+    )
     return 0
 
 
@@ -289,6 +346,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_batch)
 
+    p = sub.add_parser(
+        "compete",
+        help="online-vs-YDS competitive-ratio sweep over a workload grid",
+    )
+    p.add_argument(
+        "--algorithms", default=",".join(ALGORITHMS),
+        help=f"comma-separated online algorithms (default {','.join(ALGORITHMS)})",
+    )
+    p.add_argument(
+        "--alphas", default="2,3",
+        help="comma-separated power exponents (power = speed^alpha)",
+    )
+    p.add_argument(
+        "--families", default=",".join(FAMILIES),
+        help=f"comma-separated workload families (known: {','.join(FAMILIES)})",
+    )
+    p.add_argument(
+        "--sizes", default="8,12", help="comma-separated instance sizes (jobs)"
+    )
+    p.add_argument(
+        "--seeds", type=int, default=3, help="seeds per (family, size) cell"
+    )
+    p.add_argument("--workers", type=int, default=1, help="worker processes (default 1 = serial)")
+    p.add_argument(
+        "--output",
+        help="write the JSON payload to this file (deterministic byte-identical reruns)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.set_defaults(func=_cmd_compete)
+
     p = sub.add_parser("figures", help="regenerate the paper's Figure 1-3 series")
     p.add_argument("--points", type=int, default=31)
     p.add_argument("--json", action="store_true")
@@ -304,11 +391,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         return int(args.func(args))
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except (OSError, json.JSONDecodeError) as exc:
-        # unreadable/malformed instance files surface as CLI errors, not
-        # tracebacks
+        # includes unreadable/malformed instance files, wrapped at the
+        # loading call sites by _load_checked
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -31,6 +31,7 @@ validation and error behaviour.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
@@ -45,6 +46,9 @@ __all__ = [
     "scalar_speed_for_energy_fn",
     "chain_start_times",
     "max_density_interval",
+    "interval_work_grid",
+    "stepwise_rate_profile",
+    "common_release_prefix_speeds",
 ]
 
 
@@ -171,13 +175,8 @@ def max_density_interval(
     deadlines = np.asarray(deadlines, dtype=float)
     works = np.asarray(works, dtype=float)
 
-    grid_r, idx_r = np.unique(releases, return_inverse=True)
-    grid_d, idx_d = np.unique(deadlines, return_inverse=True)
-    cell_work = np.zeros((len(grid_r), len(grid_d)))
-    np.add.at(cell_work, (idx_r, idx_d), works)
-    # member_work[a, b] = total work of jobs with release >= grid_r[a] and
-    # deadline <= grid_d[b]
-    member_work = np.cumsum(np.cumsum(cell_work[::-1, :], axis=0)[::-1, :], axis=1)
+    grid_r, grid_d, member_ext = interval_work_grid(releases, deadlines, works)
+    member_work = member_ext[:-1, :]
 
     length = grid_d[np.newaxis, :] - grid_r[:, np.newaxis]
     valid = (length > 0.0) & (member_work > 0.0)
@@ -190,3 +189,126 @@ def max_density_interval(
     t2 = float(grid_d[b])
     members = (releases >= t1) & (deadlines <= t2)
     return t1, t2, float(density[a, b]), members
+
+
+# ----------------------------------------------------------------------
+# event-grid primitives for the online stack
+# ----------------------------------------------------------------------
+
+def interval_work_grid(
+    releases: np.ndarray, deadlines: np.ndarray, works: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cumulative work over the release x deadline critical grid.
+
+    Returns ``(grid_r, grid_d, member_work)`` where ``grid_r``/``grid_d`` are
+    the sorted unique releases/deadlines and ``member_work[a, b]`` is the
+    total work of jobs with ``release >= grid_r[a]`` and
+    ``deadline <= grid_d[b]``.  ``member_work`` carries one extra all-zero
+    row at index ``len(grid_r)`` so that searchsorted release indices can be
+    used directly (the empty release suffix sums to zero).
+
+    This is the shared substrate of the YDS critical-interval kernel
+    (:func:`max_density_interval`) and the vectorised BKP profile
+    (:func:`repro.online.bkp.bkp_speed_profile`): any window work function
+    ``w(t1, t2)`` with inclusive release/deadline constraints is a difference
+    of two entries.
+    """
+    releases = np.asarray(releases, dtype=float)
+    deadlines = np.asarray(deadlines, dtype=float)
+    works = np.asarray(works, dtype=float)
+
+    grid_r, idx_r = np.unique(releases, return_inverse=True)
+    grid_d, idx_d = np.unique(deadlines, return_inverse=True)
+    cell_work = np.zeros((len(grid_r) + 1, len(grid_d)))
+    np.add.at(cell_work, (idx_r, idx_d), works)
+    member_work = np.cumsum(np.cumsum(cell_work[::-1, :], axis=0)[::-1, :], axis=1)
+    return grid_r, grid_d, member_work
+
+
+def stepwise_rate_profile(
+    starts: np.ndarray, ends: np.ndarray, rates: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum of interval-supported constant rates as a piecewise-constant profile.
+
+    Each contribution ``i`` adds ``rates[i]`` on the half-open interval
+    ``[starts[i], ends[i])``.  Returns ``(events, levels)`` with ``events``
+    the sorted unique interval endpoints and ``levels[k]`` the total rate on
+    ``[events[k], events[k+1])`` (so ``levels`` has ``len(events) - 1``
+    entries).  Implemented as a scatter-add of rate deltas at the endpoint
+    indices followed by one cumulative sum — the event-grid analogue of a
+    sweep line.
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    rates = np.asarray(rates, dtype=float)
+    events = np.unique(np.concatenate([starts, ends]))
+    delta = np.zeros(len(events))
+    np.add.at(delta, np.searchsorted(events, starts), rates)
+    np.subtract.at(delta, np.searchsorted(events, ends), rates)
+    levels = np.cumsum(delta)[:-1]
+    return events, levels
+
+
+def common_release_prefix_speeds(
+    t0: float, deadlines: np.ndarray, works: np.ndarray
+) -> np.ndarray:
+    """YDS-optimal speeds for jobs that are all available at time ``t0``.
+
+    ``deadlines`` must be sorted non-decreasingly (with ``works`` aligned)
+    and strictly greater than ``t0``.  When every job shares its release the
+    YDS critical intervals are deadline prefixes, so the optimal speeds are
+    the slopes of the least concave majorant (upper hull) of the cumulative
+    work staircase ``(t0, 0), (d_1, W_1), ..., (d_m, W_m)`` — the classic
+    prefix-density structure Optimal Available replans over.  A monotone
+    hull stack computes all slopes in one O(m) pass instead of one
+    critical-interval search per YDS round.
+
+    Returns one speed per job, constant within each hull segment and
+    strictly decreasing across segments.
+    """
+    deadline_list = (
+        deadlines.tolist() if isinstance(deadlines, np.ndarray) else list(deadlines)
+    )
+    work_list = works.tolist() if isinstance(works, np.ndarray) else list(works)
+    m = len(deadline_list)
+
+    # hull vertices (x, y) with the index of the last job in each segment;
+    # slopes[j] is the slope into vertex j+1 and strictly decreases.  Plain
+    # Python lists: this loop runs once per OA event on mostly-small residual
+    # sets, where per-element NumPy scalar indexing would dominate.
+    xs = [float(t0)]
+    ys = [0.0]
+    last_job = [-1]
+    slopes: list[float] = []
+    y = 0.0
+    for k in range(m):
+        x = deadline_list[k]
+        y += work_list[k]
+        if x <= xs[0]:
+            raise ValueError(
+                f"deadline {x:g} is not after the common availability time {t0:g}"
+            )
+        while slopes:
+            top_x, top_y = xs[-1], ys[-1]
+            slope = math.inf if x <= top_x else (y - top_y) / (x - top_x)
+            if slope >= slopes[-1]:
+                # the chain would stop being concave: merge with the previous
+                # segment (equality merges collinear segments, which matches
+                # YDS emitting them as consecutive equal-intensity rounds)
+                xs.pop()
+                ys.pop()
+                last_job.pop()
+                slopes.pop()
+                continue
+            break
+        slopes.append((y - ys[-1]) / (x - xs[-1]))
+        xs.append(x)
+        ys.append(y)
+        last_job.append(k)
+
+    speeds = np.empty(m)
+    lo = 0
+    for j in range(1, len(last_job)):
+        speeds[lo : last_job[j] + 1] = slopes[j - 1]
+        lo = last_job[j] + 1
+    return speeds

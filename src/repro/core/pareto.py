@@ -150,9 +150,42 @@ class TradeoffCurve:
         """Energy values at which the configuration changes (segment joins)."""
         return [seg.energy_lo for seg in self.segments[1:]]
 
+    def _endpoint_tolerances(self) -> tuple[float, float]:
+        """Absolute snapping tolerances at the curve's two endpoints.
+
+        Energies within a 1e-9 *relative* band outside the covered range are
+        floating-point noise from callers that computed the endpoint
+        themselves (grids, cascades, bisections); they are clamped onto the
+        endpoint rather than rejected.
+        """
+        lo_tol = 1e-9 * max(1.0, abs(self.min_energy))
+        hi_tol = (
+            1e-9 * max(1.0, abs(self.max_energy))
+            if math.isfinite(self.max_energy)
+            else 0.0
+        )
+        return lo_tol, hi_tol
+
+    def _clamped(self, energy: float) -> float:
+        """Snap an energy within endpoint tolerance back into the curve's range."""
+        lo_tol, hi_tol = self._endpoint_tolerances()
+        if self.min_energy - lo_tol <= energy < self.min_energy:
+            return float(self.min_energy)
+        if math.isfinite(self.max_energy) and (
+            self.max_energy < energy <= self.max_energy + hi_tol
+        ):
+            return float(self.max_energy)
+        return float(energy)
+
     def segment_at(self, energy: float) -> CurveSegment:
-        """The segment containing the given energy budget (binary search)."""
-        if energy < self.min_energy - 1e-12 or energy > self.max_energy + 1e-12:
+        """The segment containing the given energy budget (binary search).
+
+        Energies within a relative tolerance outside the covered range are
+        clamped to the nearest endpoint (see :meth:`_clamped`); anything
+        further out raises :class:`BudgetError`.
+        """
+        energy = self._clamped(energy)
+        if energy < self.min_energy or energy > self.max_energy:
             raise BudgetError(
                 f"energy {energy:g} outside the curve's range "
                 f"[{self.min_energy:g}, {self.max_energy:g}]"
@@ -163,35 +196,55 @@ class TradeoffCurve:
             idx = len(self.segments) - 1
         return self.segments[idx]
 
-    def _segment_indices(self, energies: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`segment_at`: one searchsorted for all points."""
-        out_of_range = (energies < self.min_energy - 1e-12) | (
-            energies > self.max_energy + 1e-12
+    def _segment_indices(
+        self, energies: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`segment_at`: one searchsorted for all points.
+
+        Returns the segment index per point together with the
+        endpoint-clamped energies to evaluate the segments at.
+        """
+        lo_tol, hi_tol = self._endpoint_tolerances()
+        energies = np.where(
+            (energies >= self.min_energy - lo_tol) & (energies < self.min_energy),
+            self.min_energy,
+            energies,
         )
+        if math.isfinite(self.max_energy):
+            energies = np.where(
+                (energies > self.max_energy) & (energies <= self.max_energy + hi_tol),
+                self.max_energy,
+                energies,
+            )
+        out_of_range = (energies < self.min_energy) | (energies > self.max_energy)
         if np.any(out_of_range):
             bad = float(energies[np.argmax(out_of_range)])
             raise BudgetError(
                 f"energy {bad:g} outside the curve's range "
                 f"[{self.min_energy:g}, {self.max_energy:g}]"
             )
-        return np.minimum(
+        indices = np.minimum(
             np.searchsorted(self._energy_his, energies - 1e-12, side="left"),
             len(self.segments) - 1,
         )
+        return indices, energies
 
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def value(self, energy: float) -> float:
         """Optimal metric value achievable with the given energy budget."""
+        energy = self._clamped(energy)
         return float(self.segment_at(energy).value(energy))
 
     def derivative(self, energy: float) -> float:
         """First derivative of the value with respect to the energy budget."""
+        energy = self._clamped(energy)
         return self.segment_at(energy).derivative_at(energy)
 
     def second_derivative(self, energy: float) -> float:
         """Second derivative of the value with respect to the energy budget."""
+        energy = self._clamped(energy)
         return self.segment_at(energy).second_derivative_at(energy)
 
     def _sample_grouped(
@@ -205,7 +258,7 @@ class TradeoffCurve:
         back to per-point scalar calls when no array evaluator is available).
         """
         energies = np.asarray(energies, dtype=float)
-        indices = self._segment_indices(energies)
+        indices, energies = self._segment_indices(energies)
         out = np.empty(energies.shape)
         for idx in np.unique(indices):
             seg = self.segments[int(idx)]

@@ -71,19 +71,29 @@ def instance_to_dict(instance: Instance) -> dict[str, Any]:
 
 def instance_from_dict(data: dict[str, Any]) -> Instance:
     """Rebuild an instance from :func:`instance_to_dict` output."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not an instance payload: expected a JSON object, got {type(data).__name__}"
+        )
     if data.get("kind") != "instance":
         raise InvalidInstanceError(f"not an instance payload: kind={data.get('kind')!r}")
+    rows = data.get("jobs", [])
+    if not isinstance(rows, list) or not all(isinstance(row, dict) for row in rows):
+        raise InvalidInstanceError("instance payload 'jobs' must be a list of objects")
     jobs = []
-    for i, row in enumerate(data.get("jobs", [])):
-        jobs.append(
-            Job(
-                index=i,
-                release=float(row["release"]),
-                work=float(row["work"]),
-                deadline=None if row.get("deadline") is None else float(row["deadline"]),
-                weight=float(row.get("weight", 1.0)),
+    for i, row in enumerate(rows):
+        try:
+            jobs.append(
+                Job(
+                    index=i,
+                    release=float(row["release"]),
+                    work=float(row["work"]),
+                    deadline=None if row.get("deadline") is None else float(row["deadline"]),
+                    weight=float(row.get("weight", 1.0)),
+                )
             )
-        )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidInstanceError(f"malformed job row {i}: {exc!r}") from exc
     return Instance(jobs, name=str(data.get("name", "instance")))
 
 
@@ -119,6 +129,11 @@ def instances_from_dict(data: dict[str, Any] | list) -> list[Instance]:
     """
     if isinstance(data, list):
         return [instance_from_dict(row) for row in data]
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            "not an instance batch payload: expected a JSON object or list, "
+            f"got {type(data).__name__}"
+        )
     kind = data.get("kind")
     if kind == "instance-batch":
         rows = data.get("instances")

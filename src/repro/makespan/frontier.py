@@ -146,9 +146,20 @@ def makespan_frontier(
     final_last = n - 1
     final_start = float(releases[n - 1])
     final_work = float(works[n - 1])
-    fixed_energy = float(
-        sum(power.energy(b.work, b.speed) for b in fixed if b.speed < 1e299)
-    )
+    # Per-stage fixed energies as exact prefix sums: the cascade needs the
+    # fixed-block energy after every pop, and computing it by repeated
+    # subtraction leaves a cancellation residual (~1e-12 of the largest block
+    # energy) that makes the final single-block configuration reject valid
+    # tiny budgets.  ``fixed_energy_prefix[k]`` is the energy of the first
+    # ``k`` fixed blocks, summed in block order, so the empty prefix is
+    # exactly 0.0.
+    block_energies = [
+        power.energy(b.work, b.speed) if b.speed < 1e299 else 0.0 for b in fixed
+    ]
+    fixed_energy_prefix = [0.0]
+    for e in block_energies:
+        fixed_energy_prefix.append(fixed_energy_prefix[-1] + e)
+    fixed_energy = float(fixed_energy_prefix[len(fixed)])
 
     segments: list[CurveSegment] = []
     energy_hi = math.inf
@@ -184,8 +195,7 @@ def makespan_frontier(
             break
 
         prev = fixed.pop()
-        if prev.speed < 1e299:
-            fixed_energy -= power.energy(prev.work, prev.speed)
+        fixed_energy = float(fixed_energy_prefix[len(fixed)])
         final_first = prev.first
         final_start = prev.start_time
         final_work += prev.work

@@ -6,21 +6,32 @@ This subpackage provides:
 
 * :mod:`~repro.online.yds` -- the optimal offline algorithm (used as a
   baseline/oracle for the makespan server problem and as OA's planner),
-* :mod:`~repro.online.avr` -- Average Rate,
-* :mod:`~repro.online.oa` -- Optimal Available,
-* :mod:`~repro.online.bkp` -- the Bansal-Kimbrel-Pruhs algorithm,
-* :mod:`~repro.online.executor` -- EDF execution of speed profiles.
+* :mod:`~repro.online.avr` -- Average Rate (vectorised event-grid profile),
+* :mod:`~repro.online.oa` -- Optimal Available (scalar reference plus the
+  incremental prefix-density engine :func:`~repro.online.oa.oa_schedule_incremental`),
+* :mod:`~repro.online.bkp` -- the Bansal-Kimbrel-Pruhs algorithm
+  (vectorised profile on the cumulative work grid),
+* :mod:`~repro.online.executor` -- EDF execution of speed profiles (heap
+  hot loop plus the retained scalar reference),
+* :mod:`~repro.online.compete` -- the competitive-ratio evaluation pipeline
+  (grid sweeps through :func:`repro.batch.solve_many`, ``repro compete``).
 
 The online algorithms are *extension* experiments: the paper lists online
 power-aware scheduling as future work and cites these algorithms; the
 benchmark ``bench_online_competitive`` measures their empirical energy ratios
-against YDS.
+against YDS and writes ``BENCH_online.json``.
 """
 
-from .avr import avr_schedule, avr_speed_profile
-from .bkp import bkp_schedule, bkp_speed_at, bkp_speed_profile
-from .executor import execute_profile_edf
-from .oa import oa_schedule
+from .avr import avr_schedule, avr_speed_profile, avr_speed_profile_reference
+from .bkp import (
+    bkp_schedule,
+    bkp_speed_at,
+    bkp_speed_profile,
+    bkp_speed_profile_reference,
+)
+from .compete import ALGORITHMS, FAMILIES, RATIO_BOUNDS, competitive_sweep
+from .executor import execute_profile_edf, execute_profile_edf_reference
+from .oa import oa_schedule, oa_schedule_incremental
 from .yds import (
     YDSResult,
     edf_schedule_at_speeds,
@@ -32,11 +43,19 @@ from .yds import (
 __all__ = [
     "avr_schedule",
     "avr_speed_profile",
+    "avr_speed_profile_reference",
     "bkp_schedule",
     "bkp_speed_at",
     "bkp_speed_profile",
+    "bkp_speed_profile_reference",
+    "ALGORITHMS",
+    "FAMILIES",
+    "RATIO_BOUNDS",
+    "competitive_sweep",
     "execute_profile_edf",
+    "execute_profile_edf_reference",
     "oa_schedule",
+    "oa_schedule_incremental",
     "YDSResult",
     "edf_schedule_at_speeds",
     "yds_schedule",

@@ -21,12 +21,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.job import Instance
+from ..core.kernels import stepwise_rate_profile
 from ..core.power import PowerFunction
 from ..core.schedule import Schedule
 from ..exceptions import InvalidInstanceError
 from .executor import execute_profile_edf
 
-__all__ = ["avr_speed_profile", "avr_schedule"]
+__all__ = ["avr_speed_profile", "avr_speed_profile_reference", "avr_schedule"]
 
 
 def avr_speed_profile(instance: Instance) -> list[tuple[float, float, float]]:
@@ -35,7 +36,28 @@ def avr_speed_profile(instance: Instance) -> list[tuple[float, float, float]]:
     Returns ``(start, end, speed)`` segments between consecutive event points
     (releases and deadlines).  Segments of zero speed are included so the
     profile covers the whole horizon.
+
+    Built on the :func:`repro.core.kernels.stepwise_rate_profile` event-grid
+    kernel (scatter-add of rate deltas + one cumulative sum) instead of one
+    activity scan per segment; pinned to
+    :func:`avr_speed_profile_reference` at 1e-9 by the equivalence suite.
     """
+    if not instance.has_deadlines():
+        raise InvalidInstanceError("AVR requires deadlines on every job")
+    releases = instance.releases
+    deadlines = instance.deadlines
+    rates = instance.works / (deadlines - releases)
+    events, levels = stepwise_rate_profile(releases, deadlines, rates)
+    return [
+        (float(a), float(b), float(s))
+        for a, b, s in zip(events, events[1:], levels)
+    ]
+
+
+def avr_speed_profile_reference(
+    instance: Instance,
+) -> list[tuple[float, float, float]]:
+    """Scalar reference for :func:`avr_speed_profile` (one scan per segment)."""
     if not instance.has_deadlines():
         raise InvalidInstanceError("AVR requires deadlines on every job")
     releases = instance.releases

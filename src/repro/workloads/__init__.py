@@ -4,8 +4,10 @@ from .generators import (
     bursty_instance,
     deadline_instance,
     equal_work_instance,
+    nested_interval_instance,
     partition_elements,
     poisson_instance,
+    staircase_deadline_instance,
     zero_release_instance,
 )
 from .paper_instances import (
@@ -23,8 +25,10 @@ __all__ = [
     "bursty_instance",
     "deadline_instance",
     "equal_work_instance",
+    "nested_interval_instance",
     "partition_elements",
     "poisson_instance",
+    "staircase_deadline_instance",
     "zero_release_instance",
     "FIGURE1_BREAKPOINTS",
     "FIGURE1_ENERGY_RANGE",

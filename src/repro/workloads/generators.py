@@ -15,7 +15,11 @@ module provides deterministic (seeded) generators for them:
 * :func:`partition_elements` -- integer multisets for the Theorem 11
   reduction, with a switch for planted yes-instances and no-instances,
 * :func:`deadline_instance` -- jobs with laxity-controlled deadlines for the
-  YDS/online extension experiments.
+  YDS/online extension experiments,
+* :func:`staircase_deadline_instance` / :func:`nested_interval_instance` --
+  adversarial deadline workloads (releases accumulating against a common
+  deadline, and nested feasibility windows) in the regimes where the online
+  algorithms' empirical competitive ratios are known to be bad.
 
 All generators take an explicit ``seed`` and are pure functions of their
 arguments, so every benchmark run is reproducible.
@@ -38,6 +42,8 @@ __all__ = [
     "partition_elements",
     "deadline_instance",
     "zero_release_instance",
+    "staircase_deadline_instance",
+    "nested_interval_instance",
 ]
 
 WorkDistribution = Literal["uniform", "exponential", "pareto"]
@@ -183,6 +189,94 @@ def partition_elements(
     if sum(elements) % 2 == 0:
         elements[0] += 1
     return elements
+
+
+def staircase_deadline_instance(
+    n_jobs: int,
+    seed: int,
+    horizon: float = 1.0,
+    decay: float = 0.75,
+    work_jitter: float = 0.2,
+    name: str | None = None,
+) -> Instance:
+    """Releases accumulating geometrically against a (nearly) common deadline.
+
+    Job ``i`` is released at ``horizon * (1 - decay**i)`` with deadline
+    ``horizon`` and work proportional to its remaining window
+    ``horizon * decay**i`` (times a seeded jitter factor).  Every arrival
+    therefore lands after the previous plan assumed the work was over,
+    shrinking the laxity staircase-style — the adversarial regime of the
+    classic ``alpha**alpha`` lower-bound construction for Optimal Available,
+    where the online planner keeps discovering it ran too slowly.
+    """
+    if n_jobs <= 0:
+        raise InvalidInstanceError("n_jobs must be positive")
+    if horizon <= 0:
+        raise InvalidInstanceError("horizon must be positive")
+    if not 0.0 < decay < 1.0:
+        raise InvalidInstanceError("decay must lie strictly between 0 and 1")
+    if not 0.0 <= work_jitter < 1.0:
+        raise InvalidInstanceError("work_jitter must lie in [0, 1)")
+    rng = np.random.default_rng(seed)
+    # cap the geometric span at six orders of magnitude, spread over all
+    # jobs: windows below ~1e-6 * horizon would fall under the solvers'
+    # absolute work/time thresholds (and eventually double-precision
+    # resolution next to `horizon`) instead of stressing the planner
+    decay = max(decay, 10.0 ** (-6.0 / max(n_jobs - 1, 1)))
+    steps = decay ** np.arange(n_jobs)
+    releases = horizon * (1.0 - steps)
+    windows = horizon * steps  # deadline - release, strictly positive
+    jitter = rng.uniform(1.0 - work_jitter, 1.0 + work_jitter, n_jobs)
+    works = windows * jitter
+    deadlines = np.full(n_jobs, float(horizon))
+    return Instance.from_arrays(
+        releases,
+        works,
+        deadlines=deadlines,
+        name=name or f"staircase-n{n_jobs}-seed{seed}",
+    )
+
+
+def nested_interval_instance(
+    n_jobs: int,
+    seed: int,
+    horizon: float = 2.0,
+    shrink: float = 0.65,
+    work_jitter: float = 0.2,
+    name: str | None = None,
+) -> Instance:
+    """Strictly nested feasibility windows sharing one centre.
+
+    Job ``i`` has the window ``[c - h_i, c + h_i]`` with ``c = horizon / 2``
+    and half-widths shrinking geometrically, and work proportional to its
+    window length (times a seeded jitter factor).  Inner jobs force high
+    speeds near the centre while the outer jobs' average rates pile on top —
+    the nested-interval regime in which Average Rate's
+    ``2**(alpha-1) * alpha**alpha`` competitive bound is approached.
+    """
+    if n_jobs <= 0:
+        raise InvalidInstanceError("n_jobs must be positive")
+    if horizon <= 0:
+        raise InvalidInstanceError("horizon must be positive")
+    if not 0.0 < shrink < 1.0:
+        raise InvalidInstanceError("shrink must lie strictly between 0 and 1")
+    if not 0.0 <= work_jitter < 1.0:
+        raise InvalidInstanceError("work_jitter must lie in [0, 1)")
+    rng = np.random.default_rng(seed)
+    centre = 0.5 * horizon
+    # same six-orders-of-magnitude cap as the staircase family (see there)
+    shrink = max(shrink, 10.0 ** (-6.0 / max(n_jobs - 1, 1)))
+    half_widths = centre * shrink ** np.arange(n_jobs)
+    releases = centre - half_widths
+    deadlines = centre + half_widths
+    jitter = rng.uniform(1.0 - work_jitter, 1.0 + work_jitter, n_jobs)
+    works = 2.0 * half_widths * jitter
+    return Instance.from_arrays(
+        releases,
+        works,
+        deadlines=deadlines,
+        name=name or f"nested-n{n_jobs}-seed{seed}",
+    )
 
 
 def deadline_instance(

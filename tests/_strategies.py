@@ -1,0 +1,71 @@
+"""Shared Hypothesis strategies and instance builders for the test suites.
+
+``test_kernels.py``, ``test_online_equivalence.py`` and
+``test_online_properties.py`` all randomize over the same instance space;
+keeping the strategies (and the raw-list -> :class:`Instance` builders) in
+one module guarantees the equivalence and property suites keep testing the
+same inputs when the bounds evolve.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.core import Instance
+
+__all__ = [
+    "hypothesis_settings",
+    "releases_strategy",
+    "works_strategy",
+    "laxities_strategy",
+    "energy_strategy",
+    "alpha_strategy",
+    "deadline_instance_from",
+    "plain_instance_from",
+]
+
+
+def hypothesis_settings(max_examples: int = 40) -> settings:
+    """The suites' common profile: no deadline, tolerant health checks."""
+    return settings(
+        max_examples=max_examples,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    )
+
+
+releases_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+works_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=3.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+laxities_strategy = st.lists(
+    st.floats(min_value=0.3, max_value=5.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+energy_strategy = st.floats(min_value=0.2, max_value=50.0, allow_nan=False)
+alpha_strategy = st.floats(min_value=1.3, max_value=4.0, allow_nan=False)
+
+
+def deadline_instance_from(releases, works, laxities) -> Instance:
+    """Feasible deadline instance from three (possibly unequal) raw lists."""
+    n = min(len(releases), len(works), len(laxities))
+    rel = sorted(releases[:n])
+    rel[0] = 0.0
+    deadlines = [r + l for r, l in zip(rel, laxities[:n])]
+    return Instance.from_arrays(rel, works[:n], deadlines=deadlines)
+
+
+def plain_instance_from(releases, works) -> Instance:
+    """Deadline-free instance from two (possibly unequal) raw lists."""
+    n = min(len(releases), len(works))
+    rel = sorted(releases[:n])
+    rel[0] = 0.0
+    return Instance.from_arrays(rel, works[:n])

@@ -7,8 +7,12 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.io import save_instance
-from repro.workloads import equal_work_instance, figure1_instance
+from repro.io import save_instance, save_instances
+from repro.workloads import (
+    deadline_instance,
+    equal_work_instance,
+    figure1_instance,
+)
 
 
 FIG1_ARGS = ["--releases", "0,5,6", "--works", "5,2,1"]
@@ -84,6 +88,113 @@ class TestFlowAndMulti:
             payload = json.loads(capsys.readouterr().out)
             assert payload["metric"] == metric
             assert payload["value"] > 0
+
+
+class TestBatchGolden:
+    """Golden regression tests for ``repro batch`` (JSON in/out, determinism)."""
+
+    def _batch_file(self, tmp_path):
+        instances = [equal_work_instance(4, seed=s) for s in range(3)]
+        return save_instances(instances, tmp_path / "batch.json")
+
+    def test_json_roundtrip_and_determinism(self, tmp_path, capsys):
+        path = self._batch_file(tmp_path)
+        argv = ["batch", "--instances", str(path), "--energy", "6", "--json"]
+        outputs = []
+        for _ in range(2):
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            # the results section must be byte-identical across reruns
+            # (timing fields legitimately differ)
+            outputs.append(json.dumps(payload["results"], sort_keys=True).encode())
+        assert outputs[0] == outputs[1]
+        payload_results = json.loads(outputs[0])
+        assert [r["index"] for r in payload_results] == [0, 1, 2]
+        assert all(r["value"] > 0 for r in payload_results)
+
+    def test_online_solver_through_batch(self, tmp_path, capsys):
+        instances = [deadline_instance(5, seed=s, laxity=3.0) for s in range(2)]
+        path = save_instances(instances, tmp_path / "dl.json")
+        argv = [
+            "batch", "--instances", str(path), "--energy", "0",
+            "--solver", "oa", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 2
+        assert all(r["energy"] > 0 for r in payload["results"])
+
+    def test_malformed_instance_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not valid json", encoding="utf-8")
+        assert main(["batch", "--instances", str(bad), "--energy", "6"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_wrong_payload_kind_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "kind.json"
+        bad.write_text(json.dumps({"kind": "schedule"}), encoding="utf-8")
+        assert main(["batch", "--instances", str(bad), "--energy", "6"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "payload", ["123", '"hello"', "[1, 2]", '{"kind": "instance", "jobs": [1]}',
+                    '{"kind": "instance", "jobs": [{"release": 0}]}'])
+    def test_valid_json_wrong_shape_exits_2(self, tmp_path, capsys, payload):
+        """Valid JSON that is not an instance batch must be a clean CLI error."""
+        bad = tmp_path / "shape.json"
+        bad.write_text(payload, encoding="utf-8")
+        assert main(["batch", "--instances", str(bad), "--energy", "6"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["batch", "--instances", str(missing), "--energy", "6"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompeteGolden:
+    """Golden regression tests for ``repro compete``."""
+
+    QUICK = ["compete", "--alphas", "2", "--sizes", "5", "--seeds", "2",
+             "--families", "deadline,staircase"]
+
+    def test_output_file_bytes_identical_across_reruns(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([*self.QUICK, "--output", str(path)]) == 0
+            capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        payload = json.loads(paths[0].read_text(encoding="utf-8"))
+        assert payload["kind"] == "competitive-sweep"
+        # grid: 3 algorithms x 1 alpha x 2 families x 1 size x 2 seeds
+        assert len(payload["cells"]) == 12
+        assert all(cell["ratio"] >= 1.0 - 1e-6 for cell in payload["cells"]
+                   if cell["algorithm"] != "bkp")
+
+    def test_json_stdout_structure(self, capsys):
+        assert main([*self.QUICK, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summaries = {(r["algorithm"], r["family"]) for r in payload["summary"]}
+        assert ("oa", "staircase") in summaries
+        for row in payload["summary"]:
+            assert row["mean_ratio"] <= row["bound"] * (1 + 1e-9)
+
+    def test_table_output(self, capsys):
+        assert main(self.QUICK) == 0
+        out = capsys.readouterr().out
+        assert "mean_ratio" in out and "staircase" in out
+
+    def test_unknown_family_exits_2(self, capsys):
+        assert main(["compete", "--families", "bogus"]) == 2
+        assert "unknown workload family" in capsys.readouterr().err
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        assert main(["compete", "--algorithms", "lll"]) == 2
+        assert "unknown online algorithm" in capsys.readouterr().err
+
+    def test_nonpositive_seeds_exits_2(self, capsys):
+        assert main(["compete", "--seeds", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestFigures:

@@ -22,9 +22,18 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, assume, given, settings
-from hypothesis import strategies as st
+from hypothesis import assume, given
 
+from _strategies import (
+    alpha_strategy,
+    deadline_instance_from as _deadline_instance,
+    energy_strategy,
+    hypothesis_settings,
+    laxities_strategy,
+    plain_instance_from as _plain_instance,
+    releases_strategy,
+    works_strategy,
+)
 from repro.core import CUBE, Instance, PolynomialPower
 from repro.core.kernels import (
     chain_start_times,
@@ -38,44 +47,7 @@ from repro.online import yds_speeds, yds_speeds_reference
 
 TOL = 1e-9
 
-common_settings = settings(
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
-)
-
-releases_strategy = st.lists(
-    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
-    min_size=1,
-    max_size=8,
-)
-works_strategy = st.lists(
-    st.floats(min_value=0.1, max_value=3.0, allow_nan=False, allow_infinity=False),
-    min_size=1,
-    max_size=8,
-)
-laxities_strategy = st.lists(
-    st.floats(min_value=0.3, max_value=5.0, allow_nan=False, allow_infinity=False),
-    min_size=1,
-    max_size=8,
-)
-energy_strategy = st.floats(min_value=0.2, max_value=50.0, allow_nan=False)
-alpha_strategy = st.floats(min_value=1.3, max_value=4.0, allow_nan=False)
-
-
-def _deadline_instance(releases, works, laxities) -> Instance:
-    n = min(len(releases), len(works), len(laxities))
-    rel = sorted(releases[:n])
-    rel[0] = 0.0
-    deadlines = [r + l for r, l in zip(rel, laxities[:n])]
-    return Instance.from_arrays(rel, works[:n], deadlines=deadlines)
-
-
-def _plain_instance(releases, works) -> Instance:
-    n = min(len(releases), len(works))
-    rel = sorted(releases[:n])
-    rel[0] = 0.0
-    return Instance.from_arrays(rel, works[:n])
+common_settings = hypothesis_settings(max_examples=40)
 
 
 # ----------------------------------------------------------------------
@@ -230,6 +202,40 @@ def test_curve_sampling_matches_scalar_path(releases, works, alpha):
         [curve.segment_at(float(e)).second_derivative_at(float(e)) for e in grid]
     )
     assert np.allclose(d2, scalar_d2, rtol=TOL)
+
+
+def test_segment_at_endpoint_noise_regression():
+    """Pinned hypothesis falsifying example for the endpoint-noise bug.
+
+    Cascading ``fixed_energy`` by repeated subtraction left a ~6e-12
+    cancellation residual once every fixed block was popped, so the cheapest
+    configuration rejected budgets between 0 and the residual; the curve's
+    own ``energy_grid`` starts inside that band and construction raised
+    ``BudgetError`` from ``_check_monotone``.
+    """
+    inst = _plain_instance([0.0, 3.0, 2.984375], [0.109375, 3.0, 1.0])
+    curve = makespan_frontier(inst, CUBE)
+    # the empty fixed prefix must contribute exactly zero energy
+    assert curve.segments[0].payload.fixed_energy == 0.0
+    for e in curve.energy_grid(32):
+        fast = curve.segment_at(float(e))
+        assert math.isfinite(fast.value(float(e)))
+        assert math.isfinite(curve.value(float(e)))
+
+
+def test_segment_at_clamps_endpoint_noise():
+    """Energies within 1e-9 relative noise of either endpoint are clamped in."""
+    inst = _plain_instance([0.0, 5.0, 6.0], [5.0, 2.0, 1.0])
+    curve = makespan_frontier(inst, CUBE)
+    lo = curve.min_energy
+    below = lo - 1e-10 * max(1.0, lo)
+    assert curve.segment_at(below) is curve.segments[0]
+    sampled = curve.sample([below + 1.0])  # vectorised path shares the clamp
+    assert np.isfinite(sampled).all()
+    from repro.exceptions import BudgetError
+
+    with pytest.raises(BudgetError):
+        curve.segment_at(lo - 1.0)
 
 
 @common_settings

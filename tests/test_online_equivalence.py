@@ -1,0 +1,190 @@
+"""Equivalence suite for the online engine v2 (incremental / vectorized paths).
+
+Follows the ``tests/test_kernels.py`` pattern: every fast path introduced by
+the online engine is pinned to its retained scalar reference at 1e-9 —
+
+* ``oa_schedule_incremental`` (prefix-density planner, in-place residual
+  updates) vs ``oa_schedule`` (re-plans with full YDS per event),
+* ``avr_speed_profile`` (event-grid scatter-add kernel) vs
+  ``avr_speed_profile_reference`` (one scan per segment),
+* ``bkp_speed_profile`` (cumulative work-grid evaluation) vs
+  ``bkp_speed_profile_reference`` (one ``bkp_speed_at`` per slice),
+* ``execute_profile_edf`` (heap hot loop) vs
+  ``execute_profile_edf_reference`` (full-array rescans),
+
+across all deadline-carrying generator families, including the two
+adversarial ones, plus randomized (Hypothesis) instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from _strategies import (
+    deadline_instance_from as _deadline_instance,
+    hypothesis_settings,
+    laxities_strategy,
+    releases_strategy,
+    works_strategy,
+)
+from repro.core import CUBE, PolynomialPower
+from repro.online import (
+    avr_speed_profile,
+    avr_speed_profile_reference,
+    bkp_speed_profile,
+    bkp_speed_profile_reference,
+    execute_profile_edf,
+    execute_profile_edf_reference,
+    oa_schedule,
+    oa_schedule_incremental,
+)
+from repro.workloads import (
+    deadline_instance,
+    nested_interval_instance,
+    staircase_deadline_instance,
+)
+
+TOL = 1e-9
+
+#: name -> (n_jobs, seed) -> instance, every deadline-carrying family
+FAMILIES = {
+    "deadline": lambda n, seed: deadline_instance(n, seed=seed, laxity=2.5),
+    "staircase": lambda n, seed: staircase_deadline_instance(n, seed=seed),
+    "nested": lambda n, seed: nested_interval_instance(n, seed=seed),
+}
+
+common_settings = hypothesis_settings(max_examples=30)
+
+
+def _assert_profiles_equal(fast, slow):
+    assert len(fast) == len(slow)
+    for (a1, b1, s1), (a2, b2, s2) in zip(fast, slow):
+        assert a1 == pytest.approx(a2, rel=1e-12, abs=1e-12)
+        assert b1 == pytest.approx(b2, rel=1e-12, abs=1e-12)
+        assert s1 == pytest.approx(s2, rel=TOL, abs=TOL)
+
+
+# ----------------------------------------------------------------------
+# incremental OA vs the scalar replanning reference
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n_jobs", [1, 2, 5, 11, 20])
+def test_incremental_oa_matches_reference_on_families(family, n_jobs):
+    for seed in range(4):
+        inst = FAMILIES[family](n_jobs, seed)
+        for alpha in (2.0, 3.0):
+            power = PolynomialPower(alpha)
+            reference = oa_schedule(inst, power)
+            incremental = oa_schedule_incremental(inst, power)
+            assert incremental.energy == pytest.approx(reference.energy, rel=TOL)
+            incremental.validate(require_deadlines=True)
+
+
+def test_incremental_oa_same_event_batch_regression():
+    """Pinned hypothesis falsifying example: two jobs in one release event.
+
+    The arriving batch must be deadline-sorted before the binary merge —
+    searchsorted positions only interleave against the existing order, so an
+    unsorted batch corrupted the prefix-density staircase (speeds 2, 2
+    instead of 1, 1 here).
+    """
+    inst = _deadline_instance([0.0, 0.0], [1.0, 1.0], [2.0, 1.0])
+    incremental = oa_schedule_incremental(inst, CUBE)
+    assert incremental.energy == pytest.approx(oa_schedule(inst, CUBE).energy, rel=TOL)
+    assert incremental.energy == pytest.approx(2.0, rel=TOL)
+
+
+@pytest.mark.slow
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, laxities=laxities_strategy)
+def test_incremental_oa_matches_reference_hypothesis(releases, works, laxities):
+    inst = _deadline_instance(releases, works, laxities)
+    reference = oa_schedule(inst, CUBE)
+    incremental = oa_schedule_incremental(inst, CUBE)
+    assert incremental.energy == pytest.approx(reference.energy, rel=TOL)
+    # the executed work per job must match the instance exactly either way
+    executed = np.zeros(inst.n_jobs)
+    for piece in incremental.pieces:
+        executed[piece.job] += piece.work
+    assert np.allclose(executed, inst.works, rtol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# vectorized AVR / BKP profiles vs scalar references
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n_jobs", [1, 3, 9, 16])
+def test_avr_profile_matches_reference_on_families(family, n_jobs):
+    for seed in range(4):
+        inst = FAMILIES[family](n_jobs, seed)
+        _assert_profiles_equal(
+            avr_speed_profile(inst), avr_speed_profile_reference(inst)
+        )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n_jobs", [1, 3, 9])
+def test_bkp_profile_matches_reference_on_families(family, n_jobs):
+    for seed in range(2):
+        inst = FAMILIES[family](n_jobs, seed)
+        _assert_profiles_equal(
+            bkp_speed_profile(inst, steps_per_interval=8),
+            bkp_speed_profile_reference(inst, steps_per_interval=8),
+        )
+
+
+@pytest.mark.slow
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, laxities=laxities_strategy)
+def test_avr_and_bkp_profiles_match_reference_hypothesis(releases, works, laxities):
+    inst = _deadline_instance(releases, works, laxities)
+    _assert_profiles_equal(avr_speed_profile(inst), avr_speed_profile_reference(inst))
+    _assert_profiles_equal(
+        bkp_speed_profile(inst, steps_per_interval=4),
+        bkp_speed_profile_reference(inst, steps_per_interval=4),
+    )
+
+
+# ----------------------------------------------------------------------
+# heap-based executor vs full-rescan reference
+# ----------------------------------------------------------------------
+
+
+def _assert_schedules_equal(fast, slow):
+    assert fast.energy == pytest.approx(slow.energy, rel=TOL)
+    assert len(fast.pieces) == len(slow.pieces)
+    for p, q in zip(fast.pieces, slow.pieces):
+        assert p.job == q.job
+        assert p.start == pytest.approx(q.start, rel=1e-12, abs=1e-12)
+        assert p.end == pytest.approx(q.end, rel=1e-12, abs=1e-12)
+        assert p.speed == pytest.approx(q.speed, rel=TOL)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n_jobs", [1, 4, 10, 18])
+def test_executor_matches_reference_on_avr_profiles(family, n_jobs):
+    for seed in range(3):
+        inst = FAMILIES[family](n_jobs, seed)
+        profile = avr_speed_profile(inst)
+        _assert_schedules_equal(
+            execute_profile_edf(inst, CUBE, profile),
+            execute_profile_edf_reference(inst, CUBE, profile),
+        )
+
+
+@pytest.mark.slow
+@common_settings
+@given(releases=releases_strategy, works=works_strategy, laxities=laxities_strategy)
+def test_executor_matches_reference_hypothesis(releases, works, laxities):
+    inst = _deadline_instance(releases, works, laxities)
+    profile = bkp_speed_profile(inst, steps_per_interval=4)
+    _assert_schedules_equal(
+        execute_profile_edf(inst, CUBE, profile, work_tolerance=1e-3),
+        execute_profile_edf_reference(inst, CUBE, profile, work_tolerance=1e-3),
+    )

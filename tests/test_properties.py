@@ -34,6 +34,9 @@ from repro.makespan import (
 from repro.multi import cyclic_assignment, makespan_for_assignment
 from repro.online import avr_schedule, yds_schedule
 
+# hypothesis-heavy: excluded from `pytest -m "not slow"` quick runs
+pytestmark = pytest.mark.slow
+
 # ----------------------------------------------------------------------
 # strategies
 # ----------------------------------------------------------------------
