@@ -13,6 +13,11 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
   (Theorem 11), exact search, heuristics and the PTAS-style scheme.
 * :mod:`repro.online` -- the YDS substrate and the online algorithms
   (AVR, OA, BKP) used for the extension experiments.
+* :mod:`repro.api` -- the unified solver surface: the central
+  :class:`~repro.api.SolverRegistry` plus the typed
+  :class:`~repro.api.SolveRequest` / :class:`~repro.api.SolveResult`
+  envelopes served by :func:`repro.solve` (``repro solve`` on the command
+  line).
 * :mod:`repro.batch` -- the batch engine: many instances through one solver,
   optionally across worker processes (``repro batch`` on the command line).
 * :mod:`repro.discrete` -- discrete speed levels (future-work extension).
@@ -20,7 +25,17 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
 * :mod:`repro.analysis` -- derivatives, breakpoints, tables, ASCII plots.
 """
 
-from . import analysis, batch, core, discrete, flow, io, makespan, multi, online, workloads
+from . import analysis, api, batch, core, discrete, flow, io, makespan, multi, online, workloads
+from .api import (
+    REGISTRY,
+    ProblemSpec,
+    SolveRequest,
+    SolveResult,
+    SolverCapabilities,
+    SolverRegistry,
+    list_solvers,
+    solve,
+)
 from .batch import BatchResult, solve_many
 from .core import (
     CUBE,
@@ -33,10 +48,11 @@ from .core import (
     TradeoffCurve,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "batch",
     "BatchResult",
     "solve_many",
@@ -48,6 +64,14 @@ __all__ = [
     "multi",
     "online",
     "workloads",
+    "ProblemSpec",
+    "SolveRequest",
+    "SolveResult",
+    "SolverCapabilities",
+    "SolverRegistry",
+    "REGISTRY",
+    "solve",
+    "list_solvers",
     "Instance",
     "Job",
     "PowerFunction",

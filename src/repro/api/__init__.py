@@ -1,0 +1,79 @@
+"""Unified solver API: one typed request/response surface for the whole matrix.
+
+The paper's problems form a matrix — objective x mode x machine model — and
+this package makes that matrix a single, enumerable, servable surface:
+
+* :class:`ProblemSpec` / :class:`SolveRequest` / :class:`SolveResult` -- the
+  typed request/response trio (see :mod:`repro.api.types`),
+* :class:`SolverRegistry` / :data:`REGISTRY` -- the central registry every
+  solver registers into with capability metadata (:mod:`repro.api.registry`),
+* :func:`solve` -- the serving entry point: dispatch a request through the
+  registry and always get a :class:`SolveResult` back — infeasible or invalid
+  inputs come back as structured error envelopes with stable codes instead of
+  exceptions,
+* :func:`list_solvers` -- enumerate the registered matrix (drives
+  ``repro solve --list`` on the command line).
+
+The batch engine (:func:`repro.batch.solve_many`), the CLI and the
+competitive-ratio pipeline all dispatch through :data:`REGISTRY`; JSON
+serialisation of the envelopes lives in :mod:`repro.io`
+(``request_to_dict`` / ``result_to_dict`` and inverses).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+from .registry import REGISTRY, RegisteredSolver, SolverRegistry
+from .types import (
+    BUDGET_KINDS,
+    MACHINES,
+    MODES,
+    OBJECTIVES,
+    ProblemSpec,
+    SolveRequest,
+    SolveResult,
+    SolverCapabilities,
+)
+
+__all__ = [
+    "OBJECTIVES",
+    "MODES",
+    "MACHINES",
+    "BUDGET_KINDS",
+    "ProblemSpec",
+    "SolveRequest",
+    "SolveResult",
+    "SolverCapabilities",
+    "RegisteredSolver",
+    "SolverRegistry",
+    "REGISTRY",
+    "solve",
+    "list_solvers",
+]
+
+
+def solve(request: SolveRequest, registry: SolverRegistry | None = None) -> SolveResult:
+    """Solve one request through the registry; never raises a library error.
+
+    This is the serving contract: any :class:`~repro.exceptions.ReproError`
+    raised while resolving or running the solver (unknown solver, missing
+    budget, infeasible problem, invalid instance, ...) is mapped to a
+    structured error :class:`SolveResult` with a stable ``error_code``.
+    Programming errors (anything that is not a ``ReproError``) still
+    propagate.
+    """
+    reg = REGISTRY if registry is None else registry
+    name = request.solver
+    try:
+        if name is None:
+            name = reg.resolve(request.spec)
+        return reg.run(request)
+    except ReproError as exc:
+        # name the resolved solver in the envelope when resolution succeeded
+        return SolveResult.failure(name if name is not None else "<spec>", exc)
+
+
+def list_solvers(registry: SolverRegistry | None = None) -> tuple[SolverCapabilities, ...]:
+    """Capability metadata for every registered solver, in registration order."""
+    reg = REGISTRY if registry is None else registry
+    return tuple(caps for _, caps in reg.items())

@@ -1,0 +1,244 @@
+"""The central solver registry: one dispatch path for every entry point.
+
+Every solver in the repository registers here exactly once, with
+:class:`~repro.api.types.SolverCapabilities` metadata describing which cell of
+the paper's bicriteria matrix it answers and how it can be driven.  The batch
+engine (:func:`repro.batch.solve_many`), the CLI (``repro solve`` and the
+legacy subcommands) and the competitive-ratio pipeline
+(:func:`repro.online.compete.competitive_sweep`) all resolve solver names
+through the same :data:`REGISTRY`, so the solver matrix is enumerable in one
+place and cannot drift between entry points.
+
+Registration happens through per-subpackage hooks
+(``repro.makespan.register``, ``repro.flow.register``, ``repro.multi.register``
+and ``repro.online.register``), imported lazily on first registry access so
+importing :mod:`repro.api` stays cheap and free of import cycles.
+
+A registered solver is a callable ``fn(request) -> (value, energy, speeds,
+extras)``; the registry wraps the tuple into a
+:class:`~repro.api.types.SolveResult` and enforces the solver's declared
+preconditions (budget present, polynomial power, deadlines, equal work,
+processor count) before dispatching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Any, Callable, Iterator
+
+from ..exceptions import (
+    BudgetError,
+    InvalidInstanceError,
+    UnknownSolverError,
+    UnsupportedPowerFunctionError,
+)
+from .types import ProblemSpec, SolveRequest, SolveResult, SolverCapabilities
+
+__all__ = ["SolverFn", "RegisteredSolver", "SolverRegistry", "REGISTRY"]
+
+#: Low-level solver contract: request in, ``(value, energy, speeds, extras)``
+#: out.  ``value``/``energy``/``speeds`` may be ``None`` (frontier solvers);
+#: ``extras`` must contain only JSON-ready types.
+SolverFn = Callable[[SolveRequest], tuple]
+
+#: Subpackage registration hooks, imported lazily on first registry access.
+#: Each module must expose ``register_solvers(registry)``.
+_HOOK_MODULES: tuple[str, ...] = (
+    "repro.makespan.register",
+    "repro.flow.register",
+    "repro.multi.register",
+    "repro.online.register",
+)
+
+
+@dataclass(frozen=True)
+class RegisteredSolver:
+    """One registry entry: capability metadata plus the solver callable."""
+
+    capabilities: SolverCapabilities
+    fn: SolverFn
+
+    @property
+    def name(self) -> str:
+        return self.capabilities.name
+
+
+class SolverRegistry:
+    """Ordered name -> solver mapping with capability metadata and dispatch.
+
+    Iteration order is registration order (which downstream consumers rely on
+    for deterministic sweeps); lookups are by exact name.  Misses raise
+    :class:`~repro.exceptions.UnknownSolverError` carrying the known names —
+    the single unknown-solver error shared by every entry point.
+    """
+
+    def __init__(self, hook_modules: tuple[str, ...] = ()) -> None:
+        self._entries: dict[str, RegisteredSolver] = {}
+        self._hook_modules = tuple(hook_modules)
+        self._bootstrapped = not self._hook_modules
+        self._bootstrapping = False
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def _ensure_bootstrapped(self) -> None:
+        if self._bootstrapped or self._bootstrapping:
+            return
+        self._bootstrapping = True
+        try:
+            for module_name in self._hook_modules:
+                import_module(module_name).register_solvers(self)
+            self._bootstrapped = True
+        finally:
+            self._bootstrapping = False
+
+    def register(
+        self, capabilities: SolverCapabilities, fn: SolverFn | None = None
+    ) -> Callable:
+        """Register ``fn`` under ``capabilities`` (usable as a decorator)."""
+        if fn is None:
+            return lambda f: self.register(capabilities, f)
+        if capabilities.name in self._entries:
+            raise InvalidInstanceError(
+                f"solver {capabilities.name!r} is already registered"
+            )
+        self._entries[capabilities.name] = RegisteredSolver(capabilities, fn)
+        return fn
+
+    # ------------------------------------------------------------------
+    # lookup / enumeration
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> RegisteredSolver:
+        """The entry for ``name``; raises :class:`UnknownSolverError` on a miss."""
+        self._ensure_bootstrapped()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownSolverError(name, tuple(self._entries)) from None
+
+    def capabilities(self, name: str) -> SolverCapabilities:
+        """The capability metadata registered for ``name``."""
+        return self.get(name).capabilities
+
+    def names(self) -> tuple[str, ...]:
+        """All registered solver names, in registration order."""
+        self._ensure_bootstrapped()
+        return tuple(self._entries)
+
+    def items(self) -> tuple[tuple[str, SolverCapabilities], ...]:
+        """``(name, capabilities)`` pairs in registration order."""
+        self._ensure_bootstrapped()
+        return tuple(
+            (name, entry.capabilities) for name, entry in self._entries.items()
+        )
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_bootstrapped()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_bootstrapped()
+        return len(self._entries)
+
+    def find(self, **filters: Any) -> tuple[str, ...]:
+        """Names of solvers whose capabilities match all ``filters``.
+
+        Filters are attribute names of :class:`SolverCapabilities` (including
+        the pass-through properties ``objective`` / ``mode`` /
+        ``multiprocessor`` / ``online``), e.g. ``find(online=True)`` or
+        ``find(objective="makespan", batchable=True)``.
+        """
+        self._ensure_bootstrapped()
+        allowed = set(SolverCapabilities.__dataclass_fields__) | {
+            "objective", "mode", "machine", "multiprocessor", "online",
+        }
+        for key in filters:
+            if key not in allowed:
+                raise InvalidInstanceError(f"unknown capability filter {key!r}")
+        return tuple(
+            name
+            for name, entry in self._entries.items()
+            if all(
+                getattr(entry.capabilities, key) == value
+                for key, value in filters.items()
+            )
+        )
+
+    def resolve(self, spec: ProblemSpec) -> str:
+        """The unique solver name answering ``spec``.
+
+        Raises :class:`UnknownSolverError` when no solver matches and
+        :class:`InvalidInstanceError` when the cell is ambiguous (several
+        online algorithms share the deadline-feasibility cell; name one
+        explicitly).
+        """
+        self._ensure_bootstrapped()
+        matches = [
+            name
+            for name, entry in self._entries.items()
+            if entry.capabilities.spec == spec
+        ]
+        if not matches:
+            raise UnknownSolverError(
+                f"<{spec.objective}/{spec.mode}/{spec.machine}"
+                f"{'/online' if spec.online else ''}>",
+                tuple(self._entries),
+            )
+        if len(matches) > 1:
+            raise InvalidInstanceError(
+                f"spec {spec} matches several solvers {matches}; "
+                "name one explicitly in SolveRequest.solver"
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _validate(self, caps: SolverCapabilities, request: SolveRequest) -> None:
+        name = caps.name
+        if caps.budget_kind != "none" and request.budget is None:
+            raise BudgetError(
+                f"solver {name!r} requires a budget ({caps.budget_kind})"
+            )
+        if caps.needs_polynomial_power:
+            try:
+                float(request.power.alpha)
+            except UnsupportedPowerFunctionError:
+                raise UnsupportedPowerFunctionError(
+                    f"solver {name!r} requires power = speed**alpha, got "
+                    f"{type(request.power).__name__}"
+                ) from None
+        if caps.needs_deadlines and not request.instance.has_deadlines():
+            raise InvalidInstanceError(
+                f"solver {name!r} requires every job to carry a finite deadline; "
+                "attach them with Instance.with_deadlines()"
+            )
+        if caps.needs_equal_work and not request.instance.is_equal_work():
+            raise InvalidInstanceError(
+                f"solver {name!r} requires an equal-work instance"
+            )
+        if not caps.multiprocessor and request.processors != 1:
+            raise InvalidInstanceError(
+                f"solver {name!r} is a uniprocessor solver; got "
+                f"processors={request.processors}"
+            )
+
+    def run(self, request: SolveRequest) -> SolveResult:
+        """Dispatch a request, raising on any error (the CLI-shim contract).
+
+        Use :func:`repro.api.solve` for the serving contract, where errors
+        come back as structured :class:`SolveResult` envelopes instead.
+        """
+        name = request.solver if request.solver is not None else self.resolve(request.spec)
+        entry = self.get(name)
+        self._validate(entry.capabilities, request)
+        value, energy, speeds, extras = entry.fn(request)
+        return SolveResult.success(name, value, energy, speeds, extras)
+
+
+#: The default process-wide registry every entry point dispatches through.
+REGISTRY = SolverRegistry(hook_modules=_HOOK_MODULES)

@@ -1,0 +1,265 @@
+"""Typed request/response model for the unified solver API.
+
+The paper frames every problem in this repository as one bicriteria template:
+pick an *objective* (makespan / total flow / deadline-feasible energy), pick a
+*mode* (``laptop``: fix the energy budget and minimise the metric; ``server``:
+fix the metric target and minimise energy; ``frontier``: enumerate the whole
+non-dominated trade-off curve), and pick a *machine model* (uni- or
+multiprocessor, offline or online).  This module gives that template a typed
+shape shared by every entry point — the batch engine, the CLI, the
+competitive-ratio pipeline and any future HTTP service:
+
+* :class:`ProblemSpec` -- which cell of the solver matrix is being asked for,
+* :class:`SolverCapabilities` -- what a registered solver can do (its cell
+  plus operational metadata: batchable, needs ``power = speed**alpha``,
+  needs deadlines, needs equal work, which kind of budget it consumes),
+* :class:`SolveRequest` -- one fully-specified solve call (solver or spec,
+  instance, power, budget/target, processors, options),
+* :class:`SolveResult` -- the uniform response envelope: either a value /
+  energy / per-job speeds triple plus solver-specific ``extras``, or a
+  structured error with a stable code from :mod:`repro.exceptions`.
+
+Serialisation of requests and results lives in :mod:`repro.io`
+(``request_to_dict`` / ``result_to_dict`` and inverses) so the JSON envelope
+is one code path end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.job import Instance
+from ..core.power import PowerFunction
+from ..exceptions import InvalidInstanceError, ReproError, error_code
+
+__all__ = [
+    "OBJECTIVES",
+    "MODES",
+    "MACHINES",
+    "BUDGET_KINDS",
+    "ProblemSpec",
+    "SolverCapabilities",
+    "SolveRequest",
+    "SolveResult",
+]
+
+#: Recognised objectives: the metric being traded against energy.  ``energy``
+#: is the deadline-feasibility family (YDS/AVR/OA/BKP), where the "metric"
+#: side of the bicriteria template is the hard per-job deadlines.
+OBJECTIVES: tuple[str, ...] = ("makespan", "flow", "energy")
+
+#: Recognised modes of the bicriteria template.
+MODES: tuple[str, ...] = ("laptop", "server", "frontier")
+
+#: Recognised machine models.
+MACHINES: tuple[str, ...] = ("uni", "multi")
+
+#: What a solver's ``budget`` argument means: an energy budget, a metric
+#: target (e.g. a makespan target for the server problem), or nothing.
+BUDGET_KINDS: tuple[str, ...] = ("energy", "metric", "none")
+
+
+def _check_choice(value: str, choices: tuple[str, ...], what: str) -> str:
+    if value not in choices:
+        raise InvalidInstanceError(
+            f"unknown {what} {value!r}; expected one of {list(choices)}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One cell of the paper's solver matrix.
+
+    Parameters
+    ----------
+    objective:
+        One of :data:`OBJECTIVES`.
+    mode:
+        One of :data:`MODES` -- ``laptop`` fixes energy and minimises the
+        objective, ``server`` fixes an objective target and minimises energy,
+        ``frontier`` enumerates the non-dominated curve.
+    machine:
+        One of :data:`MACHINES`.
+    online:
+        Whether jobs arrive over time (the solver may not look ahead).
+    """
+
+    objective: str
+    mode: str
+    machine: str = "uni"
+    online: bool = False
+
+    def __post_init__(self) -> None:
+        _check_choice(self.objective, OBJECTIVES, "objective")
+        _check_choice(self.mode, MODES, "mode")
+        _check_choice(self.machine, MACHINES, "machine model")
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """Capability metadata a solver registers with.
+
+    The spec says *which* problem the solver answers; the remaining flags say
+    *how* it can be driven: whether the batch engine may fan it out, which
+    budget it consumes, and which preconditions the registry should enforce
+    before dispatching a request to it.
+    """
+
+    name: str
+    spec: ProblemSpec
+    summary: str
+    budget_kind: str = "energy"
+    batchable: bool = False
+    needs_polynomial_power: bool = False
+    needs_deadlines: bool = False
+    needs_equal_work: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise InvalidInstanceError(f"solver name must be a non-empty string, got {self.name!r}")
+        if not self.summary:
+            raise InvalidInstanceError(f"solver {self.name!r} must register a summary line")
+        _check_choice(self.budget_kind, BUDGET_KINDS, "budget kind")
+
+    # Convenience pass-throughs so callers can enumerate the matrix without
+    # reaching through ``.spec`` every time.
+    @property
+    def objective(self) -> str:
+        return self.spec.objective
+
+    @property
+    def mode(self) -> str:
+        return self.spec.mode
+
+    @property
+    def machine(self) -> str:
+        return self.spec.machine
+
+    @property
+    def multiprocessor(self) -> bool:
+        return self.spec.machine == "multi"
+
+    @property
+    def online(self) -> bool:
+        return self.spec.online
+
+
+def _frozen_options(options: Mapping[str, Any] | None) -> Mapping[str, Any]:
+    return MappingProxyType(dict(options or {}))
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve call: a solver (by name or by spec) applied to an instance.
+
+    Exactly which solver runs is resolved by the registry: either ``solver``
+    names it directly, or ``spec`` asks for the unique registered solver
+    matching that cell of the matrix (``solver`` wins when both are given).
+
+    ``budget`` is the energy budget for ``laptop``-mode solvers and the
+    metric target for ``server``-mode solvers (see each solver's
+    ``budget_kind``); solvers with ``budget_kind == "none"`` ignore it.
+    ``options`` carries solver-specific keyword options (e.g. the frontier
+    sampler's ``min_energy`` / ``max_energy`` / ``points``).
+    """
+
+    instance: Instance
+    power: PowerFunction
+    solver: str | None = None
+    spec: ProblemSpec | None = None
+    budget: float | None = None
+    processors: int = 1
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.solver is None and self.spec is None:
+            raise InvalidInstanceError(
+                "a SolveRequest needs a solver name or a ProblemSpec"
+            )
+        if self.processors < 1:
+            raise InvalidInstanceError(
+                f"processors must be >= 1, got {self.processors}"
+            )
+        object.__setattr__(self, "options", _frozen_options(self.options))
+        if self.budget is not None:
+            object.__setattr__(self, "budget", float(self.budget))
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Uniform response envelope for every solver.
+
+    Exactly one of the two shapes is populated:
+
+    * success: ``status == "ok"``, with the solver's objective ``value``, the
+      ``energy`` actually consumed by the returned ``speeds`` (both may be
+      ``None`` for frontier-mode solvers, whose payload lives in ``extras``),
+      and JSON-ready solver-specific ``extras`` (block decompositions,
+      completion times, assignments, frontier samples, ...);
+    * failure: ``status == "error"`` with a stable ``error_code`` from
+      :mod:`repro.exceptions` and a human-readable ``error_message``.
+    """
+
+    solver: str
+    status: str
+    value: float | None = None
+    energy: float | None = None
+    speeds: np.ndarray | None = None
+    extras: Mapping[str, Any] = field(default_factory=dict)
+    error_code: str | None = None
+    error_message: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in ("ok", "error"):
+            raise InvalidInstanceError(
+                f"SolveResult status must be 'ok' or 'error', got {self.status!r}"
+            )
+        object.__setattr__(self, "extras", _frozen_options(self.extras))
+        if self.speeds is not None:
+            object.__setattr__(self, "speeds", np.asarray(self.speeds, dtype=float))
+
+    @property
+    def ok(self) -> bool:
+        """Whether the solve succeeded."""
+        return self.status == "ok"
+
+    @classmethod
+    def success(
+        cls,
+        solver: str,
+        value: float | None,
+        energy: float | None,
+        speeds: np.ndarray | None,
+        extras: Mapping[str, Any] | None = None,
+    ) -> "SolveResult":
+        return cls(
+            solver=solver,
+            status="ok",
+            value=None if value is None else float(value),
+            energy=None if energy is None else float(energy),
+            speeds=speeds,
+            extras=extras or {},
+        )
+
+    @classmethod
+    def failure(cls, solver: str, exc: BaseException) -> "SolveResult":
+        """Map an exception to a structured error result (stable code)."""
+        return cls(
+            solver=solver,
+            status="error",
+            error_code=error_code(exc),
+            error_message=str(exc),
+        )
+
+    def raise_if_error(self) -> "SolveResult":
+        """Re-raise an error result as a :class:`~repro.exceptions.ReproError`."""
+        if not self.ok:
+            raise ReproError(
+                f"solver {self.solver!r} failed [{self.error_code}]: {self.error_message}"
+            )
+        return self

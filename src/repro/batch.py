@@ -2,14 +2,20 @@
 
 The serving scenario the ROADMAP targets is not "solve one instance" but
 "solve a stream of instances": sweeps over workloads, parameter studies, and
-request batches.  This module provides :func:`solve_many`, which runs any of
-the registered solvers over a list of instances with
+request batches.  This module provides :func:`solve_many`, which runs any
+*batchable* solver from the central registry (:data:`repro.api.REGISTRY`)
+over a list of instances with
 
 * chunked process-pool parallelism (``workers=N``) for CPU-bound fan-out,
 * deterministic result ordering — results come back aligned with the input
   list regardless of worker count or chunk boundaries, byte-identical to the
   serial path (the workers run exactly the same code on the same inputs),
 * picklable, structured results (:class:`BatchResult`).
+
+Dispatch goes through :meth:`repro.api.SolverRegistry.run`, the same path as
+``repro.solve`` and the CLI, so the batch engine cannot drift from the rest
+of the API.  The legacy module-level :data:`SOLVERS` mapping survives only as
+a deprecated read-only view of the registry's batchable solvers.
 
 Exposed on the command line as ``repro batch`` (see :mod:`repro.cli`), and
 measured by ``benchmarks/bench_batch_throughput.py``.
@@ -18,12 +24,15 @@ measured by ``benchmarks/bench_batch_throughput.py``.
 from __future__ import annotations
 
 import math
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from .api.registry import REGISTRY
+from .api.types import SolveRequest
 from .core.job import Instance
 from .core.power import PowerFunction
 from .exceptions import InvalidInstanceError
@@ -50,99 +59,82 @@ class BatchResult:
 
 
 # ----------------------------------------------------------------------
-# solver registry
+# deprecated registry view
 # ----------------------------------------------------------------------
 
-def _solve_laptop(instance: Instance, power: PowerFunction, budget: float):
-    from .makespan.incmerge import incmerge
+class _DeprecatedSolversView(Mapping):
+    """Read-only, deprecated view of the registry's batchable solvers.
 
-    result = incmerge(instance, power, budget)
-    return result.makespan, result.energy, result.speeds
+    Pre-registry code dispatched through ``batch.SOLVERS[name]`` with the
+    contract ``(instance, power, budget) -> (value, energy, speeds)``.  This
+    view keeps that contract alive (now routed through the registry) while
+    warning on lookups; enumerate :data:`repro.api.REGISTRY` instead.
+    """
 
+    def _names(self) -> tuple[str, ...]:
+        return REGISTRY.find(batchable=True)
 
-def _solve_server(instance: Instance, power: PowerFunction, target: float):
-    from .makespan.incmerge import incmerge
-    from .makespan.server import minimum_energy_for_makespan
+    def __getitem__(self, name: str) -> Callable:
+        warnings.warn(
+            "repro.batch.SOLVERS is deprecated; dispatch through "
+            "repro.api.REGISTRY / repro.solve instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if name not in self._names():
+            raise KeyError(name)
 
-    energy = minimum_energy_for_makespan(instance, power, target)
-    result = incmerge(instance, power, energy)
-    return energy, result.energy, result.speeds
+        def legacy_solver(instance: Instance, power: PowerFunction, budget: float):
+            result = REGISTRY.run(
+                SolveRequest(instance=instance, power=power, solver=name, budget=budget)
+            )
+            return result.value, result.energy, result.speeds
 
+        return legacy_solver
 
-def _solve_flow(instance: Instance, power: PowerFunction, budget: float):
-    from .flow import equal_work_flow_laptop
+    def __contains__(self, name: object) -> bool:
+        return name in self._names()
 
-    result = equal_work_flow_laptop(instance, power, budget)
-    return result.flow, result.energy, result.speeds
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
 
+    def __len__(self) -> int:
+        return len(self._names())
 
-def _solve_yds(instance: Instance, power: PowerFunction, budget: float):
-    from .online.yds import yds_schedule
-
-    schedule = yds_schedule(instance, power)
-    energy = schedule.energy
-    return energy, energy, schedule.speeds
-
-
-def _solve_avr(instance: Instance, power: PowerFunction, budget: float):
-    from .online.avr import avr_schedule
-
-    schedule = avr_schedule(instance, power)
-    energy = schedule.energy
-    return energy, energy, schedule.speeds
-
-
-def _solve_oa(instance: Instance, power: PowerFunction, budget: float):
-    from .online.oa import oa_schedule_incremental
-
-    schedule = oa_schedule_incremental(instance, power)
-    energy = schedule.energy
-    return energy, energy, schedule.speeds
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SOLVERS(deprecated view of {list(self._names())})"
 
 
-def _solve_bkp(instance: Instance, power: PowerFunction, budget: float):
-    from .online.bkp import bkp_schedule
-
-    schedule = bkp_schedule(instance, power)
-    energy = schedule.energy
-    return energy, energy, schedule.speeds
-
-
-#: Registered batch solvers: name -> (instance, power, budget) -> (value, energy, speeds).
-#: ``budget`` is the energy budget for ``laptop``/``flow``, the makespan
-#: target for ``server``, and unused by the deadline-based solvers ``yds`` /
-#: ``avr`` / ``oa`` / ``bkp`` (which need per-job deadlines on the instance
-#: instead; ``oa`` runs the incremental engine).
-SOLVERS: Mapping[str, Callable] = {
-    "laptop": _solve_laptop,
-    "server": _solve_server,
-    "flow": _solve_flow,
-    "yds": _solve_yds,
-    "avr": _solve_avr,
-    "oa": _solve_oa,
-    "bkp": _solve_bkp,
-}
+#: Deprecated: name -> (instance, power, budget) -> (value, energy, speeds).
+#: A read-only view of the batchable solvers in :data:`repro.api.REGISTRY`;
+#: new code should build a :class:`repro.api.SolveRequest` and call
+#: :func:`repro.solve` (or enumerate the registry) instead.
+SOLVERS: Mapping[str, Callable] = _DeprecatedSolversView()
 
 
 def _solve_chunk(payload: tuple) -> list[BatchResult]:
     """Worker entry point: solve one chunk of (index, instance, budget) items.
 
     Must stay module-level (and take a single picklable argument) so the
-    process pool can ship it to workers.
+    process pool can ship it to workers; solver lookup happens by name in the
+    worker, against the worker's own registry bootstrap.
     """
     solver_name, power, items = payload
-    solve = SOLVERS[solver_name]
     out = []
     for index, instance, budget in items:
-        value, energy, speeds = solve(instance, power, budget)
+        result = REGISTRY.run(
+            SolveRequest(
+                instance=instance, power=power, solver=solver_name, budget=budget
+            )
+        )
         out.append(
             BatchResult(
                 index=index,
                 solver=solver_name,
                 n_jobs=instance.n_jobs,
-                value=float(value),
-                energy=float(energy),
-                speeds=np.asarray(speeds, dtype=float),
+                value=float(result.value),
+                energy=float(result.energy),
+                speeds=result.speeds,
             )
         )
     return out
@@ -173,7 +165,7 @@ def solve_many(
         One budget per instance, or a single scalar broadcast to all.
         Interpreted per solver (energy budget, makespan target, ...).
     solver:
-        A key of :data:`SOLVERS`.
+        The name of a batchable solver in :data:`repro.api.REGISTRY`.
     workers:
         ``<= 1`` solves serially in-process; otherwise a process pool with
         this many workers.  Results are identical either way.
@@ -185,10 +177,20 @@ def solve_many(
     -------
     list[BatchResult]
         In input order (``result[i].index == i``), deterministically.
+
+    Raises
+    ------
+    UnknownSolverError
+        If ``solver`` is not registered (carries the known solver names).
+    InvalidInstanceError
+        If ``solver`` is registered but not batchable, or the budget list
+        does not match the instance list.
     """
-    if solver not in SOLVERS:
+    capabilities = REGISTRY.capabilities(solver)  # raises UnknownSolverError
+    if not capabilities.batchable:
         raise InvalidInstanceError(
-            f"unknown batch solver {solver!r}; known solvers: {sorted(SOLVERS)}"
+            f"solver {solver!r} is not batchable; batchable solvers: "
+            f"{sorted(REGISTRY.find(batchable=True))}"
         )
     instance_list = list(instances)
     count = len(instance_list)

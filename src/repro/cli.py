@@ -2,6 +2,10 @@
 
 Exposes the library's main entry points without writing any Python:
 
+* ``repro solve``    -- the generic registry-driven entry point: run any
+  registered solver on one instance (``--solver`` / ``--objective``+``--mode``
+  / a full ``--request`` JSON envelope), or enumerate the solver matrix with
+  ``--list``,
 * ``repro laptop``   -- minimum makespan for an energy budget (IncMerge),
 * ``repro server``   -- minimum energy for a makespan target,
 * ``repro frontier`` -- sample the non-dominated energy/makespan curve,
@@ -11,6 +15,10 @@ Exposes the library's main entry points without writing any Python:
 * ``repro compete``  -- online-vs-YDS competitive-ratio sweep over workload
   grids (through the batch engine), with machine-readable JSON output,
 * ``repro figures``  -- regenerate the paper's Figure 1-3 series as a table.
+
+Every subcommand dispatches through the central solver registry
+(:data:`repro.api.REGISTRY`); the per-problem subcommands are thin shims over
+it that keep their historical (byte-identical) output formats.
 
 Instances are given either inline (``--releases 0,5,6 --works 5,2,1``) or as
 a JSON file produced by :mod:`repro.io` (``--instance jobs.json``).  Output is
@@ -32,13 +40,20 @@ from typing import Sequence
 import numpy as np
 
 from .analysis import format_table
-from .batch import SOLVERS, solve_many
+from .api import REGISTRY, ProblemSpec, SolveRequest, list_solvers
+from .api import solve as api_solve
+from .batch import solve_many
 from .core import Instance, PolynomialPower
 from .exceptions import ReproError
-from .flow import equal_work_flow_laptop
-from .io import load_instance, load_instances
-from .makespan import incmerge, makespan_frontier, minimum_energy_for_makespan
-from .multi import multiprocessor_flow_equal_work, multiprocessor_makespan_equal_work
+from .io import (
+    batch_result_to_dict,
+    capabilities_to_dict,
+    load_instance,
+    load_instances,
+    request_from_dict,
+    result_to_dict,
+)
+from .makespan import makespan_frontier
 from .online.compete import ALGORITHMS, FAMILIES, competitive_sweep
 from .workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
 
@@ -89,32 +104,124 @@ def _emit(args: argparse.Namespace, headers: Sequence[str], rows, title: str, pa
 # sub-commands
 # ----------------------------------------------------------------------
 
-def _cmd_laptop(args: argparse.Namespace) -> int:
-    instance = _instance_from_args(args)
-    power = _power_from_args(args)
-    result = incmerge(instance, power, args.energy)
+def _cmd_solve_list(args: argparse.Namespace) -> int:
+    solvers = [capabilities_to_dict(caps) for caps in list_solvers()]
     rows = [
-        [f"jobs {b.first}..{b.last}", b.start_time, b.end_time, b.speed]
-        for b in result.blocks
+        [s["name"], s["objective"], s["mode"], s["machine"],
+         "yes" if s["online"] else "no", "yes" if s["batchable"] else "no",
+         s["budget"]]
+        for s in solvers
+    ]
+    payload = {"kind": "solver-list", "solvers": solvers}
+    _emit(args, ["name", "objective", "mode", "machine", "online", "batchable", "budget"],
+          rows, f"{len(solvers)} registered solvers", payload)
+    return 0
+
+
+def _solve_request_from_args(args: argparse.Namespace) -> SolveRequest:
+    if args.request:
+        data = _load_checked(
+            lambda path: json.loads(Path(path).read_text(encoding="utf-8")),
+            args.request,
+        )
+        return request_from_dict(data)
+    spec = None
+    if args.solver is None:
+        if not args.objective or not args.mode:
+            raise ReproError(
+                "provide --list, --solver NAME, --objective OBJ --mode MODE, "
+                "or --request FILE.json"
+            )
+        spec = ProblemSpec(
+            objective=args.objective, mode=args.mode,
+            machine=args.machine, online=args.online,
+        )
+    options: dict = {}
+    if args.options:
+        try:
+            options = json.loads(args.options)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"--options must be a JSON object: {exc}") from exc
+        if not isinstance(options, dict):
+            raise ReproError("--options must be a JSON object")
+    return SolveRequest(
+        instance=_instance_from_args(args),
+        power=_power_from_args(args),
+        solver=args.solver,
+        spec=spec,
+        budget=args.budget,
+        processors=args.processors,
+        options=options,
+    )
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    """Generic registry entry point: one request in, one result envelope out."""
+    if args.list:
+        return _cmd_solve_list(args)
+    result = api_solve(_solve_request_from_args(args))
+    if not result.ok:
+        if getattr(args, "json", False):
+            print(json.dumps(result_to_dict(result), indent=2))
+        else:
+            print(f"error [{result.error_code}]: {result.error_message}", file=sys.stderr)
+        return 2
+    if getattr(args, "json", False):
+        print(json.dumps(result_to_dict(result), indent=2))
+        return 0
+    title = f"solver {result.solver!r}"
+    if result.value is not None:
+        title += f": value {result.value:.6g}"
+    if result.energy is not None:
+        title += f", energy {result.energy:.6g}"
+    if result.speeds is not None:
+        rows = [[i, float(s)] for i, s in enumerate(result.speeds)]
+        print(format_table(["job", "speed"], rows, title=title))
+    else:
+        rows = [[key, json.dumps(value)] for key, value in result.extras.items()]
+        print(format_table(["extra", "value"], rows, title=title))
+    return 0
+
+
+def _run_registry(args: argparse.Namespace, solver: str, budget: float | None,
+                  processors: int = 1, options: dict | None = None):
+    """Shim helper: build a request for ``solver`` and run it, raising on error."""
+    return REGISTRY.run(
+        SolveRequest(
+            instance=_instance_from_args(args),
+            power=_power_from_args(args),
+            solver=solver,
+            budget=budget,
+            processors=processors,
+            options=options or {},
+        )
+    )
+
+
+def _cmd_laptop(args: argparse.Namespace) -> int:
+    result = _run_registry(args, "laptop", args.energy)
+    blocks = result.extras["blocks"]
+    rows = [
+        [f"jobs {b['first']}..{b['last']}", b["start"], b["end"], b["speed"]]
+        for b in blocks
     ]
     payload = {
-        "makespan": result.makespan,
+        "makespan": result.value,
         "energy": result.energy,
         "speeds": result.speeds.tolist(),
         "blocks": [
-            {"first": b.first, "last": b.last, "start": b.start_time, "speed": b.speed}
-            for b in result.blocks
+            {"first": b["first"], "last": b["last"], "start": b["start"], "speed": b["speed"]}
+            for b in blocks
         ],
     }
     _emit(args, ["block", "start", "end", "speed"], rows,
-          f"optimal makespan {result.makespan:.6g} for energy {args.energy:g}", payload)
+          f"optimal makespan {result.value:.6g} for energy {args.energy:g}", payload)
     return 0
 
 
 def _cmd_server(args: argparse.Namespace) -> int:
-    instance = _instance_from_args(args)
-    power = _power_from_args(args)
-    energy = minimum_energy_for_makespan(instance, power, args.makespan)
+    result = _run_registry(args, "server", args.makespan)
+    energy = result.value
     payload = {"makespan_target": args.makespan, "minimum_energy": energy}
     _emit(args, ["makespan_target", "minimum_energy"], [[args.makespan, energy]],
           "server problem", payload)
@@ -122,58 +229,55 @@ def _cmd_server(args: argparse.Namespace) -> int:
 
 
 def _cmd_frontier(args: argparse.Namespace) -> int:
-    instance = _instance_from_args(args)
-    power = _power_from_args(args)
-    curve = makespan_frontier(instance, power)
-    grid = np.linspace(args.min_energy, args.max_energy, args.points)
-    rows = [[float(e), curve.value(float(e))] for e in grid]
-    payload = {
-        "breakpoints": curve.breakpoints,
-        "samples": [{"energy": e, "makespan": m} for e, m in rows],
-    }
+    result = _run_registry(
+        args, "frontier", None,
+        options={
+            "min_energy": args.min_energy,
+            "max_energy": args.max_energy,
+            "points": args.points,
+        },
+    )
+    breakpoints = result.extras["breakpoints"]
+    samples = result.extras["samples"]
+    rows = [[s["energy"], s["makespan"]] for s in samples]
+    payload = {"breakpoints": breakpoints, "samples": samples}
     _emit(args, ["energy", "optimal_makespan"], rows,
-          f"non-dominated frontier (configuration changes at {curve.breakpoints})", payload)
+          f"non-dominated frontier (configuration changes at {breakpoints})", payload)
     return 0
 
 
 def _cmd_flow(args: argparse.Namespace) -> int:
-    instance = _instance_from_args(args)
-    power = _power_from_args(args)
-    result = equal_work_flow_laptop(instance, power, args.energy)
-    rows = [[i, float(s), float(c)] for i, (s, c) in enumerate(zip(result.speeds, result.completion_times))]
+    result = _run_registry(args, "flow", args.energy)
+    completions = result.extras["completions"]
+    rows = [[i, float(s), float(c)] for i, (s, c) in enumerate(zip(result.speeds, completions))]
     payload = {
-        "flow": result.flow,
+        "flow": result.value,
         "energy": result.energy,
-        "exact_closed_form": result.exact,
+        "exact_closed_form": result.extras["exact_closed_form"],
         "speeds": result.speeds.tolist(),
-        "completions": result.completion_times.tolist(),
+        "completions": completions,
     }
     _emit(args, ["job", "speed", "completion"], rows,
-          f"optimal total flow {result.flow:.6g} for energy {args.energy:g}", payload)
+          f"optimal total flow {result.value:.6g} for energy {args.energy:g}", payload)
     return 0
 
 
 def _cmd_multi(args: argparse.Namespace) -> int:
-    instance = _instance_from_args(args)
-    power = _power_from_args(args)
-    if args.metric == "makespan":
-        result = multiprocessor_makespan_equal_work(instance, power, args.processors, args.energy)
-        value = result.makespan
-    else:
-        result = multiprocessor_flow_equal_work(instance, power, args.processors, args.energy)
-        value = result.flow
+    solver = "multi-makespan" if args.metric == "makespan" else "multi-flow"
+    result = _run_registry(args, solver, args.energy, processors=args.processors)
+    assignment = result.extras["assignment"]
     rows = [
-        [proc, ",".join(str(j) for j in jobs)]
-        for proc, jobs in sorted(result.assignment.items())
+        [int(proc), ",".join(str(j) for j in jobs)]
+        for proc, jobs in sorted(assignment.items(), key=lambda kv: int(kv[0]))
     ]
     payload = {
         "metric": args.metric,
-        "value": value,
+        "value": result.value,
         "energy": result.energy,
-        "assignment": {str(p): jobs for p, jobs in result.assignment.items()},
+        "assignment": assignment,
     }
     _emit(args, ["processor", "jobs"], rows,
-          f"optimal {args.metric} {value:.6g} on {args.processors} processors "
+          f"optimal {args.metric} {result.value:.6g} on {args.processors} processors "
           f"(energy {args.energy:g})", payload)
     return 0
 
@@ -204,15 +308,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         "elapsed_seconds": elapsed,
         "instances_per_second": throughput,
         "results": [
-            {
-                "index": r.index,
-                "name": instances[r.index].name,
-                "n_jobs": r.n_jobs,
-                "value": r.value,
-                "energy": r.energy,
-                "speeds": r.speeds.tolist(),
-            }
-            for r in results
+            batch_result_to_dict(r, name=instances[r.index].name) for r in results
         ],
     }
     _emit(args, ["index", "instance", "n_jobs", "value", "energy"], rows,
@@ -303,6 +399,37 @@ def build_parser() -> argparse.ArgumentParser:
         if need_energy:
             p.add_argument("--energy", type=float, required=True, help="energy budget")
 
+    p = sub.add_parser(
+        "solve",
+        help="run any registered solver (or --list the solver matrix)",
+        description="Generic registry-driven entry point: pick a solver by "
+                    "name, by (objective, mode) cell, or submit a full "
+                    "solve-request JSON envelope (see repro.io.request_to_dict). "
+                    "Output is the uniform result envelope; errors come back "
+                    "as structured envelopes with stable codes.",
+    )
+    add_common(p)
+    p.add_argument("--list", action="store_true",
+                   help="list every registered solver with its capabilities")
+    p.add_argument("--solver", help="registered solver name (see --list)")
+    p.add_argument("--objective", help="resolve the solver by matrix cell: objective")
+    p.add_argument("--mode", help="resolve the solver by matrix cell: mode")
+    p.add_argument("--machine", choices=["uni", "multi"], default="uni",
+                   help="resolve the solver by matrix cell: machine model")
+    p.add_argument("--online", action="store_true",
+                   help="resolve the solver by matrix cell: online arrivals")
+    p.add_argument("--budget", type=float,
+                   help="energy budget (laptop-mode) or metric target (server-mode)")
+    p.add_argument("--processors", type=int, default=1,
+                   help="processor count for multiprocessor solvers")
+    p.add_argument("--options",
+                   help="solver-specific options as a JSON object, e.g. "
+                        '\'{"min_energy": 6, "max_energy": 21}\'')
+    p.add_argument("--request",
+                   help="path to a solve-request JSON envelope (overrides the "
+                        "other selection flags)")
+    p.set_defaults(func=_cmd_solve)
+
     p = sub.add_parser("laptop", help="minimum makespan for an energy budget (IncMerge)")
     add_common(p, need_energy=True)
     p.set_defaults(func=_cmd_laptop)
@@ -340,7 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
              "comma-separated list with one per instance (makespan targets "
              "for --solver server)",
     )
-    p.add_argument("--solver", choices=sorted(SOLVERS), default="laptop")
+    p.add_argument("--solver", choices=sorted(REGISTRY.find(batchable=True)), default="laptop")
     p.add_argument("--workers", type=int, default=1, help="worker processes (default 1 = serial)")
     p.add_argument("--alpha", type=float, default=3.0, help="power = speed^alpha (default 3)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")

@@ -20,6 +20,13 @@ still distinguishing the common failure modes:
 * :class:`UnsupportedPowerFunctionError` -- an algorithm that requires a
   specific power model (e.g. the closed-form frontier derivatives need
   ``power = speed**alpha``) was given an incompatible one.
+* :class:`UnknownSolverError` -- a solver name was not found in the
+  :class:`repro.api.SolverRegistry`; carries the list of known solvers.
+
+Every class carries a stable machine-readable ``code`` (a short kebab-case
+string) used by the typed request/response API (:mod:`repro.api`) to map
+exceptions to structured error results; :func:`error_code` resolves the code
+for any exception instance.
 """
 
 from __future__ import annotations
@@ -32,32 +39,73 @@ __all__ = [
     "BudgetError",
     "ConvergenceError",
     "UnsupportedPowerFunctionError",
+    "UnknownSolverError",
+    "error_code",
 ]
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
 
+    #: Stable machine-readable error code (subclasses override).
+    code = "error"
+
 
 class InvalidInstanceError(ReproError, ValueError):
     """A problem instance violates the model assumptions."""
+
+    code = "invalid-instance"
 
 
 class InvalidScheduleError(ReproError, ValueError):
     """A schedule is malformed or infeasible."""
 
+    code = "invalid-schedule"
+
 
 class InfeasibleError(ReproError, ValueError):
     """The requested optimisation problem has no feasible solution."""
+
+    code = "infeasible"
 
 
 class BudgetError(ReproError, ValueError):
     """An energy or metric budget argument is malformed (non-positive, NaN...)."""
 
+    code = "invalid-budget"
+
 
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative numerical routine failed to converge to tolerance."""
 
+    code = "convergence-failure"
+
 
 class UnsupportedPowerFunctionError(ReproError, TypeError):
     """An algorithm requires a power function with properties this one lacks."""
+
+    code = "unsupported-power"
+
+
+class UnknownSolverError(InvalidInstanceError):
+    """A solver name is not registered in the solver registry.
+
+    Subclasses :class:`InvalidInstanceError` so pre-registry call sites that
+    caught ``InvalidInstanceError`` (or plain ``ValueError``) keep working.
+    """
+
+    code = "unknown-solver"
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown solver {name!r}; known solvers: {sorted(self.known)}"
+        )
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable error code for an exception (``"internal"`` if foreign)."""
+    if isinstance(exc, ReproError):
+        return type(exc).code
+    return "internal"

@@ -5,10 +5,16 @@ the Python process: workloads need to be shared between runs and tools, and
 computed schedules need to be archived next to the benchmark tables.  This
 module provides a small, dependency-free interchange format:
 
-* instances round-trip through JSON (and export to CSV for spreadsheets),
+* instances round-trip through JSON (and CSV: :func:`instance_to_csv` /
+  :func:`instance_from_csv`),
 * schedules round-trip through JSON as their raw execution pieces plus the
   power model, so any saved schedule can be re-validated and re-scored later
-  without knowing which algorithm produced it.
+  without knowing which algorithm produced it,
+* the typed request/response envelopes of :mod:`repro.api` round-trip through
+  JSON (:func:`request_to_dict` / :func:`result_to_dict` and inverses), so
+  the batch engine, the CLI and any future HTTP service share one
+  serialisation path end to end — including the ndarray->JSON encoding of
+  per-job speeds (:func:`batch_result_to_dict` for batch rows).
 
 Only the built-in power functions are serialisable (polynomial and
 affine-polynomial); arbitrary callables are rejected explicitly rather than
@@ -19,12 +25,16 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
+from .api.types import ProblemSpec, SolveRequest, SolveResult, SolverCapabilities
 from .core.job import Instance, Job
 from .core.power import AffinePolynomialPower, PolynomialPower, PowerFunction
 from .core.schedule import Piece, Schedule
 from .exceptions import InvalidInstanceError, InvalidScheduleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .batch import BatchResult
 
 __all__ = [
     "instance_to_dict",
@@ -36,12 +46,21 @@ __all__ = [
     "save_instances",
     "load_instances",
     "instance_to_csv",
+    "instance_from_csv",
     "power_to_dict",
     "power_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
     "save_schedule",
     "load_schedule",
+    "spec_to_dict",
+    "spec_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "capabilities_to_dict",
+    "batch_result_to_dict",
 ]
 
 _FORMAT_VERSION = 1
@@ -170,6 +189,44 @@ def instance_to_csv(instance: Instance) -> str:
     return "\n".join(lines) + "\n"
 
 
+def instance_from_csv(text: str, name: str = "instance") -> Instance:
+    """Rebuild an instance from :func:`instance_to_csv` output.
+
+    Accepts the exact header written by the exporter; an empty ``deadline``
+    field means "no deadline".  The ``job`` column is ignored — jobs are
+    re-indexed by release order, exactly as the :class:`Instance` constructor
+    does.
+    """
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != "job,release,work,deadline,weight":
+        raise InvalidInstanceError(
+            "not an instance CSV: expected header 'job,release,work,deadline,weight'"
+        )
+    jobs = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        fields = line.split(",")
+        if len(fields) != 5:
+            raise InvalidInstanceError(
+                f"malformed CSV row at line {lineno}: expected 5 fields, got {len(fields)}"
+            )
+        _, release, work, deadline, weight = fields
+        try:
+            jobs.append(
+                Job(
+                    index=len(jobs),
+                    release=float(release),
+                    work=float(work),
+                    deadline=None if deadline == "" else float(deadline),
+                    weight=float(weight),
+                )
+            )
+        except ValueError as exc:
+            raise InvalidInstanceError(
+                f"malformed CSV row at line {lineno}: {exc}"
+            ) from exc
+    return Instance(jobs, name=name)
+
+
 # ----------------------------------------------------------------------
 # power functions
 # ----------------------------------------------------------------------
@@ -266,3 +323,173 @@ def load_schedule(path: str | Path) -> Schedule:
     """Read a schedule from a JSON file produced by :func:`save_schedule`."""
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     return schedule_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# typed request/response envelopes (repro.api)
+# ----------------------------------------------------------------------
+
+def spec_to_dict(spec: ProblemSpec) -> dict[str, Any]:
+    """JSON-ready representation of a :class:`~repro.api.ProblemSpec`."""
+    return {
+        "objective": spec.objective,
+        "mode": spec.mode,
+        "machine": spec.machine,
+        "online": spec.online,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> ProblemSpec:
+    """Rebuild a :class:`~repro.api.ProblemSpec` from :func:`spec_to_dict` output."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a problem-spec payload: expected a JSON object, got {type(data).__name__}"
+        )
+    try:
+        return ProblemSpec(
+            objective=str(data["objective"]),
+            mode=str(data["mode"]),
+            machine=str(data.get("machine", "uni")),
+            online=bool(data.get("online", False)),
+        )
+    except KeyError as exc:
+        raise InvalidInstanceError(f"problem-spec payload is missing {exc}") from exc
+
+
+def request_to_dict(request: SolveRequest) -> dict[str, Any]:
+    """JSON-ready representation of a :class:`~repro.api.SolveRequest`."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "solve-request",
+        "solver": request.solver,
+        "spec": None if request.spec is None else spec_to_dict(request.spec),
+        "instance": instance_to_dict(request.instance),
+        "power": power_to_dict(request.power),
+        "budget": request.budget,
+        "processors": request.processors,
+        "options": dict(request.options),
+    }
+
+
+def request_from_dict(data: dict[str, Any]) -> SolveRequest:
+    """Rebuild a :class:`~repro.api.SolveRequest` from :func:`request_to_dict` output."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a solve-request payload: expected a JSON object, got {type(data).__name__}"
+        )
+    if data.get("kind") != "solve-request":
+        raise InvalidInstanceError(
+            f"not a solve-request payload: kind={data.get('kind')!r}"
+        )
+    if "instance" not in data or "power" not in data:
+        raise InvalidInstanceError(
+            "solve-request payload needs 'instance' and 'power' sections"
+        )
+    spec = data.get("spec")
+    budget = data.get("budget")
+    options = data.get("options") or {}
+    if not isinstance(options, dict):
+        raise InvalidInstanceError("solve-request 'options' must be a JSON object")
+    try:
+        budget = None if budget is None else float(budget)
+        processors = int(data.get("processors", 1))
+    except (TypeError, ValueError) as exc:
+        raise InvalidInstanceError(
+            f"malformed solve-request payload: {exc}"
+        ) from exc
+    return SolveRequest(
+        instance=instance_from_dict(data["instance"]),
+        power=power_from_dict(data["power"]),
+        solver=None if data.get("solver") is None else str(data["solver"]),
+        spec=None if spec is None else spec_from_dict(spec),
+        budget=budget,
+        processors=processors,
+        options=options,
+    )
+
+
+def _speeds_to_list(speeds: Any) -> list[float] | None:
+    """The one ndarray->JSON encoding used by every result envelope."""
+    if speeds is None:
+        return None
+    return [float(s) for s in speeds]
+
+
+def result_to_dict(result: SolveResult) -> dict[str, Any]:
+    """JSON-ready representation of a :class:`~repro.api.SolveResult`."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "solve-result",
+        "solver": result.solver,
+        "status": result.status,
+        "value": result.value,
+        "energy": result.energy,
+        "speeds": _speeds_to_list(result.speeds),
+        "extras": dict(result.extras),
+        "error": None
+        if result.ok
+        else {"code": result.error_code, "message": result.error_message},
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> SolveResult:
+    """Rebuild a :class:`~repro.api.SolveResult` from :func:`result_to_dict` output."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a solve-result payload: expected a JSON object, got {type(data).__name__}"
+        )
+    if data.get("kind") != "solve-result":
+        raise InvalidInstanceError(
+            f"not a solve-result payload: kind={data.get('kind')!r}"
+        )
+    error = data.get("error") or {}
+    value = data.get("value")
+    energy = data.get("energy")
+    return SolveResult(
+        solver=str(data.get("solver")),
+        status=str(data.get("status", "ok")),
+        value=None if value is None else float(value),
+        energy=None if energy is None else float(energy),
+        speeds=data.get("speeds"),
+        extras=data.get("extras") or {},
+        error_code=error.get("code"),
+        error_message=error.get("message"),
+    )
+
+
+def capabilities_to_dict(capabilities: SolverCapabilities) -> dict[str, Any]:
+    """Flat JSON-ready view of one solver's registry metadata.
+
+    Drives ``repro solve --list``; flattened (spec fields inline) so the
+    listing is grep- and spreadsheet-friendly.
+    """
+    return {
+        "name": capabilities.name,
+        "objective": capabilities.objective,
+        "mode": capabilities.mode,
+        "machine": capabilities.spec.machine,
+        "online": capabilities.online,
+        "batchable": capabilities.batchable,
+        "budget": capabilities.budget_kind,
+        "needs_polynomial_power": capabilities.needs_polynomial_power,
+        "needs_deadlines": capabilities.needs_deadlines,
+        "needs_equal_work": capabilities.needs_equal_work,
+        "summary": capabilities.summary,
+    }
+
+
+def batch_result_to_dict(result: "BatchResult", name: str) -> dict[str, Any]:
+    """JSON-ready row for one :class:`~repro.batch.BatchResult`.
+
+    ``name`` is the instance's display name (the batch engine stores only the
+    index).  Key order matches the historical ``repro batch --json`` output,
+    so routing the CLI through this helper is byte-identical.
+    """
+    return {
+        "index": result.index,
+        "name": name,
+        "n_jobs": result.n_jobs,
+        "value": result.value,
+        "energy": result.energy,
+        "speeds": _speeds_to_list(result.speeds),
+    }

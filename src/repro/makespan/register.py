@@ -1,0 +1,96 @@
+"""Registration hook: uniprocessor makespan solvers for the unified API.
+
+Imported lazily by :mod:`repro.api.registry` on first registry access; the
+solver bodies import their implementations lazily too, so registering the
+matrix stays cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api.types import ProblemSpec, SolveRequest, SolverCapabilities
+
+__all__ = ["register_solvers"]
+
+
+def _run_laptop(request: SolveRequest) -> tuple:
+    from .incmerge import incmerge
+
+    result = incmerge(request.instance, request.power, request.budget)
+    extras = {
+        "blocks": [
+            {
+                "first": b.first,
+                "last": b.last,
+                "start": b.start_time,
+                "end": b.end_time,
+                "speed": b.speed,
+            }
+            for b in result.blocks
+        ],
+    }
+    return result.makespan, result.energy, result.speeds, extras
+
+
+def _run_server(request: SolveRequest) -> tuple:
+    from .incmerge import incmerge
+    from .server import minimum_energy_for_makespan
+
+    energy = minimum_energy_for_makespan(request.instance, request.power, request.budget)
+    result = incmerge(request.instance, request.power, energy)
+    extras = {"makespan_target": float(request.budget)}
+    return energy, result.energy, result.speeds, extras
+
+
+def _run_frontier(request: SolveRequest) -> tuple:
+    from .frontier import makespan_frontier
+
+    curve = makespan_frontier(request.instance, request.power)
+    extras: dict = {"breakpoints": [float(b) for b in curve.breakpoints]}
+    options = request.options
+    if "min_energy" in options and "max_energy" in options:
+        grid = np.linspace(
+            float(options["min_energy"]),
+            float(options["max_energy"]),
+            int(options.get("points", 25)),
+        )
+        extras["samples"] = [
+            {"energy": float(e), "makespan": curve.value(float(e))} for e in grid
+        ]
+    return None, None, None, extras
+
+
+def register_solvers(registry) -> None:
+    """Register the uniprocessor makespan solvers (laptop/server/frontier)."""
+    registry.register(
+        SolverCapabilities(
+            name="laptop",
+            spec=ProblemSpec(objective="makespan", mode="laptop"),
+            summary="minimum makespan for an energy budget (IncMerge)",
+            budget_kind="energy",
+            batchable=True,
+        ),
+        _run_laptop,
+    )
+    registry.register(
+        SolverCapabilities(
+            name="server",
+            spec=ProblemSpec(objective="makespan", mode="server"),
+            summary="minimum energy for a makespan target (frontier inversion)",
+            budget_kind="metric",
+            batchable=True,
+        ),
+        _run_server,
+    )
+    registry.register(
+        SolverCapabilities(
+            name="frontier",
+            spec=ProblemSpec(objective="makespan", mode="frontier"),
+            summary="sample the non-dominated energy/makespan trade-off curve",
+            budget_kind="none",
+            # not needs_polynomial_power: the frontier keeps a numeric path
+            # for non-polynomial convex power functions
+        ),
+        _run_frontier,
+    )

@@ -1,0 +1,69 @@
+"""Registration hook: multiprocessor equal-work solvers for the unified API.
+
+Imported lazily by :mod:`repro.api.registry` on first registry access.
+"""
+
+from __future__ import annotations
+
+from ..api.types import ProblemSpec, SolveRequest, SolverCapabilities
+
+__all__ = ["register_solvers"]
+
+
+def _assignment_extras(assignment: dict) -> dict:
+    # JSON object keys must be strings; preserve the solver's processor order
+    return {str(proc): list(jobs) for proc, jobs in assignment.items()}
+
+
+def _run_multi_makespan(request: SolveRequest) -> tuple:
+    from .makespan_equal import multiprocessor_makespan_equal_work
+
+    result = multiprocessor_makespan_equal_work(
+        request.instance, request.power, request.processors, request.budget
+    )
+    extras = {
+        "assignment": _assignment_extras(result.assignment),
+        "per_processor_energy": {
+            str(proc): float(e) for proc, e in result.per_processor_energy.items()
+        },
+    }
+    return result.makespan, result.energy, result.speeds, extras
+
+
+def _run_multi_flow(request: SolveRequest) -> tuple:
+    from .flow_equal import multiprocessor_flow_equal_work
+
+    result = multiprocessor_flow_equal_work(
+        request.instance, request.power, request.processors, request.budget
+    )
+    extras = {
+        "assignment": _assignment_extras(result.assignment),
+        "completions": result.completion_times.tolist(),
+    }
+    return result.flow, result.energy, result.speeds, extras
+
+
+def register_solvers(registry) -> None:
+    """Register the multiprocessor equal-work solvers (makespan/flow)."""
+    registry.register(
+        SolverCapabilities(
+            name="multi-makespan",
+            spec=ProblemSpec(objective="makespan", mode="laptop", machine="multi"),
+            summary="equal-work multiprocessor makespan for a shared energy budget "
+                    "(cyclic assignment, Theorem 10)",
+            budget_kind="energy",
+            needs_equal_work=True,
+        ),
+        _run_multi_makespan,
+    )
+    registry.register(
+        SolverCapabilities(
+            name="multi-flow",
+            spec=ProblemSpec(objective="flow", mode="laptop", machine="multi"),
+            summary="equal-work multiprocessor total flow for a shared energy budget "
+                    "(cyclic assignment, Theorem 10)",
+            budget_kind="energy",
+            needs_equal_work=True,
+        ),
+        _run_multi_flow,
+    )

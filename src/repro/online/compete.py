@@ -33,7 +33,8 @@ import math
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Mapping, Sequence
 
-from ..batch import SOLVERS, solve_many
+from ..api.registry import REGISTRY
+from ..batch import solve_many
 from ..core.job import Instance
 from ..core.power import PolynomialPower
 from ..exceptions import InvalidInstanceError
@@ -51,8 +52,10 @@ __all__ = [
     "competitive_sweep",
 ]
 
-#: Online algorithms the sweep knows about, by their batch-solver name.
-ALGORITHMS: tuple[str, ...] = ("avr", "oa", "bkp")
+#: Online algorithms the sweep knows about, enumerated from the central
+#: registry (their registration order in :mod:`repro.online.register` fixes
+#: the sweep's deterministic default order: avr, oa, bkp).
+ALGORITHMS: tuple[str, ...] = REGISTRY.find(online=True)
 
 #: Workload families: name -> (n_jobs, seed) -> deadline-carrying instance.
 FAMILIES: Mapping[str, Callable[[int, int], Instance]] = {
@@ -144,7 +147,9 @@ def competitive_sweep(
         JSON types throughout; equal parameters give byte-identical dumps.
     """
     for algorithm in algorithms:
-        if algorithm not in ALGORITHMS or algorithm not in SOLVERS:
+        # one dispatch surface: an algorithm is valid iff the registry knows
+        # it as an online solver
+        if algorithm not in ALGORITHMS:
             raise InvalidInstanceError(
                 f"unknown online algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
             )

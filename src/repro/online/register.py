@@ -1,0 +1,76 @@
+"""Registration hook: deadline-feasibility solvers (YDS + online) for the API.
+
+Imported lazily by :mod:`repro.api.registry` on first registry access.  In
+the bicriteria template these are all ``server``-mode energy minimisers: the
+metric side is the hard per-job deadlines, so there is no budget argument —
+the solvers return the (approximately) minimum feasible energy.  YDS is the
+offline optimum; AVR, OA and BKP are the online algorithms measured against
+it by :func:`repro.online.compete.competitive_sweep` (their registration
+order here fixes the sweep's default algorithm order).
+"""
+
+from __future__ import annotations
+
+from ..api.types import ProblemSpec, SolveRequest, SolverCapabilities
+
+__all__ = ["register_solvers"]
+
+
+def _energy_result(schedule) -> tuple:
+    energy = schedule.energy
+    return energy, energy, schedule.speeds, {}
+
+
+def _run_yds(request: SolveRequest) -> tuple:
+    from .yds import yds_schedule
+
+    return _energy_result(yds_schedule(request.instance, request.power))
+
+
+def _run_avr(request: SolveRequest) -> tuple:
+    from .avr import avr_schedule
+
+    return _energy_result(avr_schedule(request.instance, request.power))
+
+
+def _run_oa(request: SolveRequest) -> tuple:
+    from .oa import oa_schedule_incremental
+
+    return _energy_result(oa_schedule_incremental(request.instance, request.power))
+
+
+def _run_bkp(request: SolveRequest) -> tuple:
+    from .bkp import bkp_schedule
+
+    return _energy_result(bkp_schedule(request.instance, request.power))
+
+
+def register_solvers(registry) -> None:
+    """Register the deadline-feasibility solvers (YDS, AVR, OA, BKP)."""
+
+    def caps(name: str, summary: str, online: bool) -> SolverCapabilities:
+        return SolverCapabilities(
+            name=name,
+            spec=ProblemSpec(objective="energy", mode="server", online=online),
+            summary=summary,
+            budget_kind="none",
+            batchable=True,
+            needs_deadlines=True,
+        )
+
+    registry.register(
+        caps("yds", "offline-optimal deadline-feasible energy (YDS)", online=False),
+        _run_yds,
+    )
+    registry.register(
+        caps("avr", "Average Rate online heuristic (deadline-feasible)", online=True),
+        _run_avr,
+    )
+    registry.register(
+        caps("oa", "Optimal Available online algorithm (incremental engine)", online=True),
+        _run_oa,
+    )
+    registry.register(
+        caps("bkp", "Bansal-Kimbrel-Pruhs online algorithm (discretised)", online=True),
+        _run_bkp,
+    )

@@ -1,0 +1,154 @@
+"""Public-API-surface snapshot: accidental export breaks fail fast.
+
+These snapshots pin the exported names (``__all__``) of the modules that form
+the library's serving surface.  A failure here means the public API changed:
+if the change is intentional, update the snapshot *and* the README's
+"Library API" section in the same commit; if not, you just caught an
+accidental break before it shipped.
+
+Part of the quick (``-m "not slow"``) split so CI fails fast.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.api
+import repro.batch
+import repro.exceptions
+import repro.io
+
+API_SURFACE = {
+    "OBJECTIVES",
+    "MODES",
+    "MACHINES",
+    "BUDGET_KINDS",
+    "ProblemSpec",
+    "SolveRequest",
+    "SolveResult",
+    "SolverCapabilities",
+    "RegisteredSolver",
+    "SolverRegistry",
+    "REGISTRY",
+    "solve",
+    "list_solvers",
+}
+
+IO_SURFACE = {
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "instances_to_dict",
+    "instances_from_dict",
+    "save_instances",
+    "load_instances",
+    "instance_to_csv",
+    "instance_from_csv",
+    "power_to_dict",
+    "power_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "spec_to_dict",
+    "spec_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "capabilities_to_dict",
+    "batch_result_to_dict",
+}
+
+BATCH_SURFACE = {"BatchResult", "SOLVERS", "solve_many"}
+
+EXCEPTIONS_SURFACE = {
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "InfeasibleError",
+    "BudgetError",
+    "ConvergenceError",
+    "UnsupportedPowerFunctionError",
+    "UnknownSolverError",
+    "error_code",
+}
+
+TOP_LEVEL_SURFACE = {
+    "analysis",
+    "api",
+    "batch",
+    "BatchResult",
+    "solve_many",
+    "core",
+    "discrete",
+    "flow",
+    "io",
+    "makespan",
+    "multi",
+    "online",
+    "workloads",
+    "ProblemSpec",
+    "SolveRequest",
+    "SolveResult",
+    "SolverCapabilities",
+    "SolverRegistry",
+    "REGISTRY",
+    "solve",
+    "list_solvers",
+    "Instance",
+    "Job",
+    "PowerFunction",
+    "PolynomialPower",
+    "CUBE",
+    "SQUARE",
+    "Schedule",
+    "TradeoffCurve",
+    "__version__",
+}
+
+#: The registered solver matrix is part of the served surface too: removing
+#: or renaming a solver breaks every client that requests it by name.
+SOLVER_NAMES = {
+    "laptop",
+    "server",
+    "frontier",
+    "flow",
+    "flow-server",
+    "multi-makespan",
+    "multi-flow",
+    "yds",
+    "avr",
+    "oa",
+    "bkp",
+}
+
+
+def test_api_surface_snapshot():
+    assert set(repro.api.__all__) == API_SURFACE
+
+
+def test_io_surface_snapshot():
+    assert set(repro.io.__all__) == IO_SURFACE
+
+
+def test_batch_surface_snapshot():
+    assert set(repro.batch.__all__) == BATCH_SURFACE
+
+
+def test_exceptions_surface_snapshot():
+    assert set(repro.exceptions.__all__) == EXCEPTIONS_SURFACE
+
+
+def test_top_level_surface_snapshot():
+    assert set(repro.__all__) == TOP_LEVEL_SURFACE
+
+
+def test_registered_solver_names_snapshot():
+    assert set(repro.REGISTRY.names()) >= SOLVER_NAMES
+
+
+def test_all_names_actually_exported():
+    for module in (repro, repro.api, repro.io, repro.batch, repro.exceptions):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name} missing"

@@ -8,6 +8,7 @@ import pytest
 from repro.core import CUBE, AffinePolynomialPower, Instance, PolynomialPower, TabulatedConvexPower
 from repro.exceptions import InvalidInstanceError, InvalidScheduleError
 from repro.io import (
+    instance_from_csv,
     instance_from_dict,
     instance_to_csv,
     instance_to_dict,
@@ -49,6 +50,42 @@ class TestInstanceSerialisation:
         lines = text.strip().splitlines()
         assert lines[0] == "job,release,work,deadline,weight"
         assert len(lines) == 4
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_without_deadlines(self):
+        inst = figure1_instance()
+        back = instance_from_csv(instance_to_csv(inst))
+        assert np.allclose(back.releases, inst.releases)
+        assert np.allclose(back.works, inst.works)
+        assert np.allclose(back.weights, inst.weights)
+        assert all(job.deadline is None for job in back.jobs)
+
+    def test_roundtrip_with_deadlines_and_weights(self):
+        inst = deadline_instance(6, seed=3)
+        back = instance_from_csv(instance_to_csv(inst), name=inst.name)
+        assert np.allclose(back.releases, inst.releases)
+        assert np.allclose(back.works, inst.works)
+        assert np.allclose(back.deadlines, inst.deadlines)
+        assert np.allclose(back.weights, inst.weights)
+        assert back.name == inst.name
+
+    def test_roundtrip_is_exact_not_approximate(self):
+        # the exporter writes repr() precisely so the parse is lossless
+        inst = deadline_instance(5, seed=9)
+        back = instance_from_csv(instance_to_csv(inst))
+        assert instance_to_csv(back) == instance_to_csv(inst)
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="header"):
+            instance_from_csv("release,work\n0,1\n")
+
+    def test_malformed_row_rejected(self):
+        header = "job,release,work,deadline,weight"
+        with pytest.raises(InvalidInstanceError, match="line 2"):
+            instance_from_csv(f"{header}\n0,zero,1,,1\n")
+        with pytest.raises(InvalidInstanceError, match="5 fields"):
+            instance_from_csv(f"{header}\n0,0,1\n")
 
 
 class TestPowerSerialisation:
