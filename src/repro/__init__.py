@@ -20,12 +20,16 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
   line).
 * :mod:`repro.batch` -- the batch engine: many instances through one solver,
   optionally across worker processes (``repro batch`` on the command line).
+* :mod:`repro.verify` -- certificate-based verification of solve results:
+  structural feasibility/accounting checks plus the per-solver optimality
+  certificates declared in the registry (``repro verify`` on the command
+  line, :func:`repro.api.verify` in the library).
 * :mod:`repro.discrete` -- discrete speed levels (future-work extension).
 * :mod:`repro.workloads` -- the paper's instances and synthetic generators.
 * :mod:`repro.analysis` -- derivatives, breakpoints, tables, ASCII plots.
 """
 
-from . import analysis, api, batch, core, discrete, flow, io, makespan, multi, online, workloads
+from . import analysis, api, batch, core, discrete, flow, io, makespan, multi, online, verify, workloads
 from .api import (
     REGISTRY,
     ProblemSpec,
@@ -63,6 +67,7 @@ __all__ = [
     "makespan",
     "multi",
     "online",
+    "verify",
     "workloads",
     "ProblemSpec",
     "SolveRequest",

@@ -11,6 +11,12 @@ this package makes that matrix a single, enumerable, servable surface:
   registry and always get a :class:`SolveResult` back — infeasible or invalid
   inputs come back as structured error envelopes with stable codes instead of
   exceptions,
+* :func:`verify` -- the verification entry point: check a
+  ``(request, result)`` pair structurally (feasibility, energy/value
+  accounting) and against the semantic certificate kinds the solver declared
+  in its capabilities, returning a
+  :class:`~repro.verify.VerificationReport` of structured findings
+  (``repro verify`` on the command line; see :mod:`repro.verify`),
 * :func:`list_solvers` -- enumerate the registered matrix (drives
   ``repro solve --list`` on the command line).
 
@@ -23,6 +29,8 @@ serialisation of the envelopes lives in :mod:`repro.io`
 from __future__ import annotations
 
 from ..exceptions import ReproError
+from ..verify import verify as _verify_result
+from ..verify.report import Finding, VerificationReport
 from .registry import REGISTRY, RegisteredSolver, SolverRegistry
 from .types import (
     BUDGET_KINDS,
@@ -47,7 +55,10 @@ __all__ = [
     "RegisteredSolver",
     "SolverRegistry",
     "REGISTRY",
+    "Finding",
+    "VerificationReport",
     "solve",
+    "verify",
     "list_solvers",
 ]
 
@@ -71,6 +82,23 @@ def solve(request: SolveRequest, registry: SolverRegistry | None = None) -> Solv
     except ReproError as exc:
         # name the resolved solver in the envelope when resolution succeeded
         return SolveResult.failure(name if name is not None else "<spec>", exc)
+
+
+def verify(
+    request: SolveRequest,
+    result: SolveResult,
+    registry: SolverRegistry | None = None,
+    rtol: float = 1e-6,
+) -> VerificationReport:
+    """Verify a solve result against its request; never raises a library error.
+
+    Runs the structural checks (envelope, feasibility, accounting) plus the
+    semantic certificate checks the solver declared in its registered
+    :class:`SolverCapabilities`; violations come back as structured
+    :class:`~repro.verify.Finding` objects with stable codes.  See
+    :mod:`repro.verify` for the check catalogue.
+    """
+    return _verify_result(request, result, registry=registry, rtol=rtol)
 
 
 def list_solvers(registry: SolverRegistry | None = None) -> tuple[SolverCapabilities, ...]:

@@ -107,7 +107,11 @@ class SolverCapabilities:
     The spec says *which* problem the solver answers; the remaining flags say
     *how* it can be driven: whether the batch engine may fan it out, which
     budget it consumes, and which preconditions the registry should enforce
-    before dispatching a request to it.
+    before dispatching a request to it.  ``certificates`` names the semantic
+    certificate kinds of :data:`repro.verify.CHECKERS` that apply to the
+    solver's results; :func:`repro.api.verify` runs them after the structural
+    checks, and the conformance suite fails any solver registered without
+    certificate coverage.
     """
 
     name: str
@@ -118,6 +122,7 @@ class SolverCapabilities:
     needs_polynomial_power: bool = False
     needs_deadlines: bool = False
     needs_equal_work: bool = False
+    certificates: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -125,6 +130,12 @@ class SolverCapabilities:
         if not self.summary:
             raise InvalidInstanceError(f"solver {self.name!r} must register a summary line")
         _check_choice(self.budget_kind, BUDGET_KINDS, "budget kind")
+        object.__setattr__(self, "certificates", tuple(self.certificates))
+        if not all(isinstance(kind, str) and kind for kind in self.certificates):
+            raise InvalidInstanceError(
+                f"solver {self.name!r}: certificate kinds must be non-empty strings, "
+                f"got {self.certificates!r}"
+            )
 
     # Convenience pass-throughs so callers can enumerate the matrix without
     # reaching through ``.spec`` every time.

@@ -35,7 +35,7 @@ from .api.registry import REGISTRY
 from .api.types import SolveRequest
 from .core.job import Instance
 from .core.power import PowerFunction
-from .exceptions import InvalidInstanceError
+from .exceptions import InvalidInstanceError, VerificationError
 
 __all__ = ["BatchResult", "SOLVERS", "solve_many"]
 
@@ -119,14 +119,25 @@ def _solve_chunk(payload: tuple) -> list[BatchResult]:
     process pool can ship it to workers; solver lookup happens by name in the
     worker, against the worker's own registry bootstrap.
     """
-    solver_name, power, items = payload
+    solver_name, power, items, verify = payload
+    if verify:
+        # lazy: repro.verify pulls solver machinery the plain path never needs
+        from .verify import verify as verify_result
     out = []
     for index, instance, budget in items:
-        result = REGISTRY.run(
-            SolveRequest(
-                instance=instance, power=power, solver=solver_name, budget=budget
-            )
+        request = SolveRequest(
+            instance=instance, power=power, solver=solver_name, budget=budget
         )
+        result = REGISTRY.run(request)
+        if verify:
+            # certificate-check in the worker, next to the solve; a failed
+            # report raises VerificationError naming the instance
+            report = verify_result(request, result)
+            if not report.ok:
+                raise VerificationError(
+                    f"instance {index}: verification failed for solver "
+                    f"{solver_name!r}: {report.error_summary()}"
+                )
         out.append(
             BatchResult(
                 index=index,
@@ -151,6 +162,7 @@ def solve_many(
     solver: str = "laptop",
     workers: int = 1,
     chunk_size: int | None = None,
+    verify: bool = False,
 ) -> list[BatchResult]:
     """Solve many instances with one solver, optionally across processes.
 
@@ -172,6 +184,10 @@ def solve_many(
     chunk_size:
         Items per worker task; defaults to ``ceil(len / (workers * 4))`` so
         each worker gets several chunks for load balancing.
+    verify:
+        Certificate-check every result in the worker that produced it
+        (:func:`repro.verify.verify`); a failed report raises
+        :class:`~repro.exceptions.VerificationError` naming the instance.
 
     Returns
     -------
@@ -185,6 +201,8 @@ def solve_many(
     InvalidInstanceError
         If ``solver`` is registered but not batchable, or the budget list
         does not match the instance list.
+    VerificationError
+        If ``verify=True`` and any result fails its certificate checks.
     """
     capabilities = REGISTRY.capabilities(solver)  # raises UnknownSolverError
     if not capabilities.batchable:
@@ -208,12 +226,12 @@ def solve_many(
     items = list(zip(range(count), instance_list, budget_list))
 
     if workers <= 1:
-        return _solve_chunk((solver, power, items))
+        return _solve_chunk((solver, power, items, verify))
 
     if chunk_size is None:
         chunk_size = max(1, math.ceil(count / (workers * 4)))
     chunks = [items[i : i + chunk_size] for i in range(0, count, chunk_size)]
-    payloads = [(solver, power, chunk) for chunk in chunks]
+    payloads = [(solver, power, chunk, verify) for chunk in chunks]
     max_workers = min(workers, len(chunks))
     results: list[BatchResult] = []
     with ProcessPoolExecutor(max_workers=max_workers) as pool:

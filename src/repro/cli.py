@@ -11,6 +11,10 @@ Exposes the library's main entry points without writing any Python:
 * ``repro frontier`` -- sample the non-dominated energy/makespan curve,
 * ``repro flow``     -- minimum total flow for an energy budget (equal work),
 * ``repro multi``    -- equal-work multiprocessor makespan/flow,
+* ``repro verify``   -- certificate-check solve results: feed back the JSON
+  envelopes of ``repro solve`` (``--request``/``--result``) or a
+  ``repro batch --json`` capture (``--instances``/``--results``); exits 1
+  with structured findings when verification fails,
 * ``repro batch``    -- solve many instances at once (optionally in parallel),
 * ``repro compete``  -- online-vs-YDS competitive-ratio sweep over workload
   grids (through the batch engine), with machine-readable JSON output,
@@ -40,17 +44,20 @@ from typing import Sequence
 import numpy as np
 
 from .analysis import format_table
-from .api import REGISTRY, ProblemSpec, SolveRequest, list_solvers
+from .api import REGISTRY, ProblemSpec, SolveRequest, SolveResult, list_solvers
 from .api import solve as api_solve
+from .api import verify as api_verify
 from .batch import solve_many
 from .core import Instance, PolynomialPower
-from .exceptions import ReproError
+from .exceptions import ReproError, VerificationError
 from .io import (
     batch_result_to_dict,
     capabilities_to_dict,
     load_instance,
     load_instances,
+    report_to_dict,
     request_from_dict,
+    result_from_dict,
     result_to_dict,
 )
 from .makespan import makespan_frontier
@@ -282,6 +289,122 @@ def _cmd_multi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_json(path: str) -> dict:
+    return _load_checked(
+        lambda p: json.loads(Path(p).read_text(encoding="utf-8")), path
+    )
+
+
+def _report_rows(report) -> list[list]:
+    return [
+        [f.check, f.code, f.severity, f.message] for f in report.findings
+    ]
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Certificate-check solve results from their JSON envelopes."""
+    if args.results:
+        return _cmd_verify_batch(args)
+    if not args.request or not args.result:
+        raise ReproError(
+            "provide --request REQ.json --result RES.json (repro solve "
+            "envelopes), or --instances FILE --results BATCH.json for a "
+            "repro batch capture"
+        )
+    request = request_from_dict(_load_json(args.request))
+    result = result_from_dict(_load_json(args.result))
+    report = api_verify(request, result)
+    payload = report_to_dict(report)
+    _emit(args, ["check", "code", "severity", "message"], _report_rows(report),
+          f"verification {report.status.upper()}: solver {report.solver!r} "
+          f"({len(report.checks)} checks, {len(report.findings)} finding(s))",
+          payload)
+    return 0 if report.ok else 1
+
+
+def _cmd_verify_batch(args: argparse.Namespace) -> int:
+    """Verify every row of a ``repro batch --json`` capture."""
+    if not args.instances:
+        raise ReproError("--results needs --instances (the batch's input file)")
+    instances = _load_checked(load_instances, args.instances)
+    data = _load_json(args.results)
+    rows = data.get("results") if isinstance(data, dict) else None
+    if not isinstance(rows, list):
+        raise ReproError(
+            f"{args.results} is not a repro batch --json capture "
+            "(missing its 'results' list)"
+        )
+    # solve parameters come from the capture itself (repro batch --json
+    # records solver/alpha/budgets); explicit flags override
+    solver = args.solver or data.get("solver")
+    if not solver:
+        raise ReproError("the capture names no solver; pass --solver NAME")
+    alpha = args.alpha if args.alpha is not None else data.get("alpha", 3.0)
+    try:
+        power = PolynomialPower(float(alpha))
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"malformed alpha {alpha!r}: {exc}") from exc
+    if args.energy:
+        budgets = _parse_floats(args.energy)
+    elif isinstance(data.get("budgets"), list):
+        budgets = [None if b is None else float(b) for b in data["budgets"]]
+    else:
+        budgets = [None] * len(rows)
+    if len(budgets) == 1:
+        budgets = budgets * len(rows)
+    if len(budgets) != len(rows):
+        raise ReproError(
+            f"got {len(budgets)} budgets for {len(rows)} results; pass one "
+            "value or one per result"
+        )
+    reports = []
+    table_rows = []
+    for row, budget in zip(rows, budgets):
+        try:
+            index = int(row["index"])
+            if not 0 <= index < len(instances):
+                raise ReproError(
+                    f"result row index {index} outside the instance batch "
+                    f"(0..{len(instances) - 1})"
+                )
+            instance = instances[index]
+            value = None if row.get("value") is None else float(row["value"])
+            energy = None if row.get("energy") is None else float(row["energy"])
+            speeds = row.get("speeds")
+            if speeds is not None:
+                speeds = [float(s) for s in speeds]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed batch result row: {exc!r}") from exc
+        request = SolveRequest(
+            instance=instance, power=power, solver=solver, budget=budget
+        )
+        result = SolveResult(
+            solver=solver,
+            status="ok",
+            value=value,
+            energy=energy,
+            speeds=speeds,
+        )
+        report = api_verify(request, result)
+        reports.append(report)
+        table_rows.extend(
+            [index, *r] for r in _report_rows(report)
+        )
+    failed = [r for r in reports if not r.ok]
+    payload = {
+        "kind": "verification-batch",
+        "solver": solver,
+        "passed": len(reports) - len(failed),
+        "failed": len(failed),
+        "reports": [report_to_dict(r) for r in reports],
+    }
+    _emit(args, ["index", "check", "code", "severity", "message"], table_rows,
+          f"verification of {len(reports)} batch result(s) via {solver!r}: "
+          f"{len(reports) - len(failed)} passed, {len(failed)} failed",
+          payload)
+    return 0 if not failed else 1
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     instances = _load_checked(load_instances, args.instances)
     power = _power_from_args(args)
@@ -295,6 +418,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         budgets,
         solver=args.solver,
         workers=args.workers,
+        verify=args.verify,
     )
     elapsed = time.perf_counter() - start
     throughput = len(results) / elapsed if elapsed > 0 else float("inf")
@@ -304,6 +428,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ]
     payload = {
         "solver": args.solver,
+        "alpha": args.alpha,
+        "budgets": budgets,
         "workers": args.workers,
         "elapsed_seconds": elapsed,
         "instances_per_second": throughput,
@@ -456,6 +582,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", choices=["makespan", "flow"], default="makespan")
     p.set_defaults(func=_cmd_multi)
 
+    p = sub.add_parser(
+        "verify",
+        help="certificate-check solve results from their JSON envelopes",
+        description="Verify a (request, result) envelope pair produced by "
+                    "repro solve --json, or every row of a repro batch --json "
+                    "capture.  Runs the structural checks (feasibility, "
+                    "energy/value accounting) plus the optimality certificates "
+                    "the solver registered.  Exit code: 0 all checks passed, "
+                    "1 verification failed (structured findings on stdout), "
+                    "2 malformed input.",
+    )
+    p.add_argument("--request", help="path to a solve-request JSON envelope")
+    p.add_argument("--result", help="path to a solve-result JSON envelope")
+    p.add_argument("--instances",
+                   help="batch mode: the instance-batch file the capture was solved from")
+    p.add_argument("--results",
+                   help="batch mode: path to a repro batch --json capture")
+    p.add_argument("--solver",
+                   help="batch mode: solver name (defaults to the capture's)")
+    p.add_argument("--energy",
+                   help="batch mode: override the budgets recorded in the "
+                        "capture (one value or a comma-separated list)")
+    p.add_argument("--alpha", type=float, default=None,
+                   help="batch mode: override the power exponent recorded in "
+                        "the capture (default: the capture's, else 3)")
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.set_defaults(func=_cmd_verify)
+
     p = sub.add_parser("batch", help="solve many instances at once (optionally in parallel)")
     p.add_argument(
         "--instances", required=True,
@@ -470,6 +624,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--solver", choices=sorted(REGISTRY.find(batchable=True)), default="laptop")
     p.add_argument("--workers", type=int, default=1, help="worker processes (default 1 = serial)")
     p.add_argument("--alpha", type=float, default=3.0, help="power = speed^alpha (default 3)")
+    p.add_argument("--verify", action="store_true",
+                   help="certificate-check every result in the worker that solved it")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_batch)
 
@@ -517,6 +673,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return int(args.func(args))
+    except VerificationError as exc:
+        # a result failing its certificate checks (repro batch --verify) is
+        # the verification-failed outcome (1), not malformed input (2)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except ReproError as exc:
         # includes unreadable/malformed instance files, wrapped at the
         # loading call sites by _load_checked

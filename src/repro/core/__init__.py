@@ -29,7 +29,23 @@ from .power import (
 )
 from .schedule import Piece, Schedule
 from .speed_profile import SpeedProfile, SpeedSegment, profile_from_schedule
-from .validation import StructureReport, assert_optimal_structure, check_optimal_structure
+
+#: Lemma 2-6 structure checks now live in :mod:`repro.verify.structure`; the
+#: re-exports below are resolved lazily (module ``__getattr__``) to keep
+#: ``repro.core`` free of an eager core -> verify import edge.
+_STRUCTURE_EXPORTS = (
+    "StructureReport",
+    "check_optimal_structure",
+    "assert_optimal_structure",
+)
+
+
+def __getattr__(name: str):
+    if name in _STRUCTURE_EXPORTS:
+        from ..verify import structure
+
+        return getattr(structure, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "kernels",

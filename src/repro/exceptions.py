@@ -22,6 +22,10 @@ still distinguishing the common failure modes:
   ``power = speed**alpha``) was given an incompatible one.
 * :class:`UnknownSolverError` -- a solver name was not found in the
   :class:`repro.api.SolverRegistry`; carries the list of known solvers.
+* :class:`VerificationError` -- a solve result failed certificate
+  verification (see :mod:`repro.verify`); raised by
+  :meth:`repro.verify.VerificationReport.raise_if_failed` and by the batch
+  engine's ``verify=True`` mode.
 
 Every class carries a stable machine-readable ``code`` (a short kebab-case
 string) used by the typed request/response API (:mod:`repro.api`) to map
@@ -40,6 +44,7 @@ __all__ = [
     "ConvergenceError",
     "UnsupportedPowerFunctionError",
     "UnknownSolverError",
+    "VerificationError",
     "error_code",
 ]
 
@@ -102,6 +107,12 @@ class UnknownSolverError(InvalidInstanceError):
         super().__init__(
             f"unknown solver {name!r}; known solvers: {sorted(self.known)}"
         )
+
+
+class VerificationError(ReproError):
+    """A solve result failed certificate verification (see :mod:`repro.verify`)."""
+
+    code = "verification-failed"
 
 
 def error_code(exc: BaseException) -> str:

@@ -45,6 +45,7 @@ def register_solvers(registry) -> None:
             # not needs_polynomial_power: puw falls back to the convex
             # approximation for non-polynomial power functions
             needs_equal_work=True,
+            certificates=("budget-tightness", "flow-structure"),
         ),
         _run_flow_laptop,
     )
@@ -56,6 +57,7 @@ def register_solvers(registry) -> None:
             budget_kind="metric",
             batchable=True,
             needs_equal_work=True,
+            certificates=("budget-tightness", "flow-structure"),
         ),
         _run_flow_server,
     )

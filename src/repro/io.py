@@ -32,6 +32,7 @@ from .core.job import Instance, Job
 from .core.power import AffinePolynomialPower, PolynomialPower, PowerFunction
 from .core.schedule import Piece, Schedule
 from .exceptions import InvalidInstanceError, InvalidScheduleError
+from .verify.report import Finding, VerificationReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .batch import BatchResult
@@ -61,6 +62,8 @@ __all__ = [
     "result_from_dict",
     "capabilities_to_dict",
     "batch_result_to_dict",
+    "report_to_dict",
+    "report_from_dict",
 ]
 
 _FORMAT_VERSION = 1
@@ -457,6 +460,65 @@ def result_from_dict(data: dict[str, Any]) -> SolveResult:
     )
 
 
+def report_to_dict(report: VerificationReport) -> dict[str, Any]:
+    """JSON-ready representation of a :class:`~repro.verify.VerificationReport`."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "verification-report",
+        "solver": report.solver,
+        "status": report.status,
+        "checks": list(report.checks),
+        "findings": [
+            {
+                "code": f.code,
+                "check": f.check,
+                "severity": f.severity,
+                "message": f.message,
+                "data": dict(f.data),
+            }
+            for f in report.findings
+        ],
+    }
+
+
+def report_from_dict(data: dict[str, Any]) -> VerificationReport:
+    """Rebuild a :class:`~repro.verify.VerificationReport` from :func:`report_to_dict` output."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a verification-report payload: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    if data.get("kind") != "verification-report":
+        raise InvalidInstanceError(
+            f"not a verification-report payload: kind={data.get('kind')!r}"
+        )
+    rows = data.get("findings") or []
+    if not isinstance(rows, list) or not all(isinstance(row, dict) for row in rows):
+        raise InvalidInstanceError(
+            "verification-report 'findings' must be a list of objects"
+        )
+    for i, row in enumerate(rows):
+        if not row.get("code") or not row.get("check"):
+            raise InvalidInstanceError(
+                f"malformed finding row {i}: needs non-empty 'code' and 'check'"
+            )
+    findings = tuple(
+        Finding(
+            code=str(row["code"]),
+            check=str(row["check"]),
+            message=str(row.get("message", "")),
+            severity=str(row.get("severity", "error")),
+            data=row.get("data") or {},
+        )
+        for row in rows
+    )
+    return VerificationReport(
+        solver=str(data.get("solver")),
+        checks=tuple(str(c) for c in data.get("checks") or ()),
+        findings=findings,
+    )
+
+
 def capabilities_to_dict(capabilities: SolverCapabilities) -> dict[str, Any]:
     """Flat JSON-ready view of one solver's registry metadata.
 
@@ -474,6 +536,7 @@ def capabilities_to_dict(capabilities: SolverCapabilities) -> dict[str, Any]:
         "needs_polynomial_power": capabilities.needs_polynomial_power,
         "needs_deadlines": capabilities.needs_deadlines,
         "needs_equal_work": capabilities.needs_equal_work,
+        "certificates": list(capabilities.certificates),
         "summary": capabilities.summary,
     }
 

@@ -70,6 +70,7 @@ def register_solvers(registry) -> None:
             summary="minimum makespan for an energy budget (IncMerge)",
             budget_kind="energy",
             batchable=True,
+            certificates=("budget-tightness", "optimal-structure"),
         ),
         _run_laptop,
     )
@@ -80,6 +81,7 @@ def register_solvers(registry) -> None:
             summary="minimum energy for a makespan target (frontier inversion)",
             budget_kind="metric",
             batchable=True,
+            certificates=("budget-tightness", "optimal-structure"),
         ),
         _run_server,
     )
@@ -91,6 +93,7 @@ def register_solvers(registry) -> None:
             budget_kind="none",
             # not needs_polynomial_power: the frontier keeps a numeric path
             # for non-polynomial convex power functions
+            certificates=("frontier-shape",),
         ),
         _run_frontier,
     )

@@ -53,6 +53,7 @@ def register_solvers(registry) -> None:
                     "(cyclic assignment, Theorem 10)",
             budget_kind="energy",
             needs_equal_work=True,
+            certificates=("budget-tightness", "cyclic-assignment"),
         ),
         _run_multi_makespan,
     )
@@ -64,6 +65,7 @@ def register_solvers(registry) -> None:
                     "(cyclic assignment, Theorem 10)",
             budget_kind="energy",
             needs_equal_work=True,
+            certificates=("budget-tightness", "cyclic-assignment"),
         ),
         _run_multi_flow,
     )

@@ -56,6 +56,7 @@ def register_solvers(registry) -> None:
             budget_kind="none",
             batchable=True,
             needs_deadlines=True,
+            certificates=("competitive-ratio",) if online else ("yds-density",),
         )
 
     registry.register(

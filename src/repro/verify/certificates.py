@@ -1,0 +1,503 @@
+"""Semantic optimality certificates, keyed by the kinds solvers declare.
+
+Each registered solver lists the certificate kinds that apply to it in
+``SolverCapabilities.certificates``; :func:`repro.verify.verify` runs the
+matching checker from :data:`CHECKERS` after the structural checks.  The
+kinds mirror the paper's own optimality witnesses:
+
+* ``budget-tightness``   -- optimal laptop-mode solutions exhaust the energy
+  budget exactly; server-mode solutions hit the metric target exactly (the
+  KKT stationarity of the bicriteria template).
+* ``optimal-structure``  -- Lemmas 2-6 on the uniprocessor makespan schedule
+  (single speed per job, release order, no idle, uniform non-decreasing
+  block speeds), via :mod:`repro.verify.structure`.
+* ``yds-density``        -- the YDS witness: the offline optimum's peak speed
+  equals the maximum density over all release/deadline windows, and its
+  energy matches an independent YDS recomputation.
+* ``competitive-ratio``  -- the online guarantee: reported energy lies in
+  ``[OPT, bound(alpha) * OPT]`` where ``OPT`` is an offline YDS re-solve and
+  ``bound`` is the algorithm's theoretical ratio (alpha^alpha for OA, ...).
+* ``frontier-shape``     -- the non-dominated trade-off curve is sorted,
+  monotone non-increasing and convex in the energy budget (Figures 1-3).
+* ``flow-structure``     -- Theorem 1's boundary relations on equal-work flow
+  schedules, plus the closed-form speed profile when the solver claimed the
+  exact refinement applied.
+* ``cyclic-assignment``  -- Theorem 10: the multiprocessor assignment is a
+  partition and distributes jobs cyclically in release order.
+
+Checkers degrade to ``warning``-severity ``certificate-skipped`` findings
+when the inputs leave the theorem's model (e.g. a non-polynomial power
+function for a bound stated for ``power = speed**alpha``); they never pass
+vacuously without recording why.
+
+Solver machinery is imported lazily inside each checker so importing
+:mod:`repro.verify` stays light and cycle-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from .report import Finding
+from .structural import VerificationContext
+
+__all__ = ["CHECKERS", "checker"]
+
+#: Certificate kind -> checker. Populated by the :func:`checker` decorator.
+CHECKERS: dict[str, Callable[[VerificationContext], list[Finding]]] = {}
+
+
+def checker(kind: str) -> Callable:
+    """Register a checker under a certificate kind (decorator)."""
+
+    def decorate(fn: Callable[[VerificationContext], list[Finding]]) -> Callable:
+        CHECKERS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def _skipped(kind: str, reason: str) -> list[Finding]:
+    return [
+        Finding(
+            code="certificate-skipped",
+            check=kind,
+            message=f"certificate not evaluated: {reason}",
+            severity="warning",
+        )
+    ]
+
+
+def _yds_optimal_energy(ctx: VerificationContext) -> float:
+    """Offline optimal (YDS) energy for the request's instance, recomputed."""
+    from ..core.kernels import energy_eval
+    from ..online.yds import yds_speeds
+
+    speeds = yds_speeds(ctx.request.instance).speeds
+    return float(
+        np.sum(energy_eval(ctx.request.power, ctx.request.instance.works, speeds))
+    )
+
+
+# ----------------------------------------------------------------------
+# budget / target tightness
+# ----------------------------------------------------------------------
+
+@checker("budget-tightness")
+def check_budget_tightness(ctx: VerificationContext) -> list[Finding]:
+    """Laptop mode: the budget is exhausted; server mode: the target is hit."""
+    findings: list[Finding] = []
+    caps = ctx.capabilities
+    budget = ctx.request.budget
+    if budget is None:
+        return _skipped("budget-tightness", "request carries no budget")
+    # the flow cells go through the convex solver, whose accuracy is looser
+    # than the closed-form makespan machinery
+    tol = 1e-3 if caps.objective == "flow" else 1e-6
+
+    if caps.budget_kind == "energy":
+        energy = ctx.result.energy
+        if energy is None:
+            return _skipped("budget-tightness", "result reports no energy")
+        if energy > budget * (1.0 + tol) + 1e-9:
+            findings.append(
+                Finding(
+                    code="budget-exceeded",
+                    check="budget-tightness",
+                    message=(
+                        f"energy {energy:g} exceeds the budget {budget:g}"
+                    ),
+                    data={"energy": energy, "budget": budget},
+                )
+            )
+        elif energy < budget * (1.0 - tol) - 1e-9:
+            findings.append(
+                Finding(
+                    code="budget-not-exhausted",
+                    check="budget-tightness",
+                    message=(
+                        f"energy {energy:g} leaves budget {budget:g} unused; "
+                        "an optimal schedule spends the whole budget"
+                    ),
+                    data={"energy": energy, "budget": budget},
+                )
+            )
+        return findings
+
+    if caps.budget_kind == "metric":
+        schedule = ctx.schedule
+        if schedule is None:
+            return _skipped("budget-tightness", "no schedule to derive the metric from")
+        achieved = (
+            schedule.makespan if caps.objective == "makespan" else schedule.total_flow
+        )
+        if achieved > budget * (1.0 + tol) + 1e-9:
+            findings.append(
+                Finding(
+                    code="target-missed",
+                    check="budget-tightness",
+                    message=(
+                        f"achieved {caps.objective} {achieved:g} exceeds the "
+                        f"target {budget:g}"
+                    ),
+                    data={"achieved": achieved, "target": budget},
+                )
+            )
+        elif achieved < budget * (1.0 - max(tol, 1e-3)) - 1e-9:
+            findings.append(
+                Finding(
+                    code="target-not-tight",
+                    check="budget-tightness",
+                    message=(
+                        f"achieved {caps.objective} {achieved:g} beats the target "
+                        f"{budget:g}; the minimum-energy schedule is exactly tight"
+                    ),
+                    data={"achieved": achieved, "target": budget},
+                )
+            )
+        return findings
+
+    return _skipped("budget-tightness", f"budget kind {caps.budget_kind!r} has no budget")
+
+
+# ----------------------------------------------------------------------
+# makespan structure (Lemmas 2-6)
+# ----------------------------------------------------------------------
+
+@checker("optimal-structure")
+def check_structure_certificate(ctx: VerificationContext) -> list[Finding]:
+    """Lemma 2-6 structure of the optimal uniprocessor makespan schedule."""
+    from .structure import check_optimal_structure
+
+    schedule = ctx.schedule
+    if schedule is None:
+        return _skipped("optimal-structure", "no schedule to inspect")
+    report = check_optimal_structure(schedule)
+    labels = {
+        "single_speed_per_job": ("structure-multiple-speeds", "Lemma 2: a job runs at several speeds"),
+        "release_order": ("structure-out-of-order", "Lemma 3: jobs do not run in release order"),
+        "no_idle": ("structure-idle-gap", "Lemma 4: idle time before the last completion"),
+        "uniform_speed_per_block": ("structure-block-not-uniform", "Lemma 5: a block mixes speeds"),
+        "non_decreasing_block_speeds": ("structure-block-speeds-decrease", "Lemma 6: block speeds decrease"),
+    }
+    return [
+        Finding(code=code, check="optimal-structure", message=message)
+        for prop, (code, message) in labels.items()
+        if not getattr(report, prop)
+    ]
+
+
+# ----------------------------------------------------------------------
+# YDS density certificate
+# ----------------------------------------------------------------------
+
+@checker("yds-density")
+def check_yds_density(ctx: VerificationContext) -> list[Finding]:
+    """The YDS witness: peak speed = max window density, energy = recomputed OPT."""
+    from ..core.kernels import max_density_interval
+
+    findings: list[Finding] = []
+    instance = ctx.request.instance
+    speeds = ctx.result.speeds
+    if speeds is None or speeds.shape != (instance.n_jobs,):
+        return _skipped("yds-density", "no per-job speeds to certify")
+
+    found = max_density_interval(
+        instance.releases, instance.deadlines, instance.works
+    )
+    if found is not None:
+        t1, t2, intensity, _ = found
+        peak = float(np.max(speeds))
+        if not math.isclose(peak, intensity, rel_tol=1e-6, abs_tol=1e-9):
+            findings.append(
+                Finding(
+                    code="density-certificate-violated",
+                    check="yds-density",
+                    message=(
+                        f"peak speed {peak:g} != maximum window density "
+                        f"{intensity:g} over [{t1:g}, {t2:g}]"
+                    ),
+                    data={"peak_speed": peak, "density": intensity, "t1": t1, "t2": t2},
+                )
+            )
+
+    optimal = _yds_optimal_energy(ctx)
+    energy = ctx.result.energy
+    if energy is not None:
+        if energy > optimal * (1.0 + 1e-6) + 1e-9:
+            findings.append(
+                Finding(
+                    code="yds-energy-suboptimal",
+                    check="yds-density",
+                    message=(
+                        f"reported energy {energy:g} exceeds the recomputed "
+                        f"YDS optimum {optimal:g}"
+                    ),
+                    data={"reported": energy, "optimal": optimal},
+                )
+            )
+        elif energy < optimal * (1.0 - 1e-6) - 1e-9:
+            findings.append(
+                Finding(
+                    code="yds-energy-below-optimal",
+                    check="yds-density",
+                    message=(
+                        f"reported energy {energy:g} is below the offline optimum "
+                        f"{optimal:g} -- no feasible schedule achieves it"
+                    ),
+                    data={"reported": energy, "optimal": optimal},
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# online competitive-ratio certificate
+# ----------------------------------------------------------------------
+
+@checker("competitive-ratio")
+def check_competitive_ratio(ctx: VerificationContext) -> list[Finding]:
+    """Reported energy lies in ``[OPT, bound(alpha) * OPT]`` vs a YDS re-solve."""
+    findings: list[Finding] = []
+    power = ctx.request.power
+    if not power.is_polynomial:
+        return _skipped(
+            "competitive-ratio",
+            "competitive bounds are stated for power = speed**alpha",
+        )
+    from ..online.compete import RATIO_BOUNDS
+
+    name = ctx.capabilities.name
+    bound_fn = RATIO_BOUNDS.get(name)
+    if bound_fn is None:
+        return _skipped("competitive-ratio", f"no ratio bound known for {name!r}")
+    energy = ctx.result.energy
+    if energy is None:
+        return _skipped("competitive-ratio", "result reports no energy")
+
+    optimal = _yds_optimal_energy(ctx)
+    bound = float(bound_fn(power.alpha))
+    if energy < optimal * (1.0 - 1e-6) - 1e-9:
+        findings.append(
+            Finding(
+                code="energy-below-optimal",
+                check="competitive-ratio",
+                message=(
+                    f"reported energy {energy:g} is below the offline optimum "
+                    f"{optimal:g} -- no schedule achieves it"
+                ),
+                data={"reported": energy, "optimal": optimal},
+            )
+        )
+    if energy > bound * optimal * (1.0 + 1e-6) + 1e-9:
+        findings.append(
+            Finding(
+                code="competitive-bound-exceeded",
+                check="competitive-ratio",
+                message=(
+                    f"reported energy {energy:g} exceeds {bound:g} x OPT "
+                    f"({optimal:g}), the theoretical {name.upper()} guarantee"
+                ),
+                data={"reported": energy, "optimal": optimal, "bound": bound},
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# frontier shape certificate
+# ----------------------------------------------------------------------
+
+@checker("frontier-shape")
+def check_frontier_shape(ctx: VerificationContext) -> list[Finding]:
+    """The sampled trade-off curve is sorted, non-increasing and convex."""
+    findings: list[Finding] = []
+    extras = ctx.result.extras
+    breakpoints = extras.get("breakpoints")
+    if breakpoints is None:
+        return [
+            Finding(
+                code="frontier-payload-missing",
+                check="frontier-shape",
+                message="frontier result carries no 'breakpoints' in extras",
+            )
+        ]
+    bps = [float(b) for b in breakpoints]
+    if any(b2 <= b1 for b1, b2 in zip(bps, bps[1:])):
+        findings.append(
+            Finding(
+                code="breakpoints-not-sorted",
+                check="frontier-shape",
+                message=f"configuration breakpoints are not strictly increasing: {bps}",
+                data={"breakpoints": bps},
+            )
+        )
+
+    samples = extras.get("samples")
+    if not samples:
+        return findings
+    energies = np.array([float(s["energy"]) for s in samples])
+    values = np.array([float(s["makespan"]) for s in samples])
+    if np.any(np.diff(energies) <= 0):
+        findings.append(
+            Finding(
+                code="frontier-not-monotone",
+                check="frontier-shape",
+                message="sample energies are not strictly increasing",
+            )
+        )
+        return findings
+    scale = 1e-7 * (1.0 + float(np.max(np.abs(values))))
+    if np.any(np.diff(values) > scale):
+        findings.append(
+            Finding(
+                code="frontier-not-monotone",
+                check="frontier-shape",
+                message=(
+                    "optimal makespan increases with energy somewhere on the "
+                    "sample grid; the non-dominated curve is non-increasing"
+                ),
+            )
+        )
+    slopes = np.diff(values) / np.diff(energies)
+    slope_scale = 1e-6 * (1.0 + float(np.max(np.abs(slopes)))) if len(slopes) else 0.0
+    if np.any(np.diff(slopes) < -slope_scale):
+        findings.append(
+            Finding(
+                code="frontier-not-convex",
+                check="frontier-shape",
+                message=(
+                    "the sampled makespan(energy) curve is not convex; "
+                    "every segment of the true frontier is"
+                ),
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# equal-work flow structure (Theorem 1)
+# ----------------------------------------------------------------------
+
+@checker("flow-structure")
+def check_flow_structure(ctx: VerificationContext) -> list[Finding]:
+    """Theorem 1 boundary relations (plus the closed form when claimed exact)."""
+    from ..flow.structure import (
+        classify_boundaries,
+        closed_form_speeds,
+        verify_theorem1,
+    )
+
+    findings: list[Finding] = []
+    instance = ctx.request.instance
+    power = ctx.request.power
+    speeds = ctx.result.speeds
+    if speeds is None or speeds.shape != (instance.n_jobs,):
+        return _skipped("flow-structure", "no per-job speeds to certify")
+    if not power.is_polynomial:
+        return _skipped(
+            "flow-structure", "Theorem 1 is stated for power = speed**alpha"
+        )
+    # tolerance calibrated to the convex solver's accuracy (the same 5e-2 the
+    # property suite uses for verify_theorem1 on convex output)
+    if not verify_theorem1(instance, power, speeds, rtol=5e-2, atol=1e-5):
+        findings.append(
+            Finding(
+                code="theorem1-violated",
+                check="flow-structure",
+                message=(
+                    "the speeds violate Theorem 1's boundary relations for "
+                    "optimal equal-work flow schedules"
+                ),
+            )
+        )
+    if ctx.result.extras.get("exact_closed_form"):
+        config = classify_boundaries(instance, speeds, atol=1e-5)
+        if config.has_tight_boundary:
+            findings.append(
+                Finding(
+                    code="closed-form-mismatch",
+                    check="flow-structure",
+                    message=(
+                        "result claims the exact closed form applied but the "
+                        "speeds imply a tight boundary (Theorem 8: no closed form)"
+                    ),
+                )
+            )
+        else:
+            closed = closed_form_speeds(instance, power, config, float(speeds[-1]))
+            if not np.allclose(closed, speeds, rtol=1e-5, atol=1e-9):
+                findings.append(
+                    Finding(
+                        code="closed-form-mismatch",
+                        check="flow-structure",
+                        message=(
+                            "speeds differ from the Theorem 1 closed form "
+                            "implied by their own boundary configuration"
+                        ),
+                        data={
+                            "speeds": [float(s) for s in speeds],
+                            "closed_form": [float(s) for s in closed],
+                        },
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# multiprocessor cyclic assignment (Theorem 10)
+# ----------------------------------------------------------------------
+
+@checker("cyclic-assignment")
+def check_cyclic_assignment(ctx: VerificationContext) -> list[Finding]:
+    """The reported assignment is a partition distributed cyclically (Theorem 10)."""
+    from ..multi.cyclic import cyclic_assignment
+
+    raw = ctx.result.extras.get("assignment")
+    if not isinstance(raw, dict):
+        return [
+            Finding(
+                code="assignment-missing",
+                check="cyclic-assignment",
+                message="multiprocessor result carries no 'assignment' in extras",
+            )
+        ]
+    n = ctx.request.instance.n_jobs
+    assignment = {int(proc): [int(j) for j in jobs] for proc, jobs in raw.items()}
+    assigned = [j for jobs in assignment.values() for j in jobs]
+    if sorted(assigned) != list(range(n)):
+        return [
+            Finding(
+                code="assignment-not-partition",
+                check="cyclic-assignment",
+                message=(
+                    "the assignment does not place every job on exactly one "
+                    "processor"
+                ),
+                data={"assigned": sorted(assigned), "n_jobs": n},
+            )
+        ]
+    expected = cyclic_assignment(n, ctx.request.processors)
+    # solvers may omit processors that received no jobs; compare the
+    # non-empty part of the distribution
+    nonempty = {p: jobs for p, jobs in assignment.items() if jobs}
+    expected_nonempty = {p: jobs for p, jobs in expected.items() if jobs}
+    if nonempty != expected_nonempty:
+        return [
+            Finding(
+                code="assignment-not-cyclic",
+                check="cyclic-assignment",
+                message=(
+                    "the assignment is not the cyclic distribution of "
+                    "Theorem 10 (job i on processor i mod m)"
+                ),
+                data={
+                    "assignment": {str(p): jobs for p, jobs in sorted(assignment.items())},
+                    "expected": {str(p): jobs for p, jobs in sorted(expected.items())},
+                },
+            )
+        ]
+    return []

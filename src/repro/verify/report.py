@@ -1,0 +1,116 @@
+"""Structured outcome of a verification run: findings and the report envelope.
+
+A verification run is a sequence of named *checks* (structural checks that
+apply to every solver, plus the semantic certificate checks each solver
+declares in its :class:`~repro.api.types.SolverCapabilities`).  Each check
+emits zero or more :class:`Finding` objects; the :class:`VerificationReport`
+collects them together with the list of checks that ran, so a passing report
+also documents *what* was verified, not just that nothing failed.
+
+Finding codes are stable kebab-case strings (like the error codes of
+:mod:`repro.exceptions`) so callers and tests can match on them without
+parsing messages.  Serialisation lives in :mod:`repro.io`
+(``report_to_dict`` / ``report_from_dict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from ..exceptions import InvalidInstanceError, VerificationError
+
+__all__ = ["SEVERITIES", "Finding", "VerificationReport"]
+
+#: Recognised finding severities.  ``error`` findings fail the report;
+#: ``warning`` findings (e.g. a certificate skipped because the power
+#: function is outside the theorem's model) are recorded but do not.
+SEVERITIES: tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured verification finding.
+
+    Parameters
+    ----------
+    code:
+        Stable kebab-case finding code (``deadline-missed``,
+        ``energy-mismatch``, ``competitive-bound-exceeded``, ...).
+    check:
+        Name of the check that produced the finding (``feasibility``,
+        ``accounting``, or a certificate kind such as ``yds-density``).
+    message:
+        Human-readable description of the violation.
+    severity:
+        One of :data:`SEVERITIES`.
+    data:
+        JSON-ready payload with the numbers behind the finding (job index,
+        expected/actual values, ...).
+    """
+
+    code: str
+    check: str
+    message: str
+    severity: str = "error"
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise InvalidInstanceError("a finding needs a non-empty code")
+        if self.severity not in SEVERITIES:
+            raise InvalidInstanceError(
+                f"finding severity must be one of {list(SEVERITIES)}, "
+                f"got {self.severity!r}"
+            )
+        object.__setattr__(self, "data", MappingProxyType(dict(self.data)))
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying one ``(SolveRequest, SolveResult)`` pair.
+
+    ``checks`` lists every check that ran (in order); ``findings`` collects
+    the violations.  The report passes iff no finding has ``error`` severity.
+    """
+
+    solver: str
+    checks: tuple[str, ...]
+    findings: tuple[Finding, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "checks", tuple(self.checks))
+        object.__setattr__(self, "findings", tuple(self.findings))
+
+    @property
+    def errors(self) -> tuple[Finding, ...]:
+        """The error-severity findings (the ones that fail the report)."""
+        return tuple(f for f in self.findings if f.severity == "error")
+
+    @property
+    def ok(self) -> bool:
+        """Whether verification passed (no error-severity finding)."""
+        return not self.errors
+
+    @property
+    def status(self) -> str:
+        """``"pass"`` or ``"fail"``."""
+        return "pass" if self.ok else "fail"
+
+    def codes(self) -> tuple[str, ...]:
+        """All finding codes, in emission order (handy for tests)."""
+        return tuple(f.code for f in self.findings)
+
+    def error_summary(self) -> str:
+        """Compact ``check:code`` listing of the error findings."""
+        return ", ".join(f"{f.check}:{f.code}" for f in self.errors)
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Raise :class:`~repro.exceptions.VerificationError` on a failed report."""
+        if not self.ok:
+            raise VerificationError(
+                f"verification failed for solver {self.solver!r}: "
+                f"{self.error_summary()}"
+            )
+        return self

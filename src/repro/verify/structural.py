@@ -1,0 +1,452 @@
+"""Structural verification: envelope sanity, feasibility, energy/value accounting.
+
+These checks apply to *every* solver in the registry (the semantic
+certificates of :mod:`repro.verify.certificates` are layered on top per
+capability).  They treat the ``(SolveRequest, SolveResult)`` pair purely as
+data:
+
+* ``envelope`` -- the result names the requested solver, succeeded, and its
+  ``value`` / ``energy`` / ``speeds`` payload is well-formed (finite,
+  positive speeds, one per job);
+* ``feasibility`` -- the schedule implied by the reported speeds is legal:
+  every job is scheduled, completes its work, respects its release time (and
+  deadline, for the deadline-feasibility solvers), and pieces never overlap
+  on a processor;
+* ``accounting`` -- the reported energy and objective value are re-derived
+  from that schedule at tolerance.  For the online algorithms (whose jobs may
+  run at varying speed, so only the work-weighted average speed survives in
+  the envelope) the re-derived energy is a *lower bound* by convexity of the
+  power function, and the check degrades to that sound bound.
+
+Schedule reconstruction is capability-driven: uniprocessor offline solvers
+imply the canonical run-in-release-order schedule
+(:meth:`~repro.core.schedule.Schedule.from_speeds`), the deadline solvers an
+EDF realisation of the per-job speeds, and the multiprocessor solvers replay
+the assignment reported in ``extras``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..exceptions import ReproError
+from .report import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.types import SolveRequest, SolveResult, SolverCapabilities
+
+__all__ = [
+    "VerificationContext",
+    "check_envelope",
+    "check_schedule",
+    "check_accounting",
+    "reconstruct_schedule",
+]
+
+#: Absolute slack for time comparisons (release/deadline/overlap); matches the
+#: schedule layer's own feasibility epsilon scaled up for EDF reconstruction.
+_TIME_EPS = 1e-6
+
+
+@dataclass
+class VerificationContext:
+    """Shared state threaded through every checker of one verification run."""
+
+    request: "SolveRequest"
+    result: "SolveResult"
+    capabilities: "SolverCapabilities"
+    rtol: float = 1e-6
+    _schedule: Schedule | None = field(default=None, repr=False)
+    _schedule_error: str | None = field(default=None, repr=False)
+    _schedule_built: bool = field(default=False, repr=False)
+
+    @property
+    def schedule(self) -> Schedule | None:
+        """The schedule implied by the result's speeds (``None`` if not derivable)."""
+        if not self._schedule_built:
+            self._schedule_built = True
+            try:
+                self._schedule = reconstruct_schedule(
+                    self.request, self.result, self.capabilities
+                )
+            except (ReproError, KeyError, TypeError, ValueError) as exc:
+                # malformed payloads (bad assignment shapes, non-numeric
+                # entries) are data errors, reported as findings — not crashes
+                self._schedule_error = f"{type(exc).__name__}: {exc}"
+        return self._schedule
+
+    @property
+    def schedule_error(self) -> str | None:
+        """Why reconstruction failed, if it did."""
+        self.schedule  # force the attempt
+        return self._schedule_error
+
+
+def _isclose(a: float, b: float, rtol: float) -> bool:
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# envelope
+# ----------------------------------------------------------------------
+
+def check_envelope(ctx: VerificationContext) -> list[Finding]:
+    """Well-formedness of the result envelope itself."""
+    findings: list[Finding] = []
+    result = ctx.result
+
+    if not result.ok:
+        findings.append(
+            Finding(
+                code="result-is-error",
+                check="envelope",
+                message=(
+                    f"result is an error envelope [{result.error_code}]: "
+                    f"{result.error_message}; nothing to verify"
+                ),
+                data={"error_code": result.error_code},
+            )
+        )
+        return findings
+
+    # frontier-mode solvers legitimately carry their payload in extras; every
+    # other solver must report the full value/energy/speeds triple — a
+    # stripped envelope is a tamper, not a pass
+    payload_required = ctx.capabilities.mode != "frontier"
+    for label, quantity in (("value", result.value), ("energy", result.energy)):
+        if quantity is None:
+            if payload_required:
+                findings.append(
+                    Finding(
+                        code=f"{label}-missing",
+                        check="envelope",
+                        message=f"result reports no {label}, which this solver requires",
+                    )
+                )
+        elif not isinstance(quantity, (int, float)) or isinstance(quantity, bool):
+            findings.append(
+                Finding(
+                    code=f"{label}-invalid",
+                    check="envelope",
+                    message=f"reported {label} must be a number, got {quantity!r}",
+                    data={label: repr(quantity)},
+                )
+            )
+        elif not math.isfinite(quantity) or quantity < 0.0:
+            findings.append(
+                Finding(
+                    code=f"{label}-invalid",
+                    check="envelope",
+                    message=f"reported {label} must be finite and >= 0, got {quantity!r}",
+                    data={label: quantity},
+                )
+            )
+
+    n = ctx.request.instance.n_jobs
+    speeds = result.speeds
+    if speeds is None:
+        if payload_required:
+            findings.append(
+                Finding(
+                    code="speeds-missing",
+                    check="envelope",
+                    message="result reports no speeds, which this solver requires",
+                )
+            )
+    else:
+        if speeds.shape != (n,):
+            findings.append(
+                Finding(
+                    code="speeds-shape",
+                    check="envelope",
+                    message=(
+                        f"expected one speed per job ({n}), got shape {speeds.shape}"
+                    ),
+                    data={"expected": n, "got": list(speeds.shape)},
+                )
+            )
+        else:
+            bad = np.where(~np.isfinite(speeds) | (speeds <= 0.0))[0]
+            if len(bad):
+                j = int(bad[0])
+                findings.append(
+                    Finding(
+                        code="speeds-invalid",
+                        check="envelope",
+                        message=(
+                            f"job {j}: speed must be finite and > 0, "
+                            f"got {float(speeds[j])!r}"
+                        ),
+                        data={"job": j, "speed": float(speeds[j])},
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# schedule reconstruction
+# ----------------------------------------------------------------------
+
+def reconstruct_schedule(
+    request: "SolveRequest",
+    result: "SolveResult",
+    capabilities: "SolverCapabilities",
+) -> Schedule | None:
+    """The schedule implied by a result's speeds, per the solver's capabilities.
+
+    Returns ``None`` for solvers whose payload carries no speeds (frontier
+    mode).  Raises a :class:`~repro.exceptions.ReproError` subclass when the
+    payload cannot be realised as a schedule at all (missing assignment,
+    malformed speeds, ...), which :class:`VerificationContext` maps to a
+    ``reconstruction-failed`` finding.
+    """
+    if result.speeds is None:
+        return None
+    if capabilities.multiprocessor:
+        from ..exceptions import InvalidScheduleError
+
+        raw = result.extras.get("assignment")
+        if not isinstance(raw, dict):
+            raise InvalidScheduleError(
+                "multiprocessor result carries no 'assignment' in extras"
+            )
+        assignment = {int(proc): [int(j) for j in jobs] for proc, jobs in raw.items()}
+        return Schedule.from_processor_speeds(
+            request.instance,
+            request.power,
+            assignment,
+            result.speeds,
+            n_processors=max(request.processors, max(assignment, default=0) + 1),
+        )
+    if capabilities.objective == "energy":
+        # deadline-feasibility family: realise the per-job (average) speeds
+        # under EDF, the canonical preemptive realisation
+        from ..online.yds import edf_schedule_at_speeds
+
+        return edf_schedule_at_speeds(request.instance, request.power, result.speeds)
+    return Schedule.from_speeds(request.instance, request.power, result.speeds)
+
+
+# ----------------------------------------------------------------------
+# feasibility
+# ----------------------------------------------------------------------
+
+def check_schedule(
+    schedule: Schedule,
+    check_deadlines: bool | None = None,
+    work_rtol: float = 1e-6,
+) -> list[Finding]:
+    """Feasibility of a schedule as data, reported as structured findings.
+
+    The same conditions :meth:`Schedule.validate` enforces, but emitted as
+    :class:`Finding` objects (one per violated job/pair) instead of raising on
+    the first problem.  ``check_deadlines`` defaults to "check jobs that carry
+    one".
+    """
+    findings: list[Finding] = []
+    instance = schedule.instance
+    by_job: list[list] = [[] for _ in range(instance.n_jobs)]
+    for piece in schedule.pieces:
+        if piece.job < instance.n_jobs:
+            by_job[piece.job].append(piece)
+
+    for job, pieces in zip(instance.jobs, by_job):
+        if not pieces:
+            findings.append(
+                Finding(
+                    code="job-unscheduled",
+                    check="feasibility",
+                    message=f"job {job.index} has no execution pieces",
+                    data={"job": job.index},
+                )
+            )
+            continue
+        done = sum(p.work for p in pieces)
+        if not math.isclose(done, job.work, rel_tol=work_rtol, abs_tol=1e-9):
+            findings.append(
+                Finding(
+                    code="work-mismatch",
+                    check="feasibility",
+                    message=(
+                        f"job {job.index}: scheduled work {done:g} != required "
+                        f"{job.work:g}"
+                    ),
+                    data={"job": job.index, "scheduled": done, "required": job.work},
+                )
+            )
+        start = min(p.start for p in pieces)
+        if start < job.release - _TIME_EPS:
+            findings.append(
+                Finding(
+                    code="release-violated",
+                    check="feasibility",
+                    message=(
+                        f"job {job.index} starts at {start:g} before its release "
+                        f"{job.release:g}"
+                    ),
+                    data={"job": job.index, "start": start, "release": job.release},
+                )
+            )
+        deadline_applies = (
+            job.deadline is not None
+            if check_deadlines is None
+            else (check_deadlines and job.deadline is not None)
+        )
+        if deadline_applies:
+            end = max(p.end for p in pieces)
+            if end > job.deadline + _TIME_EPS:
+                findings.append(
+                    Finding(
+                        code="deadline-missed",
+                        check="feasibility",
+                        message=(
+                            f"job {job.index} finishes at {end:g} after its "
+                            f"deadline {job.deadline:g}"
+                        ),
+                        data={"job": job.index, "end": end, "deadline": job.deadline},
+                    )
+                )
+
+    by_proc: dict[int, list] = {}
+    for piece in schedule.pieces:
+        by_proc.setdefault(piece.processor, []).append(piece)
+    for proc, pieces in by_proc.items():
+        pieces.sort(key=lambda p: p.start)
+        for a, b in zip(pieces, pieces[1:]):
+            if b.start < a.end - _TIME_EPS:
+                findings.append(
+                    Finding(
+                        code="pieces-overlap",
+                        check="feasibility",
+                        message=(
+                            f"processor {proc}: pieces overlap "
+                            f"([{a.start:g},{a.end:g}] job {a.job} and "
+                            f"[{b.start:g},{b.end:g}] job {b.job})"
+                        ),
+                        data={"processor": proc, "jobs": [a.job, b.job]},
+                    )
+                )
+    return findings
+
+
+def check_feasibility(ctx: VerificationContext) -> list[Finding]:
+    """Feasibility of the reconstructed schedule (capability-aware)."""
+    schedule = ctx.schedule
+    if schedule is None:
+        if ctx.schedule_error is not None:
+            return [
+                Finding(
+                    code="reconstruction-failed",
+                    check="feasibility",
+                    message=(
+                        "could not realise the reported payload as a schedule: "
+                        f"{ctx.schedule_error}"
+                    ),
+                )
+            ]
+        return []
+    return check_schedule(
+        schedule, check_deadlines=ctx.capabilities.needs_deadlines
+    )
+
+
+# ----------------------------------------------------------------------
+# accounting
+# ----------------------------------------------------------------------
+
+def check_accounting(ctx: VerificationContext) -> list[Finding]:
+    """Re-derive energy and objective value from the schedule at tolerance."""
+    findings: list[Finding] = []
+    result = ctx.result
+    caps = ctx.capabilities
+    schedule = ctx.schedule
+    if schedule is None:
+        return findings
+
+    derived_energy = schedule.energy
+    if result.energy is not None:
+        if caps.online:
+            # only the work-weighted average speeds survive in the envelope;
+            # by convexity the constant-speed realisation is an energy lower
+            # bound, with equality exactly for single-speed-per-job schedules
+            if result.energy < derived_energy * (1.0 - ctx.rtol) - 1e-9:
+                findings.append(
+                    Finding(
+                        code="energy-below-schedule-bound",
+                        check="accounting",
+                        message=(
+                            f"reported energy {result.energy:g} is below the "
+                            f"convexity lower bound {derived_energy:g} implied "
+                            "by the reported speeds"
+                        ),
+                        data={"reported": result.energy, "bound": derived_energy},
+                    )
+                )
+        elif not _isclose(result.energy, derived_energy, ctx.rtol):
+            findings.append(
+                Finding(
+                    code="energy-mismatch",
+                    check="accounting",
+                    message=(
+                        f"reported energy {result.energy:g} != energy "
+                        f"{derived_energy:g} re-derived from the speeds"
+                    ),
+                    data={"reported": result.energy, "derived": derived_energy},
+                )
+            )
+
+    value = result.value
+    if value is None:
+        return findings
+    objective = caps.objective
+    mode = caps.mode
+    if objective == "energy":
+        # deadline-feasibility solvers report their energy as the value
+        if result.energy is not None and not _isclose(value, result.energy, ctx.rtol):
+            findings.append(
+                Finding(
+                    code="value-energy-inconsistent",
+                    check="accounting",
+                    message=(
+                        f"energy-objective value {value:g} != reported energy "
+                        f"{result.energy:g}"
+                    ),
+                    data={"value": value, "energy": result.energy},
+                )
+            )
+    elif mode == "server":
+        # server mode minimises energy; the value *is* the minimum energy
+        if result.energy is not None and not _isclose(value, result.energy, 1e-3):
+            findings.append(
+                Finding(
+                    code="value-energy-inconsistent",
+                    check="accounting",
+                    message=(
+                        f"server-mode value {value:g} (minimum energy) != energy "
+                        f"{result.energy:g} of the returned schedule"
+                    ),
+                    data={"value": value, "energy": result.energy},
+                )
+            )
+    else:
+        derived_value = (
+            schedule.makespan if objective == "makespan" else schedule.total_flow
+        )
+        if not _isclose(value, derived_value, max(ctx.rtol, 1e-5)):
+            findings.append(
+                Finding(
+                    code="value-mismatch",
+                    check="accounting",
+                    message=(
+                        f"reported {objective} {value:g} != {objective} "
+                        f"{derived_value:g} re-derived from the speeds"
+                    ),
+                    data={"reported": value, "derived": derived_value},
+                )
+            )
+    return findings

@@ -16,6 +16,7 @@ import repro.api
 import repro.batch
 import repro.exceptions
 import repro.io
+import repro.verify
 
 API_SURFACE = {
     "OBJECTIVES",
@@ -29,8 +30,26 @@ API_SURFACE = {
     "RegisteredSolver",
     "SolverRegistry",
     "REGISTRY",
+    "Finding",
+    "VerificationReport",
     "solve",
+    "verify",
     "list_solvers",
+}
+
+VERIFY_SURFACE = {
+    "SEVERITIES",
+    "Finding",
+    "VerificationReport",
+    "VerificationContext",
+    "CHECKERS",
+    "checker",
+    "verify",
+    "check_schedule",
+    "reconstruct_schedule",
+    "StructureReport",
+    "check_optimal_structure",
+    "assert_optimal_structure",
 }
 
 IO_SURFACE = {
@@ -58,6 +77,8 @@ IO_SURFACE = {
     "result_from_dict",
     "capabilities_to_dict",
     "batch_result_to_dict",
+    "report_to_dict",
+    "report_from_dict",
 }
 
 BATCH_SURFACE = {"BatchResult", "SOLVERS", "solve_many"}
@@ -71,6 +92,7 @@ EXCEPTIONS_SURFACE = {
     "ConvergenceError",
     "UnsupportedPowerFunctionError",
     "UnknownSolverError",
+    "VerificationError",
     "error_code",
 }
 
@@ -87,6 +109,7 @@ TOP_LEVEL_SURFACE = {
     "makespan",
     "multi",
     "online",
+    "verify",
     "workloads",
     "ProblemSpec",
     "SolveRequest",
@@ -128,6 +151,10 @@ def test_api_surface_snapshot():
     assert set(repro.api.__all__) == API_SURFACE
 
 
+def test_verify_surface_snapshot():
+    assert set(repro.verify.__all__) == VERIFY_SURFACE
+
+
 def test_io_surface_snapshot():
     assert set(repro.io.__all__) == IO_SURFACE
 
@@ -149,6 +176,7 @@ def test_registered_solver_names_snapshot():
 
 
 def test_all_names_actually_exported():
-    for module in (repro, repro.api, repro.io, repro.batch, repro.exceptions):
+    for module in (repro, repro.api, repro.io, repro.batch, repro.exceptions,
+                   repro.verify):
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name} missing"

@@ -1,0 +1,191 @@
+"""Registry-driven conformance suite: every registered solver is born tested.
+
+This suite never names a solver explicitly.  It iterates the central registry
+(:data:`repro.api.REGISTRY`), derives a hypothesis request strategy for each
+solver *from its own capability metadata* (machine model, budget kind,
+equal-work / deadline preconditions), runs solve -> verify end to end, and
+requires the verification report — structural checks plus the solver's
+declared optimality certificates — to pass on every generated instance.
+
+Completeness is enforced alongside:
+
+* every registered solver must declare at least one certificate kind, and
+  every declared kind must have a checker in :data:`repro.verify.CHECKERS`
+  (deregistering certificate support for any solver fails here);
+* the strategy derivation must cover every registered solver's capability
+  shape, so a newly registered solver either inherits conformance coverage
+  automatically or fails the suite until its metadata is derivable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.api import REGISTRY, SolveRequest, SolverCapabilities
+from repro.api import verify as api_verify
+from repro.core import Instance, PolynomialPower, Schedule
+from repro.verify import CHECKERS
+
+pytestmark = pytest.mark.slow
+
+#: Capability axes the strategy derivation below understands.  A solver whose
+#: metadata steps outside these shapes fails test_strategy_covers_every_solver
+#: until the derivation (and hence its conformance coverage) is extended.
+_KNOWN_BUDGET_KINDS = {"energy", "metric", "none"}
+_KNOWN_OBJECTIVES = {"makespan", "flow", "energy"}
+
+
+def _derive_instance(draw, caps: SolverCapabilities) -> Instance:
+    """An instance satisfying the solver's declared preconditions."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    releases = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=8.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    releases[0] = 0.0
+    if caps.needs_equal_work:
+        works = [draw(st.floats(min_value=0.5, max_value=2.0))] * n
+    else:
+        works = draw(
+            st.lists(
+                st.floats(min_value=0.2, max_value=2.5), min_size=n, max_size=n
+            )
+        )
+    deadlines = None
+    if caps.needs_deadlines:
+        laxities = draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=5.0), min_size=n, max_size=n
+            )
+        )
+        deadlines = [r + l for r, l in zip(releases, laxities)]
+    return Instance.from_arrays(releases, works, deadlines=deadlines)
+
+
+def _derive_budget(draw, caps: SolverCapabilities, instance, power) -> float | None:
+    """A feasible budget for the solver's declared budget kind."""
+    if caps.budget_kind == "none":
+        return None
+    if caps.budget_kind == "energy":
+        # any positive energy budget is feasible (speeds scale down freely)
+        return draw(st.floats(min_value=1.0, max_value=30.0))
+    # metric target: anchor on the always-achievable unit-speed schedule
+    unit = Schedule.from_speeds(instance, power, np.ones(instance.n_jobs))
+    if caps.objective == "makespan":
+        # stay strictly above the last release, where every target is feasible
+        last = instance.last_release
+        slack = max(unit.makespan - last, 1e-2)
+        return last + slack * draw(st.floats(min_value=0.4, max_value=2.0))
+    return unit.total_flow * draw(st.floats(min_value=0.5, max_value=2.0))
+
+
+def _derive_options(caps: SolverCapabilities, instance, power) -> dict:
+    if caps.mode != "frontier":
+        return {}
+    unit_energy = power.power(1.0) * instance.total_work
+    return {
+        "min_energy": unit_energy,
+        "max_energy": 3.0 * unit_energy,
+        "points": 6,
+    }
+
+
+@st.composite
+def conformance_requests(draw, caps: SolverCapabilities) -> SolveRequest:
+    """A solve request derived purely from the solver's capability metadata."""
+    if caps.budget_kind not in _KNOWN_BUDGET_KINDS:
+        raise NotImplementedError(
+            f"no strategy derivation for budget kind {caps.budget_kind!r}"
+        )
+    if caps.objective not in _KNOWN_OBJECTIVES:
+        raise NotImplementedError(
+            f"no strategy derivation for objective {caps.objective!r}"
+        )
+    power = PolynomialPower(draw(st.floats(min_value=1.5, max_value=3.5)))
+    instance = _derive_instance(draw, caps)
+    budget = _derive_budget(draw, caps, instance, power)
+    processors = (
+        draw(st.integers(min_value=2, max_value=3)) if caps.multiprocessor else 1
+    )
+    return SolveRequest(
+        instance=instance,
+        power=power,
+        solver=caps.name,
+        budget=budget,
+        processors=processors,
+        options=_derive_options(caps, instance, power),
+    )
+
+
+# ----------------------------------------------------------------------
+# completeness: the registry, the certificate catalogue and the strategy
+# derivation must stay mutually closed
+# ----------------------------------------------------------------------
+
+def test_registry_has_the_full_solver_matrix():
+    assert len(REGISTRY) >= 11
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+def test_every_solver_declares_known_certificates(name):
+    caps = REGISTRY.capabilities(name)
+    assert caps.certificates, (
+        f"solver {name!r} registers no certificate kinds; every solver must "
+        "declare how its results are verified (see repro.verify.CHECKERS)"
+    )
+    unknown = set(caps.certificates) - set(CHECKERS)
+    assert not unknown, (
+        f"solver {name!r} declares certificate kinds {sorted(unknown)} that "
+        "have no registered checker"
+    )
+
+
+def test_every_certificate_kind_is_used_by_some_solver():
+    declared = {
+        kind for _, caps in REGISTRY.items() for kind in caps.certificates
+    }
+    unused = set(CHECKERS) - declared
+    assert not unused, f"certificate checkers nobody declares: {sorted(unused)}"
+
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+@settings(max_examples=1, deadline=None)
+@given(data=st.data())
+def test_strategy_covers_every_solver(name, data):
+    # raises NotImplementedError for capability shapes the derivation cannot
+    # handle — the "solver lacks conformance coverage" failure mode
+    request = data.draw(conformance_requests(REGISTRY.capabilities(name)))
+    assert request.solver == name
+
+
+# ----------------------------------------------------------------------
+# the conformance run itself: solve -> verify for every registered solver
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_solve_then_verify_conformance(name, data):
+    caps = REGISTRY.capabilities(name)
+    request = data.draw(conformance_requests(caps))
+    result = repro.solve(request)
+    assert result.ok, (
+        f"solver {name!r} failed on a request derived from its own "
+        f"capability metadata: [{result.error_code}] {result.error_message}"
+    )
+    report = api_verify(request, result)
+    assert report.ok, (
+        f"solver {name!r} produced a result that fails verification: "
+        + "; ".join(f"{f.check}:{f.code}: {f.message}" for f in report.errors)
+    )
+    # the semantic certificates the solver declared must actually have run
+    assert set(caps.certificates) <= set(report.checks)

@@ -1,6 +1,13 @@
-"""Tests for the Lemma 2-6 structural checks."""
+"""Tests for the Lemma 2-6 structural checks (and their deprecation shim).
+
+The checks themselves now live in :mod:`repro.verify.structure`; the imports
+below go through the blessed ``repro.core`` re-exports on purpose, proving
+the historical surface still works warning-free.
+"""
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
@@ -68,3 +75,32 @@ class TestStructureChecks:
         sched = Schedule(inst, cube, pieces)
         report = check_optimal_structure(sched)
         assert not report.single_speed_per_job
+
+
+class TestValidationShim:
+    """``repro.core.validation`` is a deprecated forward to repro.verify.structure."""
+
+    def test_shim_warns_and_forwards(self):
+        import repro.core.validation as legacy
+        import repro.verify.structure as new_home
+
+        for name in ("StructureReport", "check_optimal_structure",
+                     "assert_optimal_structure"):
+            with pytest.warns(DeprecationWarning, match="repro.verify.structure"):
+                forwarded = getattr(legacy, name)
+            assert forwarded is getattr(new_home, name)
+
+    def test_shim_rejects_unknown_attributes(self):
+        import repro.core.validation as legacy
+
+        with pytest.raises(AttributeError):
+            legacy.does_not_exist
+
+    def test_blessed_core_reexport_does_not_warn(self):
+        import repro.core
+        import repro.verify.structure as new_home
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert repro.core.check_optimal_structure is new_home.check_optimal_structure
+            assert repro.core.StructureReport is new_home.StructureReport
