@@ -1,0 +1,125 @@
+"""CACHE-THROUGHPUT -- warm-vs-cold speedup of the content-addressed cache.
+
+The serving claim of the cache layer (:mod:`repro.cache`): on a
+repeated-instance sweep — the shape of every competitive-ratio grid and of
+any service seeing the same request twice — a warm cache answers at lookup
+speed instead of solver speed.  This benchmark runs the same sweep through
+:func:`repro.batch.solve_stream` three ways (cold with no cache, a cache
+warm-up over the unique instances, then fully warm), checks the warm results
+are byte-identical to the cold ones, measures per-request hit and miss
+latencies for both backends (in-memory LRU and the on-disk store), and
+writes a machine-readable summary to ``benchmarks/results/BENCH_cache.json``.
+
+The acceptance floor asserted here: warm is at least 10x faster than cold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import SolveRequest
+from repro.api import solve as api_solve
+from repro.batch import solve_stream
+from repro.cache import ResultCache
+from repro.workloads import figure1_power, poisson_instance
+
+RESULTS = Path(__file__).parent / "results"
+
+N_JOBS = 500
+UNIQUE = 10
+REPEATS = 4  # each unique instance appears this many times in the sweep
+ENERGY = 2.5 * N_JOBS
+
+
+def _requests(instances, power):
+    return [
+        SolveRequest(instance=inst, power=power, solver="laptop", budget=ENERGY)
+        for inst in instances
+    ]
+
+
+def _per_request_us(fn, requests) -> float:
+    start = time.perf_counter()
+    for request in requests:
+        fn(request)
+    return (time.perf_counter() - start) / len(requests) * 1e6
+
+
+def test_cache_throughput():
+    power = figure1_power()
+    unique = [poisson_instance(N_JOBS, seed=i) for i in range(UNIQUE)]
+    sweep = unique * REPEATS
+
+    # cold: every item goes to the solver
+    start = time.perf_counter()
+    cold = list(solve_stream(sweep, power, ENERGY, solver="laptop"))
+    t_cold = time.perf_counter() - start
+
+    # warm-up: one solve per unique instance fills the cache (untimed)
+    cache = ResultCache()
+    list(solve_stream(unique, power, ENERGY, solver="laptop", cache=cache))
+
+    # warm: the whole sweep is answered from the cache
+    start = time.perf_counter()
+    warm = list(solve_stream(sweep, power, ENERGY, solver="laptop", cache=cache))
+    t_warm = time.perf_counter() - start
+
+    stats = cache.stats()
+    assert stats.hits >= len(sweep), "warm sweep must be answered from the cache"
+    assert len(warm) == len(cold) == len(sweep)
+    for a, b in zip(warm, cold):
+        assert a.index == b.index
+        assert a.value == b.value
+        assert a.energy == b.energy
+        assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    speedup = t_cold / t_warm
+    # the acceptance floor: a warm repeated-instance sweep is >= 10x cold
+    assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster than cold"
+
+    # per-request latencies, memory and disk backends
+    requests = _requests(unique, power)
+    memory_cache = ResultCache()
+    miss_us = _per_request_us(memory_cache.get, requests)  # all misses
+    for request in requests:
+        memory_cache.put(request, api_solve(request))
+    memory_hit_us = _per_request_us(memory_cache.get, requests)
+    with tempfile.TemporaryDirectory() as tmp:
+        disk_cache = ResultCache(directory=tmp, max_memory_entries=0)
+        for request in requests:
+            disk_cache.put(request, api_solve(request))
+        disk_hit_us = _per_request_us(disk_cache.get, requests)
+
+    report = {
+        "benchmark": "cache_throughput",
+        "solver": "laptop",
+        "cpu_count": os.cpu_count(),
+        "n_jobs": N_JOBS,
+        "sweep": {"items": len(sweep), "unique": UNIQUE, "repeats": REPEATS},
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "warm_speedup": speedup,
+        "byte_identical": True,
+        "latency_us": {
+            "miss_overhead": miss_us,
+            "memory_hit": memory_hit_us,
+            "disk_hit": disk_hit_us,
+        },
+    }
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "BENCH_cache.json").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"\ncache throughput: cold {t_cold:.3f}s, warm {t_warm:.4f}s "
+        f"({speedup:.0f}x), memory hit {memory_hit_us:.1f}us, "
+        f"disk hit {disk_hit_us:.1f}us"
+    )
+
+
+if __name__ == "__main__":
+    test_cache_throughput()

@@ -18,8 +18,15 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
   :class:`~repro.api.SolveRequest` / :class:`~repro.api.SolveResult`
   envelopes served by :func:`repro.solve` (``repro solve`` on the command
   line).
-* :mod:`repro.batch` -- the batch engine: many instances through one solver,
-  optionally across worker processes (``repro batch`` on the command line).
+* :mod:`repro.batch` -- the streaming batch engine: many instances through
+  one solver, optionally across worker processes, with content-addressed
+  caching and resumable runs (``repro batch`` on the command line).
+* :mod:`repro.cache` -- the content-addressed result cache
+  (:class:`~repro.cache.ResultCache`): canonical SHA-256 request keys, an
+  in-process LRU front over an optional on-disk store.
+* :mod:`repro.service` -- the ``repro serve`` request loop: JSON-lines
+  solve-request envelopes in, result envelopes plus cache/latency metadata
+  out, over stdin/stdout or TCP.
 * :mod:`repro.verify` -- certificate-based verification of solve results:
   structural feasibility/accounting checks plus the per-solver optimality
   certificates declared in the registry (``repro verify`` on the command
@@ -29,7 +36,22 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
 * :mod:`repro.analysis` -- derivatives, breakpoints, tables, ASCII plots.
 """
 
-from . import analysis, api, batch, core, discrete, flow, io, makespan, multi, online, verify, workloads
+from . import (
+    analysis,
+    api,
+    batch,
+    cache,
+    core,
+    discrete,
+    flow,
+    io,
+    makespan,
+    multi,
+    online,
+    service,
+    verify,
+    workloads,
+)
 from .api import (
     REGISTRY,
     ProblemSpec,
@@ -40,7 +62,8 @@ from .api import (
     list_solvers,
     solve,
 )
-from .batch import BatchResult, solve_many
+from .batch import BatchResult, solve_many, solve_stream
+from .cache import ResultCache
 from .core import (
     CUBE,
     SQUARE,
@@ -60,6 +83,9 @@ __all__ = [
     "batch",
     "BatchResult",
     "solve_many",
+    "solve_stream",
+    "cache",
+    "ResultCache",
     "core",
     "discrete",
     "flow",
@@ -67,6 +93,7 @@ __all__ = [
     "makespan",
     "multi",
     "online",
+    "service",
     "verify",
     "workloads",
     "ProblemSpec",

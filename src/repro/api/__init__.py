@@ -20,10 +20,14 @@ this package makes that matrix a single, enumerable, servable surface:
 * :func:`list_solvers` -- enumerate the registered matrix (drives
   ``repro solve --list`` on the command line).
 
-The batch engine (:func:`repro.batch.solve_many`), the CLI and the
+The batch engine (:func:`repro.batch.solve_stream` / ``solve_many``), the
+CLI, the ``repro serve`` request loop (:mod:`repro.service`) and the
 competitive-ratio pipeline all dispatch through :data:`REGISTRY`; JSON
 serialisation of the envelopes lives in :mod:`repro.io`
-(``request_to_dict`` / ``result_to_dict`` and inverses).
+(``request_to_dict`` / ``result_to_dict`` and inverses), and the
+content-addressed result cache (:mod:`repro.cache`) keys those envelopes by
+canonical SHA-256 — including each solver's capability fingerprint, so
+re-registering a solver with different metadata invalidates its entries.
 """
 
 from __future__ import annotations

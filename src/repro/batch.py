@@ -1,16 +1,26 @@
-"""Batch solving engine: many instances through one API, optionally in parallel.
+"""Batch solving engine: many instances through one API, streaming, resumable.
 
 The serving scenario the ROADMAP targets is not "solve one instance" but
 "solve a stream of instances": sweeps over workloads, parameter studies, and
-request batches.  This module provides :func:`solve_many`, which runs any
-*batchable* solver from the central registry (:data:`repro.api.REGISTRY`)
-over a list of instances with
+request batches.  This module provides the streaming engine:
 
-* chunked process-pool parallelism (``workers=N``) for CPU-bound fan-out,
-* deterministic result ordering — results come back aligned with the input
-  list regardless of worker count or chunk boundaries, byte-identical to the
-  serial path (the workers run exactly the same code on the same inputs),
-* picklable, structured results (:class:`BatchResult`).
+* :func:`solve_stream` -- a generator yielding one :class:`BatchResult` per
+  instance, in input order, as chunks complete.  Results are produced
+  incrementally (bounded memory in the result dimension: at most a window of
+  in-flight chunks is held), with
+
+  - chunked process-pool parallelism (``workers=N``) for CPU-bound fan-out,
+  - content-addressed caching (``cache=ResultCache(...)``): every item is
+    looked up before dispatch and written behind after it solves (and, with
+    ``verify=True``, only after its certificate checks pass), so repeated
+    instances cost one solve,
+  - resumable runs (``run_dir=...``): completed results are journalled to
+    ``<run_dir>/journal.jsonl`` as they are yielded, and a re-invoked run
+    over the same inputs skips finished work and reproduces the same
+    results byte for byte (``repro batch --run-dir`` on the command line);
+
+* :func:`solve_many` -- the materialised form, a thin ``list()`` wrapper over
+  :func:`solve_stream`, byte-identical to the streaming path.
 
 Dispatch goes through :meth:`repro.api.SolverRegistry.run`, the same path as
 ``repro.solve`` and the CLI, so the batch engine cannot drift from the rest
@@ -18,31 +28,36 @@ of the API.  The legacy module-level :data:`SOLVERS` mapping survives only as
 a deprecated read-only view of the registry's batchable solvers.
 
 Exposed on the command line as ``repro batch`` (see :mod:`repro.cli`), and
-measured by ``benchmarks/bench_batch_throughput.py``.
+measured by ``benchmarks/bench_batch_throughput.py`` and
+``benchmarks/bench_cache_throughput.py``.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from .api.registry import REGISTRY
-from .api.types import SolveRequest
+from .api.types import SolveRequest, SolveResult
+from .cache import ResultCache, instance_digest
 from .core.job import Instance
 from .core.power import PowerFunction
 from .exceptions import InvalidInstanceError, VerificationError
 
-__all__ = ["BatchResult", "SOLVERS", "solve_many"]
+__all__ = ["BatchResult", "SOLVERS", "solve_many", "solve_stream"]
 
 
 @dataclass(frozen=True)
 class BatchResult:
-    """Result of one instance inside a :func:`solve_many` batch.
+    """Result of one instance inside a :func:`solve_stream` batch.
 
     ``value`` is the solver's objective (makespan for ``laptop``, minimum
     energy for ``server``, total flow for ``flow``, schedule energy for
@@ -112,17 +127,23 @@ class _DeprecatedSolversView(Mapping):
 SOLVERS: Mapping[str, Callable] = _DeprecatedSolversView()
 
 
-def _solve_chunk(payload: tuple) -> list[BatchResult]:
+def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
     """Worker entry point: solve one chunk of (index, instance, budget) items.
 
     Must stay module-level (and take a single picklable argument) so the
     process pool can ship it to workers; solver lookup happens by name in the
-    worker, against the worker's own registry bootstrap.
+    worker, against the worker's own registry bootstrap.  Returns one
+    ``(BatchResult, envelope)`` pair per item, where ``envelope`` is the
+    JSON-ready :func:`repro.io.result_to_dict` form of the full result when
+    ``with_envelopes`` is set (the picklable write-behind payload for the
+    parent's cache) and ``None`` otherwise.
     """
-    solver_name, power, items, verify = payload
+    solver_name, power, items, verify, with_envelopes = payload
     if verify:
         # lazy: repro.verify pulls solver machinery the plain path never needs
         from .verify import verify as verify_result
+    if with_envelopes:
+        from .io import result_to_dict
     out = []
     for index, instance, budget in items:
         request = SolveRequest(
@@ -139,32 +160,154 @@ def _solve_chunk(payload: tuple) -> list[BatchResult]:
                     f"{solver_name!r}: {report.error_summary()}"
                 )
         out.append(
-            BatchResult(
-                index=index,
-                solver=solver_name,
-                n_jobs=instance.n_jobs,
-                value=float(result.value),
-                energy=float(result.energy),
-                speeds=result.speeds,
+            (
+                BatchResult(
+                    index=index,
+                    solver=solver_name,
+                    n_jobs=instance.n_jobs,
+                    value=float(result.value),
+                    energy=float(result.energy),
+                    speeds=result.speeds,
+                ),
+                result_to_dict(result) if with_envelopes else None,
             )
         )
     return out
 
 
 # ----------------------------------------------------------------------
+# resumable runs: the run-dir journal
+# ----------------------------------------------------------------------
+
+class _RunJournal:
+    """Append-only journal of completed batch items under one run directory.
+
+    ``manifest.json`` fingerprints the run's inputs (solver, power, budgets,
+    instance content digests) so a directory cannot silently be resumed with
+    different work; ``journal.jsonl`` holds one completed result per line,
+    appended and flushed *before* the result is yielded, so a killed run
+    loses at most the in-flight items.  Rows round-trip through JSON float
+    repr exactly, making a resumed capture byte-identical to an
+    uninterrupted one.
+    """
+
+    MANIFEST = "manifest.json"
+    JOURNAL = "journal.jsonl"
+
+    def __init__(self, run_dir: str | Path, fingerprint: str, solver: str) -> None:
+        from .io import batch_result_from_dict
+
+        self.directory = Path(run_dir)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / self.MANIFEST
+        manifest = {"kind": "batch-run", "format": 1,
+                    "solver": solver, "fingerprint": fingerprint}
+        if manifest_path.exists():
+            try:
+                existing = json.loads(manifest_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise InvalidInstanceError(
+                    f"unreadable run manifest {manifest_path}: {exc}"
+                ) from exc
+            if existing.get("kind") != "batch-run":
+                raise InvalidInstanceError(
+                    f"{self.directory} is not a batch run directory "
+                    f"(manifest kind={existing.get('kind')!r})"
+                )
+            if existing.get("fingerprint") != fingerprint:
+                raise InvalidInstanceError(
+                    f"run directory {self.directory} was created for a "
+                    "different batch (solver, power, budgets or instances "
+                    "changed); use a fresh --run-dir"
+                )
+        else:
+            manifest_path.write_text(
+                json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+            )
+        self.completed: dict[int, BatchResult] = {}
+        journal_path = self.directory / self.JOURNAL
+        if journal_path.exists():
+            text = journal_path.read_text(encoding="utf-8")
+            trusted = 0  # length of the prefix of complete, parseable rows
+            for line in text.splitlines(keepends=True):
+                # a row is only trusted if its newline made it to disk; a
+                # torn tail line from a killed writer ends the prefix, and
+                # nothing after it can be trusted either (append-only file)
+                if not line.endswith("\n"):
+                    break
+                try:
+                    row = json.loads(line)
+                    result = batch_result_from_dict(row, solver=solver)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    break
+                self.completed[result.index] = result
+                trusted += len(line)
+            if trusted < len(text):
+                # drop the torn tail before appending, so the next resume
+                # does not see new rows concatenated onto the fragment
+                journal_path.write_text(text[:trusted], encoding="utf-8")
+        self._fh = journal_path.open("a", encoding="utf-8")
+
+    def record(self, result: BatchResult, name: str) -> None:
+        from .io import batch_result_to_dict
+
+        self._fh.write(json.dumps(batch_result_to_dict(result, name=name)) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def _run_fingerprint(
+    solver: str,
+    power: PowerFunction,
+    budget_list: list[float],
+    instance_list: list[Instance],
+) -> str:
+    import hashlib
+
+    from .io import power_to_dict
+
+    payload = {
+        "solver": solver,
+        "power": power_to_dict(power),
+        "budgets": budget_list,
+        "instances": [instance_digest(inst) for inst in instance_list],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
 
-def solve_many(
+#: Items per chunk on the serial path: small enough that results stream
+#: promptly, large enough that per-chunk overhead stays negligible.
+_SERIAL_CHUNK = 16
+
+
+def solve_stream(
     instances: Iterable[Instance],
     power: PowerFunction,
-    budgets: float | Sequence[float],
+    budgets: float | Sequence[float] | np.ndarray,
     solver: str = "laptop",
     workers: int = 1,
     chunk_size: int | None = None,
     verify: bool = False,
-) -> list[BatchResult]:
-    """Solve many instances with one solver, optionally across processes.
+    cache: ResultCache | None = None,
+    run_dir: str | Path | None = None,
+) -> Iterator[BatchResult]:
+    """Solve many instances with one solver, yielding results as they complete.
+
+    A generator: results come out in input order (``result.index == i``), one
+    chunk at a time, so a consumer can process, persist or forward each
+    result while later ones are still being solved.  Memory stays bounded in
+    the result dimension — at most a small window of in-flight chunks is
+    held, never the whole batch of results.  (The *instances* iterable is
+    materialised up front: budget broadcasting, chunking and the resume
+    journal all need the full input list.)
 
     Parameters
     ----------
@@ -174,7 +317,8 @@ def solve_many(
         Shared power function (must be picklable for ``workers > 1``; the
         built-in power functions are).
     budgets:
-        One budget per instance, or a single scalar broadcast to all.
+        One budget per instance, or a single scalar broadcast to all
+        (Python floats, numpy scalars and 0-d arrays all count as scalars).
         Interpreted per solver (energy budget, makespan target, ...).
     solver:
         The name of a batchable solver in :data:`repro.api.REGISTRY`.
@@ -182,25 +326,38 @@ def solve_many(
         ``<= 1`` solves serially in-process; otherwise a process pool with
         this many workers.  Results are identical either way.
     chunk_size:
-        Items per worker task; defaults to ``ceil(len / (workers * 4))`` so
-        each worker gets several chunks for load balancing.
+        Items per dispatch unit; defaults to ``16`` serially and
+        ``ceil(len / (workers * 4))`` with a pool, so each worker gets
+        several chunks for load balancing.
     verify:
-        Certificate-check every result in the worker that produced it
-        (:func:`repro.verify.verify`); a failed report raises
-        :class:`~repro.exceptions.VerificationError` naming the instance.
-
-    Returns
-    -------
-    list[BatchResult]
-        In input order (``result[i].index == i``), deterministically.
+        Certificate-check every result (:func:`repro.verify.verify`); a
+        failed report raises :class:`~repro.exceptions.VerificationError`
+        naming the instance.  Fresh solves are checked in the worker that
+        produced them; cache hits and journal-replayed rows — which may
+        predate verification or have been tampered with on disk — are
+        re-checked in the parent.  With a cache, only verified results are
+        written behind.
+    cache:
+        A :class:`~repro.cache.ResultCache`: every item is looked up before
+        dispatch (hits skip the solver entirely and are byte-identical to a
+        fresh solve) and successful results are stored after solving.
+    run_dir:
+        Directory journalling this run (created if needed).  Completed
+        results are appended to ``journal.jsonl`` before being yielded; a
+        rerun with identical inputs replays them instead of re-solving, so a
+        killed run resumes where it stopped and produces the same results
+        byte for byte.  Reusing the directory with *different* inputs raises
+        :class:`~repro.exceptions.InvalidInstanceError` (the manifest
+        fingerprints the inputs).
 
     Raises
     ------
     UnknownSolverError
         If ``solver`` is not registered (carries the known solver names).
     InvalidInstanceError
-        If ``solver`` is registered but not batchable, or the budget list
-        does not match the instance list.
+        If ``solver`` is registered but not batchable, the budget list does
+        not match the instance list, or ``run_dir`` belongs to a different
+        batch.
     VerificationError
         If ``verify=True`` and any result fails its certificate checks.
     """
@@ -213,8 +370,17 @@ def solve_many(
     instance_list = list(instances)
     count = len(instance_list)
     if count == 0:
-        return []
-    if np.isscalar(budgets):
+        # still claim/validate the run directory: an empty batch must not
+        # silently adopt (or leave unclaimed) a directory the fingerprint
+        # guard would otherwise police
+        if run_dir is not None:
+            _RunJournal(
+                run_dir, _run_fingerprint(solver, power, [], []), solver
+            ).close()
+        return iter(())
+    # np.ndim, not np.isscalar: a 0-d numpy array (np.asarray(5.0)) is not a
+    # scalar to np.isscalar but must broadcast like one
+    if np.ndim(budgets) == 0:
         budget_list = [float(budgets)] * count  # type: ignore[arg-type]
     else:
         budget_list = [float(b) for b in budgets]  # type: ignore[union-attr]
@@ -224,19 +390,186 @@ def solve_many(
                 "pass one per instance or a single scalar"
             )
     items = list(zip(range(count), instance_list, budget_list))
-
-    if workers <= 1:
-        return _solve_chunk((solver, power, items, verify))
-
     if chunk_size is None:
-        chunk_size = max(1, math.ceil(count / (workers * 4)))
+        chunk_size = (
+            _SERIAL_CHUNK if workers <= 1
+            else max(1, math.ceil(count / (workers * 4)))
+        )
     chunks = [items[i : i + chunk_size] for i in range(0, count, chunk_size)]
-    payloads = [(solver, power, chunk, verify) for chunk in chunks]
-    max_workers = min(workers, len(chunks))
-    results: list[BatchResult] = []
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        # pool.map preserves submission order, so flattening the chunk
-        # results reconstructs the input order exactly.
-        for chunk_result in pool.map(_solve_chunk, payloads):
-            results.extend(chunk_result)
-    return results
+
+    journal = (
+        _RunJournal(
+            run_dir, _run_fingerprint(solver, power, budget_list, instance_list), solver
+        )
+        if run_dir is not None
+        else None
+    )
+    return _stream_chunks(chunks, solver, power, workers, verify, cache, journal)
+
+
+def _stream_chunks(
+    chunks: list[list[tuple[int, Instance, float]]],
+    solver: str,
+    power: PowerFunction,
+    workers: int,
+    verify: bool,
+    cache: ResultCache | None,
+    journal: _RunJournal | None,
+) -> Iterator[BatchResult]:
+    """The generator behind :func:`solve_stream` (validation already done)."""
+    want_envelopes = cache is not None
+    if verify:
+        from .verify import verify as verify_fn
+
+    def _request(item: tuple[int, Instance, float]) -> SolveRequest:
+        index, instance, budget = item
+        return SolveRequest(
+            instance=instance, power=power, solver=solver, budget=budget
+        )
+
+    def _check_resolved(item, result: SolveResult, source: str) -> None:
+        """verify=True covers results that skipped the solver, too: a cache
+        hit or journal row may have been produced without verification (or
+        tampered with on disk since)."""
+        report = verify_fn(_request(item), result)
+        if not report.ok:
+            raise VerificationError(
+                f"instance {item[0]}: verification failed for {source} result "
+                f"of solver {solver!r}: {report.error_summary()}"
+            )
+
+    def _plan(chunk):
+        """Split a chunk into already-resolved results and items to solve.
+
+        Journal and cache reads happen here, in the parent process, so the
+        LRU front is shared across the whole run and workers only ever see
+        genuine misses.
+        """
+        resolved: dict[int, tuple[BatchResult, bool]] = {}
+        missing: list[tuple[int, Instance, float]] = []
+        for item in chunk:
+            index, instance, budget = item
+            if journal is not None and index in journal.completed:
+                replay = journal.completed[index]
+                if verify:
+                    _check_resolved(
+                        item,
+                        SolveResult(
+                            solver=solver, status="ok", value=replay.value,
+                            energy=replay.energy, speeds=replay.speeds,
+                        ),
+                        "journal-replayed",
+                    )
+                resolved[index] = (replay, False)
+                continue
+            if cache is not None:
+                hit = cache.get(_request(item))
+                if hit is not None:
+                    if verify:
+                        _check_resolved(item, hit, "cached")
+                    resolved[index] = (
+                        BatchResult(
+                            index=index,
+                            solver=solver,
+                            n_jobs=instance.n_jobs,
+                            value=float(hit.value),
+                            energy=float(hit.energy),
+                            speeds=hit.speeds,
+                        ),
+                        True,
+                    )
+                    continue
+            missing.append(item)
+        return resolved, missing
+
+    def _emit(chunk, resolved, solved):
+        """Merge resolved and freshly-solved items back into input order."""
+        solved_iter = iter(solved)
+        for item in chunk:
+            index, instance, _ = item
+            if index in resolved:
+                result, record = resolved[index]
+            else:
+                result, envelope = next(solved_iter)
+                record = True
+                if cache is not None and envelope is not None:
+                    # write-behind: this point is only reached after the
+                    # worker's verify (when enabled) passed
+                    cache.put_envelope(_request(item), envelope)
+            if record and journal is not None:
+                journal.record(result, name=instance.name)
+            yield result
+
+    try:
+        if workers <= 1:
+            for chunk in chunks:
+                resolved, missing = _plan(chunk)
+                solved = (
+                    _solve_chunk((solver, power, missing, verify, want_envelopes))
+                    if missing
+                    else []
+                )
+                yield from _emit(chunk, resolved, solved)
+            return
+        max_workers = min(workers, len(chunks))
+        # Bound the in-flight window: enough chunks to keep every worker fed
+        # while the head of the line streams out, never the whole batch.
+        window = max(2 * max_workers, 2)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pending: deque = deque()
+
+            def _drain_one():
+                chunk, resolved, future = pending.popleft()
+                solved = future.result() if future is not None else []
+                yield from _emit(chunk, resolved, solved)
+
+            for chunk in chunks:
+                resolved, missing = _plan(chunk)
+                future = (
+                    pool.submit(
+                        _solve_chunk, (solver, power, missing, verify, want_envelopes)
+                    )
+                    if missing
+                    else None
+                )
+                pending.append((chunk, resolved, future))
+                while len(pending) >= window:
+                    yield from _drain_one()
+            while pending:
+                yield from _drain_one()
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def solve_many(
+    instances: Iterable[Instance],
+    power: PowerFunction,
+    budgets: float | Sequence[float] | np.ndarray,
+    solver: str = "laptop",
+    workers: int = 1,
+    chunk_size: int | None = None,
+    verify: bool = False,
+    cache: ResultCache | None = None,
+    run_dir: str | Path | None = None,
+) -> list[BatchResult]:
+    """Solve many instances and return the full result list.
+
+    A thin ``list()`` wrapper over :func:`solve_stream` — same parameters,
+    same deterministic input-order results, byte-identical output; use the
+    generator directly when the batch is large or results should be consumed
+    as they complete.
+    """
+    return list(
+        solve_stream(
+            instances,
+            power,
+            budgets,
+            solver=solver,
+            workers=workers,
+            chunk_size=chunk_size,
+            verify=verify,
+            cache=cache,
+            run_dir=run_dir,
+        )
+    )

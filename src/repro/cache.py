@@ -1,0 +1,448 @@
+"""Content-addressed result cache for the solver matrix.
+
+The serving scenario repeats itself: sweeps re-solve the same instances for
+several algorithms, long-running services see the same request envelope twice,
+and a killed batch re-submits work it already finished.  All of those are the
+same question — *has this exact solve been done before?* — which this module
+answers with content addressing:
+
+* :func:`request_cache_key` hashes the canonical
+  :func:`repro.io.request_to_dict` envelope with SHA-256.  Instance arrays
+  (releases, works, deadlines, weights) enter as their raw float64 bytes, so
+  keying is exact, not repr-dependent; the instance *name* is deliberately
+  excluded (two identically-shaped instances are the same content).  The key
+  also covers the resolved solver name, its :func:`capability_fingerprint`,
+  the budget, the power parameters, the processor count and the options — a
+  change to any of them (including re-registering the solver with different
+  capability metadata) changes the key, so stale entries are never returned.
+* :class:`ResultCache` stores :class:`~repro.api.types.SolveResult` envelopes
+  behind that key: an in-process LRU front (bounded entry count) over an
+  optional on-disk backend (a sharded directory of JSON entries, safe to
+  share between runs and processes).  Corrupted or foreign on-disk entries
+  are treated as misses, never crashes.
+
+Because entries round-trip through :func:`repro.io.result_to_dict` /
+:func:`~repro.io.result_from_dict`, a cache hit is byte-identical to a fresh
+solve (floats survive JSON exactly, speeds come back as the same float64
+bytes) — and it remains certificate-checkable as data via
+:func:`repro.api.verify`.
+
+Consumers: the batch engine (:func:`repro.batch.solve_stream` /
+``repro batch --cache-dir``), the competitive-ratio sweep
+(:func:`repro.online.compete.competitive_sweep`) and the request loop of
+``repro serve`` (:mod:`repro.service`).  Measured by
+``benchmarks/bench_cache_throughput.py`` (writes ``BENCH_cache.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from .exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from .api.registry import SolverRegistry
+    from .api.types import SolveRequest, SolveResult, SolverCapabilities
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "capability_fingerprint",
+    "instance_digest",
+    "request_cache_key",
+]
+
+#: Bump when the key derivation changes incompatibly; part of every key, so
+#: old on-disk stores simply miss instead of returning wrongly-keyed entries.
+_KEY_VERSION = 1
+
+_ENTRY_KIND = "cache-entry"
+
+
+def _canonical_json(payload: Any) -> bytes:
+    """The one canonical JSON encoding every hash in this module uses."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@lru_cache(maxsize=64)
+def capability_fingerprint(capabilities: "SolverCapabilities") -> str:
+    """SHA-256 over a solver's full capability metadata.
+
+    Part of every cache key: re-registering a solver with different
+    capabilities (new certificate kinds, changed preconditions, a different
+    matrix cell) changes the fingerprint and therefore invalidates every
+    entry produced under the old registration.  Memoised — capability
+    objects are tiny frozen dataclasses the registry holds for the life of
+    the process.
+    """
+    from .io import capabilities_to_dict
+
+    return hashlib.sha256(_canonical_json(capabilities_to_dict(capabilities))).hexdigest()
+
+
+#: Memoised digests of live Instance objects (id -> (weakref, digest)): a
+#: sweep looks the same instance up once per (solver, alpha) combination, and
+#: rebuilding four job arrays per lookup would dominate the cache-hit path.
+#: Entries evict themselves when the instance is garbage-collected, and an
+#: id-reuse race is caught by the identity check against the weakref.
+_DIGESTS: dict[int, tuple[weakref.ref, str]] = {}
+
+
+def instance_digest(instance) -> str:
+    """SHA-256 over an instance's content arrays (name excluded).
+
+    Byte-normalised: releases, works, deadlines (``inf`` for "none") and
+    weights enter as raw float64 bytes.  Also used by the batch engine's
+    run-dir journal to fingerprint what a resumable run was started with.
+    """
+    cache_key = id(instance)
+    entry = _DIGESTS.get(cache_key)
+    if entry is not None and entry[0]() is instance:
+        return entry[1]
+    h = hashlib.sha256()
+    for array in (
+        instance.releases,
+        instance.works,
+        instance.deadlines,
+        instance.weights,
+    ):
+        h.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+    digest = h.hexdigest()
+    try:
+        ref = weakref.ref(
+            instance, lambda _, k=cache_key: _DIGESTS.pop(k, None)
+        )
+    except TypeError:  # pragma: no cover - non-weakrefable instance stand-in
+        return digest
+    _DIGESTS[cache_key] = (ref, digest)
+    return digest
+
+
+def request_cache_key(
+    request: "SolveRequest", registry: "SolverRegistry | None" = None
+) -> str:
+    """The content-addressed cache key of one solve request.
+
+    Canonical SHA-256 over the :func:`repro.io.request_to_dict` envelope with
+    the instance section replaced by its byte-normalised
+    :func:`instance_digest`, the solver resolved to a concrete name, and the
+    solver's :func:`capability_fingerprint` mixed in.  Raises
+    :class:`~repro.exceptions.UnknownSolverError` (via the registry) when the
+    request names no registered solver, and ``TypeError`` when the request's
+    options are not JSON-encodable — callers that must not fail use
+    :meth:`ResultCache.get`, which maps both to a miss.
+    """
+    from .api.registry import REGISTRY
+    from .io import power_to_dict
+
+    reg = REGISTRY if registry is None else registry
+    name = request.solver if request.solver is not None else reg.resolve(request.spec)
+    payload = {
+        "version": _KEY_VERSION,
+        "kind": "solve-request",
+        "solver": name,
+        "capabilities": capability_fingerprint(reg.capabilities(name)),
+        "instance": instance_digest(request.instance),
+        "power": power_to_dict(request.power),
+        "budget": request.budget,
+        "processors": request.processors,
+        "options": dict(request.options),
+    }
+    return hashlib.sha256(_canonical_json(payload)).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters of one :class:`ResultCache`'s lifetime (monotone, in-process)."""
+
+    gets: int = 0
+    hits: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt_entries: int = 0
+    uncacheable: int = 0
+    invalidated: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per get (0.0 when nothing was looked up yet)."""
+        return self.hits / self.gets if self.gets else 0.0
+
+
+class ResultCache:
+    """Content-addressed store of :class:`~repro.api.types.SolveResult` envelopes.
+
+    Parameters
+    ----------
+    directory:
+        Root of the on-disk backend; ``None`` keeps the cache purely
+        in-process.  Entries live in 256 shard directories (the first two hex
+        digits of the key) as ``<key>.json`` files, written atomically
+        (temp file + rename), so a killed process never leaves a torn entry
+        behind — and a torn or foreign file is a miss, not a crash.
+    max_memory_entries:
+        Bound of the in-process LRU front (least-recently-used entries are
+        evicted first; with a ``directory`` they remain readable from disk).
+    registry:
+        The solver registry keys are resolved against; defaults to the
+        process-wide :data:`repro.api.REGISTRY`.
+
+    Only successful results are stored (error envelopes are never cached).
+    Requests that cannot be keyed — unknown solver, non-JSON options — are
+    counted as ``uncacheable`` and behave as misses.  All operations are
+    thread-safe (the threaded TCP transport of ``repro serve`` shares one
+    cache across connection handlers).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_memory_entries: int = 1024,
+        registry: "SolverRegistry | None" = None,
+    ) -> None:
+        if max_memory_entries < 0:
+            raise ValueError(
+                f"max_memory_entries must be >= 0, got {max_memory_entries}"
+            )
+        self.directory = None if directory is None else Path(directory)
+        self.max_memory_entries = int(max_memory_entries)
+        self._registry = registry
+        # one lock around every stateful operation: the threaded TCP serve
+        # transport shares a single cache across connection handlers
+        self._lock = threading.RLock()
+        self._memory: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._gets = 0
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._corrupt = 0
+        self._uncacheable = 0
+        self._invalidated = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # keying
+    # ------------------------------------------------------------------
+    def key_for(self, request: "SolveRequest") -> str:
+        """The cache key of ``request`` under this cache's registry."""
+        return request_cache_key(request, registry=self._registry)
+
+    def _try_key(self, request: "SolveRequest") -> str | None:
+        try:
+            return self.key_for(request)
+        except (ReproError, TypeError, ValueError):
+            self._uncacheable += 1
+            return None
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def get(self, request: "SolveRequest") -> "SolveResult | None":
+        """The cached result for ``request``, or ``None`` on a miss.
+
+        Never raises for cache reasons: an unkeyable request, a missing
+        entry and a corrupted on-disk entry all come back as ``None``
+        (tallied separately in :meth:`stats`).
+        """
+        from .io import result_from_dict
+
+        with self._lock:
+            self._gets += 1
+            key = self._try_key(request)
+            if key is None:
+                self._misses += 1
+                return None
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self._memory_hits += 1
+                envelope = entry["result"]
+            else:
+                envelope = None
+        if envelope is not None:
+            return result_from_dict(envelope)
+        # disk read and parse happen outside the lock so one slow lookup
+        # cannot serialise every other thread of a TCP serve transport
+        entry, corrupt = self._read_disk(key)
+        with self._lock:
+            if corrupt:
+                self._corrupt += 1
+            if entry is not None:
+                self._disk_hits += 1
+                self._remember(key, entry)
+            else:
+                self._misses += 1
+        return None if entry is None else result_from_dict(entry["result"])
+
+    def _read_disk(self, key: str) -> tuple[dict[str, Any] | None, bool]:
+        """One disk lookup: ``(entry, corrupt)`` — lock-free, counters later."""
+        if self.directory is None:
+            return None, False
+        path = self._entry_path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None, False
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None, True
+        if (
+            not isinstance(data, dict)
+            or data.get("kind") != _ENTRY_KIND
+            or data.get("key") != key
+            or not isinstance(data.get("result"), dict)
+        ):
+            return None, True
+        return data, False
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, request: "SolveRequest", result: "SolveResult") -> str | None:
+        """Store a successful result; returns its key (``None`` if not stored)."""
+        from .io import result_to_dict
+
+        if not result.ok:
+            with self._lock:
+                self._uncacheable += 1
+            return None
+        return self.put_envelope(request, result_to_dict(result))
+
+    def put_envelope(
+        self, request: "SolveRequest", envelope: dict[str, Any]
+    ) -> str | None:
+        """Store an already-serialised ``result_to_dict`` envelope.
+
+        The write-behind path of the batch engine: workers ship envelopes
+        (plain JSON-ready dicts) back to the parent, which stores them
+        without another serialisation pass.
+        """
+        with self._lock:
+            if envelope.get("status") != "ok":
+                self._uncacheable += 1
+                return None
+            key = self._try_key(request)
+            if key is None:
+                return None
+            entry = {
+                "kind": _ENTRY_KIND,
+                "key": key,
+                "solver": envelope.get("solver"),
+                "result": envelope,
+            }
+            self._remember(key, entry)
+            self._puts += 1
+        # atomic temp-file + rename write outside the lock (concurrent puts
+        # of the same key race benignly: identical content, last one wins)
+        self._write_disk(key, entry)
+        return key
+
+    def _remember(self, key: str, entry: dict[str, Any]) -> None:
+        if self.max_memory_entries == 0:
+            return
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def _write_disk(self, key: str, entry: dict[str, Any]) -> None:
+        if self.directory is None:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _disk_entries(self) -> Iterator[Path]:
+        if self.directory is None:
+            return
+        for shard in sorted(self.directory.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    def invalidate(self, solver: str | None = None) -> int:
+        """Drop entries (all of them, or one solver's).
+
+        Returns the number of *distinct* entries dropped (an entry present
+        in both the memory front and the disk store counts once).
+        Capability *changes* invalidate implicitly — the fingerprint is part
+        of the key — so this is for operational eviction: a solver was found
+        buggy, or the store must shrink.
+        """
+        with self._lock:
+            dropped: set[str] = set()
+            if solver is None:
+                dropped.update(self._memory)
+                self._memory.clear()
+            else:
+                for key in [
+                    k for k, e in self._memory.items() if e.get("solver") == solver
+                ]:
+                    del self._memory[key]
+                    dropped.add(key)
+            for path in list(self._disk_entries()):
+                if solver is not None:
+                    try:
+                        data = json.loads(path.read_text(encoding="utf-8"))
+                    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                        data = None
+                    if data is not None and data.get("solver") != solver:
+                        continue
+                try:
+                    path.unlink()
+                    dropped.add(path.stem)
+                except OSError:  # pragma: no cover - racing deleter
+                    pass
+            self._invalidated += len(dropped)
+            return len(dropped)
+
+    def stats(self) -> CacheStats:
+        """A snapshot of this cache's counters."""
+        with self._lock:
+            hits = self._memory_hits + self._disk_hits
+            return CacheStats(
+                gets=self._gets,
+                hits=hits,
+                memory_hits=self._memory_hits,
+                disk_hits=self._disk_hits,
+                misses=self._misses,
+                puts=self._puts,
+                corrupt_entries=self._corrupt,
+                uncacheable=self._uncacheable,
+                invalidated=self._invalidated,
+            )
+
+    def __len__(self) -> int:
+        """Entries in the in-process front (disk entries are unbounded)."""
+        return len(self._memory)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backend = "memory" if self.directory is None else str(self.directory)
+        s = self.stats()
+        return (
+            f"ResultCache(backend={backend!r}, entries={len(self)}, "
+            f"hits={s.hits}, misses={s.misses})"
+        )

@@ -15,9 +15,14 @@ Exposes the library's main entry points without writing any Python:
   envelopes of ``repro solve`` (``--request``/``--result``) or a
   ``repro batch --json`` capture (``--instances``/``--results``); exits 1
   with structured findings when verification fails,
-* ``repro batch``    -- solve many instances at once (optionally in parallel),
+* ``repro batch``    -- solve many instances at once (optionally in parallel,
+  with a content-addressed result cache via ``--cache-dir`` and resumable
+  runs via ``--run-dir``),
 * ``repro compete``  -- online-vs-YDS competitive-ratio sweep over workload
   grids (through the batch engine), with machine-readable JSON output,
+* ``repro serve``    -- long-running JSON-lines request loop (stdin/stdout or
+  a TCP socket): solve-request envelopes in, result envelopes plus
+  cache/latency metadata out (see :mod:`repro.service`),
 * ``repro figures``  -- regenerate the paper's Figure 1-3 series as a table.
 
 Every subcommand dispatches through the central solver registry
@@ -48,6 +53,7 @@ from .api import REGISTRY, ProblemSpec, SolveRequest, SolveResult, list_solvers
 from .api import solve as api_solve
 from .api import verify as api_verify
 from .batch import solve_many
+from .cache import ResultCache
 from .core import Instance, PolynomialPower
 from .exceptions import ReproError, VerificationError
 from .io import (
@@ -62,6 +68,7 @@ from .io import (
 )
 from .makespan import makespan_frontier
 from .online.compete import ALGORITHMS, FAMILIES, competitive_sweep
+from .service import ServeStats, make_tcp_server, serve_stream
 from .workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
 
 __all__ = ["main", "build_parser"]
@@ -405,6 +412,12 @@ def _cmd_verify_batch(args: argparse.Namespace) -> int:
     return 0 if not failed else 1
 
 
+def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
+    if not getattr(args, "cache_dir", None):
+        return None
+    return ResultCache(directory=args.cache_dir)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     instances = _load_checked(load_instances, args.instances)
     power = _power_from_args(args)
@@ -419,6 +432,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         solver=args.solver,
         workers=args.workers,
         verify=args.verify,
+        cache=_cache_from_args(args),
+        run_dir=args.run_dir,
     )
     elapsed = time.perf_counter() - start
     throughput = len(results) / elapsed if elapsed > 0 else float("inf")
@@ -452,6 +467,7 @@ def _cmd_compete(args: argparse.Namespace) -> int:
         sizes=[int(s) for s in _parse_floats(args.sizes)],
         seeds=args.seeds,
         workers=args.workers,
+        cache=_cache_from_args(args),
     )
     if args.output:
         # canonical deterministic dump: equal grids give byte-identical files
@@ -481,6 +497,49 @@ def _cmd_compete(args: argparse.Namespace) -> int:
         f"empirical energy ratios vs YDS over {len(payload['cells'])} grid cells",
         payload,
     )
+    return 0
+
+
+def _parse_tcp_address(text: str) -> tuple[str, int]:
+    """``PORT`` or ``HOST:PORT`` -> (host, port); malformed input is a CLI error."""
+    host, _, port = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError as exc:
+        raise ReproError(
+            f"malformed --tcp address {text!r}: expected PORT or HOST:PORT"
+        ) from exc
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running JSON-lines request loop (stdin/stdout or TCP)."""
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            directory=args.cache_dir, max_memory_entries=args.memory_cache
+        )
+    timing = not args.no_timing
+    if args.tcp is not None:
+        host, port = _parse_tcp_address(args.tcp)
+        server = make_tcp_server(host, port, cache=cache, verify=args.verify,
+                                 timing=timing)
+        bound_host, bound_port = server.server_address[:2]
+        print(f"serve: listening on {bound_host}:{bound_port}", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass  # SIGINT is the orderly TCP shutdown
+        finally:
+            server.server_close()
+        print(f"serve: {server.stats.summary()}", file=sys.stderr)
+        return 0
+    stats = ServeStats()
+    try:
+        serve_stream(sys.stdin, sys.stdout, cache=cache, verify=args.verify,
+                     timing=timing, stats=stats)
+    except KeyboardInterrupt:
+        pass  # SIGINT mid-loop: finish cleanly, stats already tallied
+    print(f"serve: {stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -626,6 +685,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=float, default=3.0, help="power = speed^alpha (default 3)")
     p.add_argument("--verify", action="store_true",
                    help="certificate-check every result in the worker that solved it")
+    p.add_argument("--cache-dir",
+                   help="content-addressed result cache directory: hits skip "
+                        "the solver, misses are stored for the next run")
+    p.add_argument("--run-dir",
+                   help="journal completed results here; re-running with the "
+                        "same inputs resumes where a killed run stopped and "
+                        "reproduces the same capture byte for byte")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_batch)
 
@@ -656,8 +722,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         help="write the JSON payload to this file (deterministic byte-identical reruns)",
     )
+    p.add_argument("--cache-dir",
+                   help="content-addressed result cache shared across sweeps: "
+                        "overlapping grids pay for each cell once")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_compete)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running JSON-lines solve service (stdin/stdout or TCP)",
+        description="Read solve-request JSON envelopes (repro.io.request_to_dict "
+                    "form, one per line) and answer each with a serve-response "
+                    "line: the uniform solve-result envelope plus serving "
+                    "metadata (cache hit/miss, latency).  Errors come back as "
+                    "structured envelopes and the loop keeps serving; EOF or "
+                    "SIGINT shuts down cleanly with a stats line on stderr.",
+    )
+    p.add_argument("--tcp", metavar="[HOST:]PORT",
+                   help="serve a TCP socket instead of stdin/stdout "
+                        "(port 0 binds an ephemeral port, printed to stderr)")
+    p.add_argument("--cache-dir",
+                   help="persist the content-addressed result cache here "
+                        "(default: in-memory only)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache entirely")
+    p.add_argument("--memory-cache", type=int, default=1024,
+                   help="max entries in the in-process LRU front (default 1024)")
+    p.add_argument("--verify", action="store_true",
+                   help="certificate-check every result before answering "
+                        "(adds 'verified' to the serve metadata)")
+    p.add_argument("--no-timing", action="store_true",
+                   help="omit latency_ms from responses (byte-reproducible "
+                        "transcripts, e.g. for goldens)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("figures", help="regenerate the paper's Figure 1-3 series")
     p.add_argument("--points", type=int, default=31)

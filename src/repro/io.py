@@ -27,11 +27,13 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 from .api.types import ProblemSpec, SolveRequest, SolveResult, SolverCapabilities
 from .core.job import Instance, Job
 from .core.power import AffinePolynomialPower, PolynomialPower, PowerFunction
 from .core.schedule import Piece, Schedule
-from .exceptions import InvalidInstanceError, InvalidScheduleError
+from .exceptions import InvalidInstanceError, InvalidScheduleError, ReproError
 from .verify.report import Finding, VerificationReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -62,6 +64,7 @@ __all__ = [
     "result_from_dict",
     "capabilities_to_dict",
     "batch_result_to_dict",
+    "batch_result_from_dict",
     "report_to_dict",
     "report_from_dict",
 ]
@@ -253,15 +256,27 @@ def power_to_dict(power: PowerFunction) -> dict[str, Any]:
 
 def power_from_dict(data: dict[str, Any]) -> PowerFunction:
     """Rebuild a power function from :func:`power_to_dict` output."""
-    kind = data.get("type")
-    if kind == "polynomial":
-        return PolynomialPower(float(data["alpha"]))
-    if kind == "affine-polynomial":
-        return AffinePolynomialPower(
-            exponent=float(data["alpha"]),
-            coefficient=float(data["coefficient"]),
-            static=float(data["static"]),
+    if not isinstance(data, dict):
+        raise InvalidScheduleError(
+            f"not a power-function payload: expected a JSON object, "
+            f"got {type(data).__name__}"
         )
+    kind = data.get("type")
+    try:
+        if kind == "polynomial":
+            return PolynomialPower(float(data["alpha"]))
+        if kind == "affine-polynomial":
+            return AffinePolynomialPower(
+                exponent=float(data["alpha"]),
+                coefficient=float(data["coefficient"]),
+                static=float(data["static"]),
+            )
+    except ReproError:
+        raise  # e.g. alpha <= 1: keep the specific error and its stable code
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidScheduleError(
+            f"malformed power-function payload: {exc!r}"
+        ) from exc
     raise InvalidScheduleError(f"unknown power function type {kind!r}")
 
 
@@ -556,3 +571,32 @@ def batch_result_to_dict(result: "BatchResult", name: str) -> dict[str, Any]:
         "energy": result.energy,
         "speeds": _speeds_to_list(result.speeds),
     }
+
+
+def batch_result_from_dict(data: dict[str, Any], solver: str) -> "BatchResult":
+    """Rebuild a :class:`~repro.batch.BatchResult` from :func:`batch_result_to_dict` output.
+
+    ``solver`` is supplied by the caller (the row format stores the display
+    name, not the solver; batch captures and run journals record the solver
+    once at the top level).  Floats round-trip through JSON repr exactly, so
+    the rebuilt result is byte-identical to the one that was serialised —
+    the property the resumable batch journal relies on.
+    """
+    from .batch import BatchResult  # runtime import: io must stay import-light
+
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a batch-result row: expected a JSON object, got {type(data).__name__}"
+        )
+    try:
+        speeds = data["speeds"]
+        return BatchResult(
+            index=int(data["index"]),
+            solver=str(solver),
+            n_jobs=int(data["n_jobs"]),
+            value=float(data["value"]),
+            energy=float(data["energy"]),
+            speeds=np.asarray([float(s) for s in speeds], dtype=float),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidInstanceError(f"malformed batch-result row: {exc!r}") from exc

@@ -31,10 +31,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from ..api.registry import REGISTRY
 from ..batch import solve_many
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ResultCache
 from ..core.job import Instance
 from ..core.power import PolynomialPower
 from ..exceptions import InvalidInstanceError
@@ -122,6 +125,7 @@ def competitive_sweep(
     sizes: Sequence[int] = (8, 12),
     seeds: int = 3,
     workers: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> dict[str, Any]:
     """Run the full competitive-ratio grid and return the JSON-ready payload.
 
@@ -139,6 +143,14 @@ def competitive_sweep(
         Number of seeds per (family, size) cell; seeds run ``0 .. seeds-1``.
     workers:
         Forwarded to :func:`repro.batch.solve_many` (process-pool fan-out).
+    cache:
+        Optional :class:`~repro.cache.ResultCache` forwarded to every
+        :func:`~repro.batch.solve_many` pass.  The instance grid is shared
+        across the alpha axis (and between the YDS baseline and the online
+        algorithms), so overlapping sweeps — wider alpha grids over the same
+        families, reruns after adding an algorithm — pay for each
+        (instance, power, solver) cell once (``repro compete --cache-dir``
+        on the command line).
 
     Returns
     -------
@@ -188,10 +200,12 @@ def competitive_sweep(
     # deterministic, process-pool-parallel path.  Revisit if alpha grids grow.
     for alpha in alphas:
         power = PolynomialPower(float(alpha))
-        optima = solve_many(instances, power, 0.0, solver="yds", workers=workers)
+        optima = solve_many(
+            instances, power, 0.0, solver="yds", workers=workers, cache=cache
+        )
         for algorithm in algorithms:
             results = solve_many(
-                instances, power, 0.0, solver=algorithm, workers=workers
+                instances, power, 0.0, solver=algorithm, workers=workers, cache=cache
             )
             for (family, size, seed), opt, res in zip(grid, optima, results):
                 cells.append(

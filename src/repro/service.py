@@ -1,0 +1,244 @@
+"""`repro serve`: a long-running JSON-lines solve service.
+
+The last mile between the solver matrix and a serving system: a request loop
+that stays up, answers :class:`~repro.api.SolveRequest` envelopes and never
+lets one bad request take the process down.  The protocol is JSON lines —
+one request envelope (:func:`repro.io.request_to_dict` form, optionally
+carrying a client-chosen ``"id"``) per input line, one response object per
+output line:
+
+.. code-block:: json
+
+    {"kind": "serve-response", "id": null,
+     "result": {"kind": "solve-result", "...": "..."},
+     "serve": {"cache": "hit", "latency_ms": 0.31}}
+
+``result`` is the uniform :func:`repro.io.result_to_dict` envelope (errors
+come back as structured error results with stable codes — a malformed or
+unparseable line gets an ``invalid-instance`` error response, and the loop
+keeps serving).  ``serve`` carries the per-request serving metadata: whether
+the answer came from the content-addressed cache (``"hit"`` / ``"miss"`` /
+``"off"``), the wall-clock latency (omitted when ``timing=False``, which
+makes transcripts byte-reproducible), and — with verification enabled —
+whether the result passed its certificate checks.
+
+Two transports share the one loop implementation:
+
+* :func:`serve_stream` -- stdin/stdout (or any text-stream pair); returns a
+  :class:`ServeStats` tally when the input reaches EOF,
+* :func:`make_tcp_server` -- a threading TCP server whose every connection
+  speaks the same line protocol.
+
+Shutdown is clean in both: EOF (or a closed connection) ends the loop
+normally, and the CLI turns SIGINT into an orderly exit with a final stats
+line on stderr.  Exposed on the command line as ``repro serve`` (see
+:mod:`repro.cli`); the CI smoke test (``tools/serve_smoke.py``) pipes two
+identical envelopes through it and expects the second to be a cache hit.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, TextIO
+
+from .api import SolveResult
+from .api import solve as api_solve
+from .api import verify as api_verify
+from .cache import ResultCache
+from .exceptions import InvalidInstanceError, ReproError
+from .io import request_from_dict, result_to_dict
+
+__all__ = ["ServeStats", "handle_request_line", "serve_stream", "make_tcp_server"]
+
+
+@dataclass
+class ServeStats:
+    """Tally of one serve loop (or one TCP server's lifetime)."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    verify_failures: int = 0
+
+    def merge(self, other: "ServeStats") -> None:
+        self.requests += other.requests
+        self.ok += other.ok
+        self.errors += other.errors
+        self.cache_hits += other.cache_hits
+        self.verify_failures += other.verify_failures
+
+    def summary(self) -> str:
+        """One human-readable line (the CLI prints it to stderr on shutdown)."""
+        parts = [f"{self.requests} request(s)", f"{self.cache_hits} cache hit(s)"]
+        if self.errors:
+            parts.append(f"{self.errors} error(s)")
+        if self.verify_failures:
+            parts.append(f"{self.verify_failures} verification failure(s)")
+        return ", ".join(parts)
+
+
+def handle_request_line(
+    line: str,
+    cache: ResultCache | None = None,
+    verify: bool = False,
+    timing: bool = True,
+    stats: ServeStats | None = None,
+) -> dict[str, Any]:
+    """Answer one protocol line; always returns a response object.
+
+    Never raises for request reasons: unparseable JSON and malformed
+    envelopes become structured error results (stable codes from
+    :mod:`repro.exceptions`), solver failures come back through the
+    :func:`repro.solve` serving contract, and only programming errors
+    propagate.
+    """
+    started = time.perf_counter()
+    request = None
+    request_id = None
+    cache_state = "off" if cache is None else "miss"
+    try:
+        data = json.loads(line)
+        if isinstance(data, dict):
+            request_id = data.get("id")
+        request = request_from_dict(data)
+    except json.JSONDecodeError as exc:
+        result = SolveResult.failure(
+            "<request>", InvalidInstanceError(f"unparseable request line: {exc}")
+        )
+    except ReproError as exc:
+        result = SolveResult.failure("<request>", exc)
+    else:
+        hit = cache.get(request) if cache is not None else None
+        if hit is not None:
+            cache_state = "hit"
+            result = hit
+        else:
+            result = api_solve(request)
+
+    serve_meta: dict[str, Any] = {"cache": cache_state}
+    if verify and request is not None and result.ok:
+        report = api_verify(request, result)
+        serve_meta["verified"] = report.ok
+        if not report.ok:
+            serve_meta["findings"] = list(report.codes())
+            if stats is not None:
+                stats.verify_failures += 1
+    if (
+        cache is not None
+        and cache_state == "miss"
+        and request is not None
+        and result.ok
+        and serve_meta.get("verified", True)
+    ):
+        # write-behind, after verification (when enabled) passed
+        cache.put(request, result)
+    if timing:
+        serve_meta["latency_ms"] = round((time.perf_counter() - started) * 1e3, 3)
+
+    if stats is not None:
+        stats.requests += 1
+        if result.ok:
+            stats.ok += 1
+        else:
+            stats.errors += 1
+        if cache_state == "hit":
+            stats.cache_hits += 1
+    return {
+        "kind": "serve-response",
+        "id": request_id,
+        "result": result_to_dict(result),
+        "serve": serve_meta,
+    }
+
+
+def serve_stream(
+    in_stream: Iterable[str] | TextIO,
+    out_stream: TextIO,
+    cache: ResultCache | None = None,
+    verify: bool = False,
+    timing: bool = True,
+    stats: ServeStats | None = None,
+) -> ServeStats:
+    """Run the request loop over a text-stream pair until EOF.
+
+    Blank lines are skipped; every other line gets exactly one response
+    line, flushed immediately so pipelined clients see answers as they are
+    produced.  Returns the loop's :class:`ServeStats`; pass your own
+    ``stats`` to tally in place — it stays accurate even if the loop is
+    interrupted mid-stream (how the CLI reports after SIGINT).
+    """
+    tally = ServeStats() if stats is None else stats
+    for line in in_stream:
+        if not line.strip():
+            continue
+        response = handle_request_line(
+            line, cache=cache, verify=verify, timing=timing, stats=tally
+        )
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+    return tally
+
+
+class _ServeTCPServer(socketserver.ThreadingTCPServer):
+    """Threading TCP transport for the line protocol (one loop per connection)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        cache: ResultCache | None,
+        verify: bool,
+        timing: bool,
+    ) -> None:
+        super().__init__(address, _ServeConnectionHandler)
+        self.cache = cache
+        self.verify = verify
+        self.timing = timing
+        self.stats = ServeStats()
+        self.stats_lock = threading.Lock()
+
+
+class _ServeConnectionHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via make_tcp_server
+        server: _ServeTCPServer = self.server  # type: ignore[assignment]
+        reader = io.TextIOWrapper(self.rfile, encoding="utf-8")
+        writer = io.TextIOWrapper(self.wfile, encoding="utf-8", write_through=True)
+        try:
+            local = serve_stream(
+                reader,
+                writer,
+                cache=server.cache,
+                verify=server.verify,
+                timing=server.timing,
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away mid-response; nothing to salvage
+        with server.stats_lock:
+            server.stats.merge(local)
+
+
+def make_tcp_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache: ResultCache | None = None,
+    verify: bool = False,
+    timing: bool = True,
+) -> _ServeTCPServer:
+    """A bound (not yet serving) TCP server speaking the serve line protocol.
+
+    ``port=0`` binds an ephemeral port; read the actual address from
+    ``server.server_address``.  Connections share one cache, so a hit can be
+    served to a different client than the one that paid for the miss.  Run
+    with ``server.serve_forever()`` and stop with ``server.shutdown()`` (the
+    CLI maps SIGINT to exactly that); aggregate counters live in
+    ``server.stats``.
+    """
+    return _ServeTCPServer((host, port), cache=cache, verify=verify, timing=timing)

@@ -18,8 +18,12 @@ against those witnesses, treating the pair purely as data:
   here from ``repro.core.validation``, which remains as a deprecated shim).
 
 Entry points: :func:`repro.api.verify` (library), ``repro verify`` (CLI,
-consuming the JSON envelopes of ``repro solve`` / ``repro batch``), and
-``solve_many(..., verify=True)`` (batch engine).  The registry-driven
+consuming the JSON envelopes of ``repro solve`` / ``repro batch``),
+``solve_many(..., verify=True)`` (batch engine, which also gates the result
+cache's write-behind on a passing report), and ``repro serve --verify``
+(per-response certificate checks in the request loop — cache *hits* are
+verifiable too, since cached envelopes are byte-identical to fresh
+solves).  The registry-driven
 conformance suite (``tests/test_conformance.py``) runs solve -> verify end
 to end for every registered solver, so a newly registered solver is born
 with invariant coverage.

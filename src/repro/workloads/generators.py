@@ -162,32 +162,47 @@ def partition_elements(
 ) -> list[int]:
     """Integer multisets for the Partition reduction of Theorem 11.
 
-    With ``planted_yes`` the multiset is built as two halves of equal sum (so a
-    perfect partition certainly exists); otherwise elements are drawn at
-    random and the total is forced odd, so no perfect partition can exist.
+    Always returns exactly ``n_elements`` elements in ``[1, max_value]``.
+    With ``planted_yes`` the multiset splits into two parts of equal sum (so
+    a perfect partition certainly exists): for even ``n`` the parts are two
+    copies of the same draws; for odd ``n`` one drawn element is split into
+    two unequal positive parts (``1`` and ``v - 1``), which preserves the
+    equal-sum plant while adding the extra element.  Otherwise elements are
+    drawn at random and the total is forced odd, so no perfect partition can
+    exist.
     """
     if n_elements < 2:
         raise InvalidInstanceError("need at least two elements")
     rng = np.random.default_rng(seed)
     if planted_yes:
-        half = [int(rng.integers(1, max_value + 1)) for _ in range(n_elements // 2)]
-        other = list(half)
         if n_elements % 2 == 1:
-            # keep the sums equal by splitting one element into two halves
-            value = int(rng.integers(2, max_value + 1))
-            even = value if value % 2 == 0 else value + 1
-            half.append(even)
-            other.extend([even // 2, even // 2])
-            elements = half + other
-            elements = elements[:n_elements] if len(elements) > n_elements else elements
-            # fall back to an even-sized planted instance if trimming broke the plant
-            if sum(elements[: len(elements) // 2]) != sum(elements[len(elements) // 2:]):
-                return partition_elements(n_elements + 1, seed, max_value, planted_yes)
-            return elements
-        return half + other
+            if max_value < 3:
+                raise InvalidInstanceError(
+                    "planted yes-instances of odd size need max_value >= 3 "
+                    "(one element is split into two unequal positive parts)"
+                )
+            # draw (n-1)//2 values and mirror them, then split the first
+            # mirrored copy v into 1 and v-1: the sums stay equal and the
+            # result has exactly n elements — no trimming, no retries
+            splittable = int(rng.integers(3, max_value + 1))
+            rest = [
+                int(rng.integers(1, max_value + 1))
+                for _ in range(n_elements // 2 - 1)
+            ]
+            half = [splittable] + rest
+            other = [1, splittable - 1] + rest
+            return half + other
+        half = [int(rng.integers(1, max_value + 1)) for _ in range(n_elements // 2)]
+        return half + list(half)
     elements = [int(rng.integers(1, max_value + 1)) for _ in range(n_elements)]
     if sum(elements) % 2 == 0:
-        elements[0] += 1
+        if max_value < 2:
+            raise InvalidInstanceError(
+                "no-instances need max_value >= 2 when n_elements is even "
+                "(an all-ones multiset of even size cannot have an odd total)"
+            )
+        # flip the total's parity without leaving [1, max_value]
+        elements[0] += 1 if elements[0] < max_value else -1
     return elements
 
 

@@ -14,8 +14,10 @@ from __future__ import annotations
 import repro
 import repro.api
 import repro.batch
+import repro.cache
 import repro.exceptions
 import repro.io
+import repro.service
 import repro.verify
 
 API_SURFACE = {
@@ -77,11 +79,27 @@ IO_SURFACE = {
     "result_from_dict",
     "capabilities_to_dict",
     "batch_result_to_dict",
+    "batch_result_from_dict",
     "report_to_dict",
     "report_from_dict",
 }
 
-BATCH_SURFACE = {"BatchResult", "SOLVERS", "solve_many"}
+BATCH_SURFACE = {"BatchResult", "SOLVERS", "solve_many", "solve_stream"}
+
+CACHE_SURFACE = {
+    "CacheStats",
+    "ResultCache",
+    "capability_fingerprint",
+    "instance_digest",
+    "request_cache_key",
+}
+
+SERVICE_SURFACE = {
+    "ServeStats",
+    "handle_request_line",
+    "serve_stream",
+    "make_tcp_server",
+}
 
 EXCEPTIONS_SURFACE = {
     "ReproError",
@@ -102,6 +120,9 @@ TOP_LEVEL_SURFACE = {
     "batch",
     "BatchResult",
     "solve_many",
+    "solve_stream",
+    "cache",
+    "ResultCache",
     "core",
     "discrete",
     "flow",
@@ -109,6 +130,7 @@ TOP_LEVEL_SURFACE = {
     "makespan",
     "multi",
     "online",
+    "service",
     "verify",
     "workloads",
     "ProblemSpec",
@@ -163,6 +185,14 @@ def test_batch_surface_snapshot():
     assert set(repro.batch.__all__) == BATCH_SURFACE
 
 
+def test_cache_surface_snapshot():
+    assert set(repro.cache.__all__) == CACHE_SURFACE
+
+
+def test_service_surface_snapshot():
+    assert set(repro.service.__all__) == SERVICE_SURFACE
+
+
 def test_exceptions_surface_snapshot():
     assert set(repro.exceptions.__all__) == EXCEPTIONS_SURFACE
 
@@ -176,7 +206,7 @@ def test_registered_solver_names_snapshot():
 
 
 def test_all_names_actually_exported():
-    for module in (repro, repro.api, repro.io, repro.batch, repro.exceptions,
-                   repro.verify):
+    for module in (repro, repro.api, repro.io, repro.batch, repro.cache,
+                   repro.exceptions, repro.service, repro.verify):
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name} missing"

@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 import json
+import types
 
 import numpy as np
 import pytest
 
-from repro.batch import SOLVERS, solve_many
+import repro.batch as batch_module
+from repro.batch import SOLVERS, solve_many, solve_stream
+from repro.cache import ResultCache
 from repro.cli import main
 from repro.core import CUBE, Instance
-from repro.exceptions import InvalidInstanceError
+from repro.exceptions import InvalidInstanceError, VerificationError
 from repro.io import load_instances, save_instances
 from repro.makespan import incmerge, minimum_energy_for_makespan
 from repro.workloads import deadline_instance, equal_work_instance, poisson_instance
@@ -80,6 +83,233 @@ class TestSolveMany:
             solve_many(instances, CUBE, [1.0, 2.0], solver="laptop")
         assert solve_many([], CUBE, 50.0) == []
 
+    @pytest.mark.parametrize(
+        "budget",
+        [50.0, np.float64(50.0), np.asarray(50.0)],
+        ids=["python-float", "numpy-scalar", "zero-d-array"],
+    )
+    def test_scalar_budgets_broadcast_in_every_form(self, instances, budget):
+        # regression: np.isscalar(np.asarray(50.0)) is False, so a 0-d array
+        # budget used to hit the per-instance branch and die with a raw
+        # "iteration over a 0-d array" TypeError
+        results = solve_many(instances[:3], CUBE, budget, solver="laptop")
+        expected = solve_many(instances[:3], CUBE, 50.0, solver="laptop")
+        for r, e in zip(results, expected):
+            assert r.value == e.value
+            assert r.speeds.tobytes() == e.speeds.tobytes()
+
+
+def _counting_solve_chunk(monkeypatch):
+    """Wrap the worker entry point with call/item counters (serial path)."""
+    counter = types.SimpleNamespace(calls=0, items=0)
+    original = batch_module._solve_chunk
+
+    def wrapper(payload):
+        counter.calls += 1
+        counter.items += len(payload[2])
+        return original(payload)
+
+    monkeypatch.setattr(batch_module, "_solve_chunk", wrapper)
+    return counter
+
+
+class TestSolveStream:
+    def test_materialised_stream_matches_solve_many_byte_identically(self, instances):
+        streamed = list(solve_stream(instances, CUBE, 50.0, solver="laptop"))
+        materialised = solve_many(instances, CUBE, 50.0, solver="laptop")
+        assert [r.index for r in streamed] == [r.index for r in materialised]
+        for a, b in zip(streamed, materialised):
+            assert a.value == b.value
+            assert a.energy == b.energy
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    def test_results_stream_chunk_by_chunk(self, instances, monkeypatch):
+        counter = _counting_solve_chunk(monkeypatch)
+        stream = solve_stream(instances, CUBE, 50.0, solver="laptop", chunk_size=2)
+        first = next(stream)
+        # only the first chunk has been solved when the first result arrives
+        assert first.index == 0
+        assert counter.calls == 1
+        assert counter.items == 2
+        rest = list(stream)
+        assert [r.index for r in rest] == list(range(1, len(instances)))
+        assert counter.items == len(instances)
+
+    def test_validation_is_eager_not_deferred_to_first_next(self, instances):
+        with pytest.raises(InvalidInstanceError):
+            solve_stream(instances, CUBE, [1.0, 2.0], solver="laptop")
+
+    def test_parallel_stream_is_byte_identical_to_serial(self, instances):
+        serial = list(solve_stream(instances, CUBE, 50.0, solver="laptop"))
+        parallel = list(
+            solve_stream(instances, CUBE, 50.0, solver="laptop", workers=3,
+                         chunk_size=1)
+        )
+        assert [r.index for r in parallel] == [r.index for r in serial]
+        for a, b in zip(parallel, serial):
+            assert a.value == b.value
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+
+class TestBatchCache:
+    def test_warm_run_skips_the_solver_and_is_byte_identical(
+        self, instances, monkeypatch
+    ):
+        cache = ResultCache()
+        cold = solve_many(instances, CUBE, 50.0, solver="laptop", cache=cache)
+        counter = _counting_solve_chunk(monkeypatch)
+        warm = solve_many(instances, CUBE, 50.0, solver="laptop", cache=cache)
+        assert counter.items == 0  # every item was a cache hit
+        for a, b in zip(cold, warm):
+            assert a.index == b.index
+            assert a.n_jobs == b.n_jobs
+            assert a.value == b.value
+            assert a.energy == b.energy
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+        stats = cache.stats()
+        assert stats.hits == len(instances)
+        assert stats.puts == len(instances)
+
+    def test_cache_is_keyed_per_budget(self, instances):
+        cache = ResultCache()
+        solve_many(instances[:2], CUBE, 50.0, solver="laptop", cache=cache)
+        solve_many(instances[:2], CUBE, 60.0, solver="laptop", cache=cache)
+        assert cache.stats().hits == 0
+
+    def test_verify_checks_cache_hits_too(self, instances, tmp_path):
+        # a disk entry that parses fine but carries a tampered energy must be
+        # caught by verify=True even though it skips the solver
+        store = tmp_path / "cache"
+        cache = ResultCache(directory=store)
+        solve_many(instances[:1], CUBE, 50.0, solver="laptop", cache=cache)
+        entry_files = list(store.glob("*/*.json"))
+        assert len(entry_files) == 1
+        entry = json.loads(entry_files[0].read_text())
+        entry["result"]["energy"] = entry["result"]["energy"] * 2.0
+        entry_files[0].write_text(json.dumps(entry))
+        tampered = ResultCache(directory=store)
+        # without verify the tampered hit flows through...
+        bad = solve_many(instances[:1], CUBE, 50.0, solver="laptop", cache=tampered)
+        assert bad[0].energy == pytest.approx(100.0, rel=1e-6)
+        # ...with verify it is rejected
+        with pytest.raises(VerificationError, match="cached"):
+            solve_many(
+                instances[:1], CUBE, 50.0, solver="laptop",
+                cache=ResultCache(directory=store), verify=True,
+            )
+
+    def test_verify_checks_journal_replays_too(self, instances, tmp_path):
+        run_dir = tmp_path / "run"
+        solve_many(instances[:2], CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        journal_path = run_dir / "journal.jsonl"
+        rows = [json.loads(line) for line in journal_path.read_text().splitlines()]
+        rows[0]["energy"] = rows[0]["energy"] * 2.0
+        journal_path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        with pytest.raises(VerificationError, match="journal-replayed"):
+            solve_many(
+                instances[:2], CUBE, 50.0, solver="laptop",
+                run_dir=run_dir, verify=True,
+            )
+
+    def test_disk_cache_survives_processes(self, instances, tmp_path, monkeypatch):
+        store = tmp_path / "cache"
+        cold = solve_many(
+            instances[:3], CUBE, 50.0, solver="laptop",
+            cache=ResultCache(directory=store),
+        )
+        counter = _counting_solve_chunk(monkeypatch)
+        warm = solve_many(
+            instances[:3], CUBE, 50.0, solver="laptop",
+            cache=ResultCache(directory=store),
+        )
+        assert counter.items == 0
+        for a, b in zip(cold, warm):
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+
+class TestRunDir:
+    def test_killed_run_resumes_and_matches_uninterrupted_bytes(
+        self, instances, tmp_path, monkeypatch
+    ):
+        run_dir = tmp_path / "run"
+        uninterrupted = solve_many(instances, CUBE, 50.0, solver="laptop")
+
+        # simulate a kill: consume three results, then drop the generator
+        stream = solve_stream(
+            instances, CUBE, 50.0, solver="laptop", chunk_size=1, run_dir=run_dir
+        )
+        for _ in range(3):
+            next(stream)
+        stream.close()
+        journal = (run_dir / "journal.jsonl").read_text().splitlines()
+        assert len(journal) == 3
+
+        counter = _counting_solve_chunk(monkeypatch)
+        resumed = solve_many(
+            instances, CUBE, 50.0, solver="laptop", chunk_size=1, run_dir=run_dir
+        )
+        assert counter.items == len(instances) - 3  # finished work is skipped
+        assert [r.index for r in resumed] == list(range(len(instances)))
+        for a, b in zip(resumed, uninterrupted):
+            assert a.value == b.value
+            assert a.energy == b.energy
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    def test_completed_run_dir_replays_without_solving(
+        self, instances, tmp_path, monkeypatch
+    ):
+        run_dir = tmp_path / "run"
+        first = solve_many(instances, CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        counter = _counting_solve_chunk(monkeypatch)
+        replayed = solve_many(instances, CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        assert counter.items == 0
+        for a, b in zip(first, replayed):
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    def test_torn_journal_tail_is_truncated_not_poisoned(
+        self, instances, tmp_path, monkeypatch
+    ):
+        run_dir = tmp_path / "run"
+        stream = solve_stream(
+            instances, CUBE, 50.0, solver="laptop", chunk_size=1, run_dir=run_dir
+        )
+        next(stream)
+        next(stream)
+        stream.close()
+        journal_path = run_dir / "journal.jsonl"
+        with journal_path.open("a") as fh:
+            fh.write('{"index": 2, "name": "torn')  # killed mid-write
+        resumed = solve_many(
+            instances, CUBE, 50.0, solver="laptop", run_dir=run_dir
+        )
+        expected = solve_many(instances, CUBE, 50.0, solver="laptop")
+        for a, b in zip(resumed, expected):
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+        # the torn fragment was truncated, not appended onto: the journal is
+        # fully parseable again and a third run replays it without solving
+        rows = journal_path.read_text().splitlines()
+        assert len(rows) == len(instances)
+        assert all(json.loads(row) for row in rows)
+        counter = _counting_solve_chunk(monkeypatch)
+        solve_many(instances, CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        assert counter.items == 0
+
+    def test_run_dir_rejects_different_inputs(self, instances, tmp_path):
+        run_dir = tmp_path / "run"
+        solve_many(instances[:3], CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        with pytest.raises(InvalidInstanceError, match="different batch"):
+            solve_many(instances[:3], CUBE, 60.0, solver="laptop", run_dir=run_dir)
+        with pytest.raises(InvalidInstanceError, match="different batch"):
+            solve_many(instances[:4], CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        # the fingerprint guard also covers empty batches, both directions
+        with pytest.raises(InvalidInstanceError, match="different batch"):
+            solve_many([], CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        empty_dir = tmp_path / "empty"
+        assert solve_many([], CUBE, 50.0, solver="laptop", run_dir=empty_dir) == []
+        assert (empty_dir / "manifest.json").exists()
+        with pytest.raises(InvalidInstanceError, match="different batch"):
+            solve_many(instances[:3], CUBE, 50.0, solver="laptop", run_dir=empty_dir)
+
 
 class TestInstanceBatchIO:
     def test_roundtrip(self, tmp_path, instances):
@@ -131,6 +361,45 @@ class TestBatchCLI:
         assert len(payload["results"]) == 3
         for row, r in zip(payload["results"], expected):
             assert row["value"] == pytest.approx(r.value, rel=1e-12)
+
+    def test_run_dir_resume_produces_byte_identical_capture(
+        self, tmp_path, instances, capsys
+    ):
+        path = tmp_path / "batch.json"
+        save_instances(instances, path)
+        run_dir = tmp_path / "run"
+        # simulate a killed run: a few results already journalled
+        stream = solve_stream(
+            instances, CUBE, 50.0, solver="laptop", chunk_size=1, run_dir=run_dir
+        )
+        for _ in range(4):
+            next(stream)
+        stream.close()
+        argv = ["batch", "--instances", str(path), "--energy", "50", "--json"]
+        assert main([*argv, "--run-dir", str(run_dir)]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        fresh = json.loads(capsys.readouterr().out)
+        assert (
+            json.dumps(resumed["results"], sort_keys=True)
+            == json.dumps(fresh["results"], sort_keys=True)
+        )
+
+    def test_cache_dir_warm_capture_is_byte_identical(
+        self, tmp_path, instances, capsys
+    ):
+        path = tmp_path / "batch.json"
+        save_instances(instances[:4], path)
+        argv = ["batch", "--instances", str(path), "--energy", "50", "--json",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert (
+            json.dumps(warm["results"], sort_keys=True)
+            == json.dumps(cold["results"], sort_keys=True)
+        )
 
     def test_budget_count_mismatch_is_cli_error(self, tmp_path, instances, capsys):
         path = tmp_path / "batch.json"

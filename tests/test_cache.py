@@ -1,0 +1,274 @@
+"""Tests for the content-addressed result cache (:mod:`repro.cache`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import REGISTRY, SolveRequest, SolverCapabilities, ProblemSpec
+from repro.api import solve as api_solve
+from repro.api import verify as api_verify
+from repro.api.registry import SolverRegistry
+from repro.cache import (
+    ResultCache,
+    capability_fingerprint,
+    instance_digest,
+    request_cache_key,
+)
+from repro.core import CUBE, Instance, PolynomialPower, Schedule
+from repro.workloads import poisson_instance
+
+BATCHABLE = REGISTRY.find(batchable=True)
+
+
+def _request_for(name: str) -> SolveRequest:
+    """A deterministic feasible request for any batchable registry solver."""
+    caps = REGISTRY.capabilities(name)
+    releases = [0.0, 0.5, 1.5, 2.0]
+    works = [1.0] * 4 if caps.needs_equal_work else [1.2, 0.7, 1.0, 0.9]
+    deadlines = [r + 2.0 for r in releases] if caps.needs_deadlines else None
+    instance = Instance.from_arrays(releases, works, deadlines=deadlines)
+    power = PolynomialPower(3.0)
+    if caps.budget_kind == "energy":
+        budget = 20.0
+    elif caps.budget_kind == "metric":
+        unit = Schedule.from_speeds(instance, power, np.ones(instance.n_jobs))
+        budget = (
+            unit.makespan * 1.5
+            if caps.objective == "makespan"
+            else unit.total_flow * 1.5
+        )
+    else:
+        budget = None
+    return SolveRequest(instance=instance, power=power, solver=name, budget=budget)
+
+
+class TestCacheKey:
+    def test_name_independent_content_addressing(self):
+        a = poisson_instance(6, seed=0, name="alpha")
+        b = poisson_instance(6, seed=0, name="beta")
+        assert instance_digest(a) == instance_digest(b)
+        key_a = request_cache_key(
+            SolveRequest(instance=a, power=CUBE, solver="laptop", budget=10.0)
+        )
+        key_b = request_cache_key(
+            SolveRequest(instance=b, power=CUBE, solver="laptop", budget=10.0)
+        )
+        assert key_a == key_b
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            dict(budget=11.0),
+            dict(solver="server"),
+            dict(power=PolynomialPower(2.0)),
+            dict(options={"x": 1}),
+        ],
+    )
+    def test_any_request_field_changes_the_key(self, mutation):
+        base = dict(
+            instance=poisson_instance(6, seed=0), power=CUBE,
+            solver="laptop", budget=10.0,
+        )
+        key = request_cache_key(SolveRequest(**base))
+        assert request_cache_key(SolveRequest(**{**base, **mutation})) != key
+
+    def test_instance_content_changes_the_key(self):
+        base = poisson_instance(6, seed=0)
+        other = poisson_instance(6, seed=1)
+        req = lambda inst: SolveRequest(
+            instance=inst, power=CUBE, solver="laptop", budget=10.0
+        )
+        assert request_cache_key(req(base)) != request_cache_key(req(other))
+
+    def test_spec_requests_resolve_to_the_same_key_as_named(self):
+        inst = poisson_instance(6, seed=0)
+        named = SolveRequest(instance=inst, power=CUBE, solver="laptop", budget=10.0)
+        by_spec = SolveRequest(
+            instance=inst, power=CUBE,
+            spec=ProblemSpec(objective="makespan", mode="laptop"), budget=10.0,
+        )
+        assert request_cache_key(named) == request_cache_key(by_spec)
+
+
+class TestHitsAreByteIdentical:
+    @pytest.mark.parametrize("name", BATCHABLE)
+    def test_hit_equals_fresh_solve_for_every_batchable_solver(self, name, tmp_path):
+        request = _request_for(name)
+        fresh = api_solve(request)
+        assert fresh.ok, f"{name}: [{fresh.error_code}] {fresh.error_message}"
+
+        cache = ResultCache(directory=tmp_path / "store")
+        assert cache.get(request) is None
+        cache.put(request, fresh)
+        hit = cache.get(request)
+        assert hit is not None
+        assert hit.solver == fresh.solver
+        assert hit.value == fresh.value
+        assert hit.energy == fresh.energy
+        assert hit.speeds.tobytes() == fresh.speeds.tobytes()
+
+        # a disk-only reader (fresh cache over the same store) is identical too
+        cold = ResultCache(directory=tmp_path / "store")
+        disk_hit = cold.get(request)
+        assert disk_hit is not None
+        assert disk_hit.value == fresh.value
+        assert disk_hit.speeds.tobytes() == fresh.speeds.tobytes()
+        assert cold.stats().disk_hits == 1
+
+    @pytest.mark.parametrize("name", BATCHABLE)
+    def test_hit_still_passes_verification_as_data(self, name):
+        # PR 4's premise: a cached envelope is certificate-checkable
+        request = _request_for(name)
+        cache = ResultCache()
+        cache.put(request, api_solve(request))
+        hit = cache.get(request)
+        report = api_verify(request, hit)
+        assert report.ok, report.error_summary()
+
+
+class TestStatsAndLru:
+    def test_miss_then_hit_stats(self):
+        request = _request_for("laptop")
+        cache = ResultCache()
+        assert cache.get(request) is None
+        cache.put(request, api_solve(request))
+        assert cache.get(request) is not None
+        s = cache.stats()
+        assert (s.gets, s.misses, s.hits, s.memory_hits, s.puts) == (2, 1, 1, 1, 1)
+        assert s.hit_rate == pytest.approx(0.5)
+
+    def test_error_results_are_never_cached(self):
+        request = SolveRequest(
+            instance=poisson_instance(4, seed=0), power=CUBE, solver="laptop"
+        )  # no budget -> structured error result
+        result = api_solve(request)
+        assert not result.ok
+        cache = ResultCache()
+        assert cache.put(request, result) is None
+        assert cache.stats().puts == 0
+
+    def test_unknown_solver_is_an_uncacheable_miss_not_a_crash(self):
+        request = SolveRequest(
+            instance=poisson_instance(4, seed=0), power=CUBE,
+            solver="not-a-solver", budget=5.0,
+        )
+        cache = ResultCache()
+        assert cache.get(request) is None
+        assert cache.stats().uncacheable == 1
+
+    def test_lru_front_is_bounded_and_evicts_oldest(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_memory_entries=2)
+        requests = []
+        for budget in (10.0, 11.0, 12.0):
+            request = SolveRequest(
+                instance=poisson_instance(4, seed=0), power=CUBE,
+                solver="laptop", budget=budget,
+            )
+            cache.put(request, api_solve(request))
+            requests.append(request)
+        assert len(cache) == 2
+        # the evicted entry is still served from disk, then re-promoted
+        assert cache.get(requests[0]) is not None
+        assert cache.stats().disk_hits == 1
+
+
+class TestInvalidation:
+    def _registry_with_fake(self, certificates=("budget-tightness",)):
+        registry = SolverRegistry()
+        caps = SolverCapabilities(
+            name="fake",
+            spec=ProblemSpec(objective="makespan", mode="laptop"),
+            summary="test solver",
+            budget_kind="energy",
+            batchable=True,
+            certificates=certificates,
+        )
+        registry.register(caps, lambda request: (1.0, 2.0, None, {}))
+        return registry
+
+    def test_capability_fingerprint_change_invalidates(self, tmp_path):
+        request = SolveRequest(
+            instance=poisson_instance(4, seed=0), power=CUBE,
+            solver="fake", budget=5.0,
+        )
+        before = self._registry_with_fake()
+        cache = ResultCache(directory=tmp_path, registry=before)
+        cache.put(request, before.run(request))
+        assert cache.get(request) is not None
+
+        after = self._registry_with_fake(certificates=("optimal-structure",))
+        assert capability_fingerprint(
+            before.capabilities("fake")
+        ) != capability_fingerprint(after.capabilities("fake"))
+        recached = ResultCache(directory=tmp_path, registry=after)
+        # same request, same store — but the re-registered solver's entries
+        # are unreachable under the new fingerprint
+        assert recached.get(request) is None
+
+    def test_explicit_invalidate_all_and_per_solver(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        laptop = _request_for("laptop")
+        server = _request_for("server")
+        cache.put(laptop, api_solve(laptop))
+        cache.put(server, api_solve(server))
+        # one distinct entry dropped (memory + disk copies count once)
+        assert cache.invalidate(solver="laptop") == 1
+        assert cache.get(laptop) is None
+        assert cache.get(server) is not None
+        assert cache.invalidate() == 1
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get(server) is None
+
+
+class TestSweepCacheReuse:
+    def test_repeated_competitive_sweeps_hit_the_cache_and_match(self):
+        from repro.online.compete import competitive_sweep
+
+        cache = ResultCache()
+        kwargs = dict(
+            algorithms=["oa"], alphas=[2.0], families=["deadline"],
+            sizes=[5], seeds=1,
+        )
+        cold = competitive_sweep(cache=cache, **kwargs)
+        after_cold = cache.stats()
+        # one grid cell, solved by yds (the baseline) and oa
+        assert after_cold.puts == 2
+        assert after_cold.hits == 0
+        warm = competitive_sweep(cache=cache, **kwargs)
+        assert cache.stats().hits - after_cold.hits == 2
+        # instances are regenerated per call, so hits prove the keying is
+        # content-addressed; payloads must match byte for byte
+        assert json.dumps(cold, sort_keys=True) == json.dumps(warm, sort_keys=True)
+
+
+class TestCorruption:
+    def _single_entry_path(self, cache, request):
+        key = cache.key_for(request)
+        return cache.directory / key[:2] / f"{key}.json"
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "{not json",
+            json.dumps({"kind": "something-else"}),
+            json.dumps({"kind": "cache-entry", "key": "wrong", "result": {}}),
+            json.dumps(["a", "bare", "list"]),
+        ],
+    )
+    def test_corrupted_disk_entry_is_a_miss_not_a_crash(self, tmp_path, garbage):
+        request = _request_for("laptop")
+        cache = ResultCache(directory=tmp_path, max_memory_entries=0)
+        cache.put(request, api_solve(request))
+        path = self._single_entry_path(cache, request)
+        assert path.exists()
+        path.write_text(garbage, encoding="utf-8")
+        assert cache.get(request) is None
+        stats = cache.stats()
+        assert stats.corrupt_entries == 1
+        assert stats.misses == 1
+        # overwriting repairs the entry
+        cache.put(request, api_solve(request))
+        assert cache.get(request) is not None

@@ -9,13 +9,15 @@ subcommand end to end.
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 
 import pytest
 
-from repro.api import REGISTRY
+from repro.api import REGISTRY, SolveRequest
 from repro.cli import main
+from repro.core import CUBE
 from repro.io import request_to_dict, save_instance, save_instances
 from repro.workloads import equal_work_instance, figure1_instance
 
@@ -65,6 +67,28 @@ class TestGoldenSubcommands:
         payload = json.loads(capsys.readouterr().out)
         got = json.dumps(payload["results"], indent=2, sort_keys=True) + "\n"
         want = (GOLDEN / "batch_results.json").read_text(encoding="utf-8")
+        assert got == want
+
+
+class TestServeGolden:
+    def test_serve_transcript_byte_identical(self, monkeypatch, capsys):
+        # the serve-protocol golden: two identical requests (miss then hit)
+        # plus a malformed line (structured error, loop survives), exactly as
+        # tools/regen_golden.py captures it
+        line = json.dumps(
+            request_to_dict(
+                SolveRequest(
+                    instance=figure1_instance(), power=CUBE,
+                    solver="laptop", budget=17.0,
+                )
+            )
+        )
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(line + "\n" + line + "\n" + "{not json\n")
+        )
+        assert main(["serve", "--no-timing"]) == 0
+        got = capsys.readouterr().out
+        want = (GOLDEN / "serve_transcript.txt").read_text(encoding="utf-8")
         assert got == want
 
 

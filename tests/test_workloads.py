@@ -94,6 +94,42 @@ class TestGenerators:
             assert sum(elements) % 2 == 1
             assert not has_perfect_partition_dp(elements)
 
+    @pytest.mark.parametrize("n_elements", range(2, 13))
+    def test_partition_length_contract_for_every_n(self, n_elements):
+        # regression: the odd-n planted path used to trim a broken plant and
+        # retry with n+1, returning n+1 elements for every odd n
+        for seed in range(10):
+            for planted in (True, False):
+                elements = partition_elements(
+                    n_elements, seed=seed, planted_yes=planted
+                )
+                assert len(elements) == n_elements, (n_elements, seed, planted)
+                assert all(
+                    isinstance(e, int) and 1 <= e <= 50 for e in elements
+                ), (n_elements, seed, planted)
+
+    def test_partition_no_instance_parity_flip_stays_in_range(self):
+        # regression: when the first draw was already max_value, forcing an
+        # odd total used to bump it to max_value + 1 (e.g. n=2, seed=161)
+        for seed in range(300):
+            elements = partition_elements(2, seed=seed, planted_yes=False)
+            assert all(1 <= e <= 50 for e in elements), (seed, elements)
+            assert sum(elements) % 2 == 1
+
+    @pytest.mark.parametrize("n_elements", [3, 5, 7, 9, 11])
+    def test_partition_planted_yes_odd_sizes(self, n_elements):
+        for seed in range(10):
+            elements = partition_elements(n_elements, seed=seed, planted_yes=True)
+            assert len(elements) == n_elements
+            assert sum(elements) % 2 == 0
+            assert has_perfect_partition_dp(elements)
+
+    def test_partition_odd_planted_needs_splittable_max_value(self):
+        with pytest.raises(InvalidInstanceError, match="max_value"):
+            partition_elements(5, seed=0, max_value=2, planted_yes=True)
+        # even sizes keep working at tiny max_value
+        assert partition_elements(4, seed=0, max_value=2, planted_yes=True)
+
     def test_invalid_arguments(self):
         with pytest.raises(InvalidInstanceError):
             poisson_instance(0, seed=1)

@@ -99,11 +99,46 @@ def _verify_envelopes() -> dict[str, str]:
     }
 
 
+def _serve_transcript() -> str:
+    """The serve-protocol golden: two identical requests, then a bad line.
+
+    Run with ``timing=False`` (the CLI's ``--no-timing``) so the transcript
+    is byte-reproducible; the second response must report a cache hit and
+    the malformed line a structured error, with the loop surviving all
+    three.
+    """
+    import io as io_module
+
+    from repro.api import SolveRequest
+    from repro.cache import ResultCache
+    from repro.core import CUBE
+    from repro.io import request_to_dict
+    from repro.service import serve_stream
+    from repro.workloads import figure1_instance
+
+    line = json.dumps(
+        request_to_dict(
+            SolveRequest(
+                instance=figure1_instance(), power=CUBE, solver="laptop", budget=17.0
+            )
+        )
+    )
+    out = io_module.StringIO()
+    serve_stream(
+        iter([line + "\n", line + "\n", "{not json\n"]),
+        out,
+        cache=ResultCache(),
+        timing=False,
+    )
+    return out.getvalue()
+
+
 def regenerate() -> dict[str, str]:
     """All golden captures: file name -> exact text content."""
     captures = {name: _capture(argv) for name, argv in CLI_CASES.items()}
     captures["batch_results.json"] = _batch_results()
     captures.update(_verify_envelopes())
+    captures["serve_transcript.txt"] = _serve_transcript()
     return captures
 
 

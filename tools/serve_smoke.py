@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve``: the second identical request must hit.
+
+Pipes two identical solve-request envelopes through a real ``repro serve``
+subprocess (stdin/stdout transport, default in-memory cache) and asserts:
+
+* exactly one response line per request, both solved OK,
+* the first response reports a cache miss, the second a cache hit,
+* both carry latency metadata and byte-identical result envelopes.
+
+Run as ``python tools/serve_smoke.py`` (the repo's ``src/`` is put on the
+subprocess's PYTHONPATH automatically); exits non-zero with a diagnostic on
+any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:  # runnable straight from a checkout
+    sys.path.insert(0, _SRC)
+
+
+def _fail(message: str) -> int:
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    from repro.api import SolveRequest
+    from repro.core import CUBE
+    from repro.io import request_to_dict
+    from repro.workloads import figure1_instance
+
+    line = json.dumps(
+        request_to_dict(
+            SolveRequest(
+                instance=figure1_instance(), power=CUBE, solver="laptop", budget=17.0
+            )
+        )
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve"],
+        input=(line + "\n") * 2,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        return _fail(f"serve exited {proc.returncode}: {proc.stderr.strip()}")
+    responses = [json.loads(row) for row in proc.stdout.splitlines()]
+    if len(responses) != 2:
+        return _fail(f"expected 2 response lines, got {len(responses)}")
+    for i, response in enumerate(responses):
+        if response.get("kind") != "serve-response":
+            return _fail(f"response {i} has kind {response.get('kind')!r}")
+        if response["result"].get("status") != "ok":
+            return _fail(f"response {i} did not solve OK: {response['result']}")
+        if "latency_ms" not in response["serve"]:
+            return _fail(f"response {i} is missing latency metadata")
+    states = [response["serve"]["cache"] for response in responses]
+    if states != ["miss", "hit"]:
+        return _fail(f"expected cache states ['miss', 'hit'], got {states}")
+    if responses[0]["result"] != responses[1]["result"]:
+        return _fail("cache hit returned a different result envelope")
+    print(
+        "serve smoke OK: second identical request was a cache hit "
+        f"(latencies {responses[0]['serve']['latency_ms']}ms -> "
+        f"{responses[1]['serve']['latency_ms']}ms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
