@@ -1,0 +1,127 @@
+"""SERVE-QPS -- throughput and robustness of the async serving tier.
+
+Drives the open-loop load generator (``tools/loadgen.py``,
+coordinated-omission-safe) against an in-process
+:class:`repro.service.AsyncServeLoop` under three scenarios:
+
+* **baseline** -- a healthy server with the shared result cache: raw QPS and
+  p50/p99 latency,
+* **faults**   -- seeded chaos (worker crashes, slow solves) under a
+  per-request deadline: the server must answer *every* request with either a
+  result or a structured error envelope (``internal`` /
+  ``deadline-exceeded``) and keep its throughput,
+* **overload** -- every solve is slow and the admission queue is tiny: the
+  server must shed with ``overloaded`` envelopes instead of queueing
+  unboundedly.
+
+Writes a machine-readable summary (per-scenario loadgen reports plus the
+server's own counters) to ``benchmarks/results/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for extra in (str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")):
+    if extra not in sys.path:
+        sys.path.insert(0, extra)
+
+from loadgen import run_loadgen  # noqa: E402  (tools/ on sys.path above)
+
+from repro.cache import ResultCache  # noqa: E402
+from repro.faults import (  # noqa: E402
+    SOLVER_SLOW,
+    WORKER_EXCEPTION,
+    FaultPlan,
+    FaultRule,
+)
+from repro.service import AsyncServeLoop  # noqa: E402
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def _scenario(name: str, loop: AsyncServeLoop, **loadgen_kwargs) -> dict:
+    host, port = loop.start_in_thread()
+    try:
+        report = run_loadgen(host, port, **loadgen_kwargs)
+    finally:
+        stats = loop.stop(timeout=60)
+    return {
+        "name": name,
+        "loadgen": report,
+        "server": {
+            "requests": stats.requests,
+            "ok": stats.ok,
+            "errors": stats.errors,
+            "cache_hits": stats.cache_hits,
+            "shed": stats.shed,
+            "deadline_misses": stats.deadline_misses,
+        },
+    }
+
+
+def test_serve_qps():
+    report: dict = {
+        "benchmark": "serve_qps",
+        "cpu_count": os.cpu_count(),
+        "scenarios": {},
+    }
+
+    # -- baseline: healthy server, shared cache --------------------------
+    baseline = _scenario(
+        "baseline",
+        AsyncServeLoop(cache=ResultCache()),
+        n=200, qps=200.0, seed=1, distinct=6,
+    )
+    assert baseline["loadgen"]["ok"] == 200, baseline
+    assert baseline["server"]["cache_hits"] >= 194 - 6  # all but first misses
+    report["scenarios"]["baseline"] = baseline
+
+    # -- faults: seeded chaos under a deadline ---------------------------
+    plan = FaultPlan(
+        rules=(
+            FaultRule(site=WORKER_EXCEPTION, rate=0.10,
+                      message="bench: injected crash"),
+            FaultRule(site=SOLVER_SLOW, rate=0.10, delay=0.4),
+        ),
+        seed=42,
+    )
+    faults = _scenario(
+        "faults",
+        AsyncServeLoop(cache=None, fault_plan=plan, default_deadline_ms=250.0),
+        n=120, qps=120.0, seed=2, distinct=120, max_retries=0,
+    )
+    lg = faults["loadgen"]
+    # every request was answered -- with a result or a structured envelope
+    assert lg["ok"] + lg["errors"] == 120, lg
+    assert set(lg["error_codes"]) <= {"internal", "deadline-exceeded"}, lg
+    assert faults["server"]["deadline_misses"] == lg["error_codes"].get(
+        "deadline-exceeded", 0
+    )
+    report["scenarios"]["faults"] = faults
+
+    # -- overload: slow solves, tiny queue -> shedding, not queueing -----
+    slow = FaultPlan(rules=(FaultRule(site=SOLVER_SLOW, rate=1.0, delay=0.1),))
+    overload = _scenario(
+        "overload",
+        AsyncServeLoop(cache=None, fault_plan=slow, max_pending=2),
+        n=60, qps=120.0, seed=3, distinct=60, max_retries=0,
+    )
+    lg = overload["loadgen"]
+    assert lg["ok"] + lg["errors"] == 60, lg
+    assert lg["error_codes"].get("overloaded", 0) > 0, lg
+    assert overload["server"]["shed"] == lg["error_codes"]["overloaded"]
+    report["scenarios"]["overload"] = overload
+
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    out = RESULTS / "BENCH_serve.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    test_serve_qps()

@@ -1,11 +1,35 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
+Kept as a plain ``setup.py`` so that editable installs work in offline
 environments whose setuptools/pip lack the ``wheel`` package required by the
 PEP 660 editable-install path (``pip install -e . --no-build-isolation`` then
 falls back to the legacy ``setup.py develop`` route).
+
+The ``test`` extra pins the optional testing plugins; ``pytest-timeout`` in
+particular arms the suite-wide hang ceiling declared in ``tests/conftest.py``
+(the suite runs fine without it — the ceiling is simply not enforced).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bunde06",
+    version="0.6.0",
+    description=(
+        "Reproduction of Bunde, 'Power-aware scheduling for makespan and "
+        "flow' (SPAA 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-timeout",
+            "pytest-benchmark",
+            "hypothesis",
+            "scipy",
+        ],
+    },
+)

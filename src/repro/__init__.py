@@ -26,7 +26,12 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
   in-process LRU front over an optional on-disk store.
 * :mod:`repro.service` -- the ``repro serve`` request loop: JSON-lines
   solve-request envelopes in, result envelopes plus cache/latency metadata
-  out, over stdin/stdout or TCP.
+  out, over stdin/stdout or TCP; the hardened
+  :class:`~repro.service.AsyncServeLoop` adds deadlines, load shedding and
+  graceful drain.
+* :mod:`repro.faults` -- deterministic fault injection
+  (:class:`~repro.faults.FaultPlan`): seeded, scoped chaos threaded through
+  the batch engine, cache and serve loop for reproducible robustness tests.
 * :mod:`repro.verify` -- certificate-based verification of solve results:
   structural feasibility/accounting checks plus the per-solver optimality
   certificates declared in the registry (``repro verify`` on the command
@@ -43,6 +48,7 @@ from . import (
     cache,
     core,
     discrete,
+    faults,
     flow,
     io,
     makespan,
@@ -64,6 +70,7 @@ from .api import (
 )
 from .batch import BatchResult, solve_many, solve_stream
 from .cache import ResultCache
+from .faults import FaultPlan
 from .core import (
     CUBE,
     SQUARE,
@@ -88,6 +95,8 @@ __all__ = [
     "ResultCache",
     "core",
     "discrete",
+    "faults",
+    "FaultPlan",
     "flow",
     "io",
     "makespan",

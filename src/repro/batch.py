@@ -36,9 +36,12 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import time
 import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
@@ -50,7 +53,15 @@ from .api.types import SolveRequest, SolveResult
 from .cache import ResultCache, instance_digest
 from .core.job import Instance
 from .core.power import PowerFunction
-from .exceptions import InvalidInstanceError, VerificationError
+from .exceptions import InvalidInstanceError, VerificationError, WorkerTimeoutError
+from .faults import (
+    JOURNAL_TORN,
+    SOLVER_SLOW,
+    WORKER_EXCEPTION,
+    WORKER_HANG,
+    FaultPlan,
+    InjectedFault,
+)
 
 __all__ = ["BatchResult", "SOLVERS", "solve_many", "solve_stream"]
 
@@ -63,6 +74,11 @@ class BatchResult:
     energy for ``server``, total flow for ``flow``, schedule energy for
     ``yds``); ``energy`` is the energy actually consumed by the returned
     speed assignment.
+
+    A failed item — today only a chunk that exceeded ``chunk_timeout`` —
+    carries its stable code in ``error_code`` (with NaN value/energy and
+    empty speeds); such rows are never journalled or cached, so a resumed
+    run retries them.
     """
 
     index: int
@@ -71,6 +87,13 @@ class BatchResult:
     value: float
     energy: float
     speeds: np.ndarray
+    error_code: str | None = None
+    error_message: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this item actually solved (no error attached)."""
+        return self.error_code is None
 
 
 # ----------------------------------------------------------------------
@@ -138,7 +161,7 @@ def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
     ``with_envelopes`` is set (the picklable write-behind payload for the
     parent's cache) and ``None`` otherwise.
     """
-    solver_name, power, items, verify, with_envelopes = payload
+    solver_name, power, items, verify, with_envelopes, fault_plan = payload
     if verify:
         # lazy: repro.verify pulls solver machinery the plain path never needs
         from .verify import verify as verify_result
@@ -146,6 +169,20 @@ def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
         from .io import result_to_dict
     out = []
     for index, instance, budget in items:
+        if fault_plan is not None:
+            # worker-site faults match on the instance index, so the decision
+            # is identical no matter which worker process draws the chunk
+            rule = fault_plan.fire(WORKER_HANG, ordinal=index)
+            if rule is not None:
+                fault_plan.sleep(rule)
+            rule = fault_plan.fire(SOLVER_SLOW, ordinal=index)
+            if rule is not None:
+                fault_plan.sleep(rule)
+            rule = fault_plan.fire(WORKER_EXCEPTION, ordinal=index)
+            if rule is not None:
+                raise InjectedFault(
+                    rule.message or f"injected worker crash at instance {index}"
+                )
         request = SolveRequest(
             instance=instance, power=power, solver=solver_name, budget=budget
         )
@@ -186,17 +223,26 @@ class _RunJournal:
     instance content digests) so a directory cannot silently be resumed with
     different work; ``journal.jsonl`` holds one completed result per line,
     appended and flushed *before* the result is yielded, so a killed run
-    loses at most the in-flight items.  Rows round-trip through JSON float
-    repr exactly, making a resumed capture byte-identical to an
-    uninterrupted one.
+    loses at most the in-flight items.  The manifest is written atomically
+    (temp file + rename, like cache shards): a kill at any point leaves
+    either no manifest or a complete one, never a torn file a resume would
+    misread.  Rows round-trip through JSON float repr exactly, making a
+    resumed capture byte-identical to an uninterrupted one.
     """
 
     MANIFEST = "manifest.json"
     JOURNAL = "journal.jsonl"
 
-    def __init__(self, run_dir: str | Path, fingerprint: str, solver: str) -> None:
+    def __init__(
+        self,
+        run_dir: str | Path,
+        fingerprint: str,
+        solver: str,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         from .io import batch_result_from_dict
 
+        self._fault_plan = fault_plan
         self.directory = Path(run_dir)
         self.directory.mkdir(parents=True, exist_ok=True)
         manifest_path = self.directory / self.MANIFEST
@@ -221,9 +267,13 @@ class _RunJournal:
                     "changed); use a fresh --run-dir"
                 )
         else:
-            manifest_path.write_text(
+            tmp = manifest_path.with_name(
+                f".{manifest_path.name}.{os.getpid()}.tmp"
+            )
+            tmp.write_text(
                 json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
             )
+            os.replace(tmp, manifest_path)
         self.completed: dict[int, BatchResult] = {}
         journal_path = self.directory / self.JOURNAL
         if journal_path.exists():
@@ -251,7 +301,18 @@ class _RunJournal:
     def record(self, result: BatchResult, name: str) -> None:
         from .io import batch_result_to_dict
 
-        self._fh.write(json.dumps(batch_result_to_dict(result, name=name)) + "\n")
+        text = json.dumps(batch_result_to_dict(result, name=name)) + "\n"
+        if self._fault_plan is not None:
+            rule = self._fault_plan.fire(JOURNAL_TORN)
+            if rule is not None:
+                # simulate a kill mid-append: half the row reaches disk with
+                # no trailing newline, then the "process" dies
+                self._fh.write(text[: max(1, len(text) // 2)])
+                self._fh.flush()
+                raise InjectedFault(
+                    rule.message or "injected kill mid-journal-append"
+                )
+        self._fh.write(text)
         self._fh.flush()
 
     def close(self) -> None:
@@ -298,6 +359,8 @@ def solve_stream(
     verify: bool = False,
     cache: ResultCache | None = None,
     run_dir: str | Path | None = None,
+    chunk_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> Iterator[BatchResult]:
     """Solve many instances with one solver, yielding results as they complete.
 
@@ -349,6 +412,19 @@ def solve_stream(
         byte for byte.  Reusing the directory with *different* inputs raises
         :class:`~repro.exceptions.InvalidInstanceError` (the manifest
         fingerprints the inputs).
+    chunk_timeout:
+        Pool path only (``workers > 1``): seconds a dispatched chunk may run
+        before it is declared hung.  On expiry the worker pool is killed and
+        rebuilt, the other in-flight chunks are resubmitted, and the failed
+        chunk's unsolved items come back as error rows with the stable
+        ``worker-timeout`` code — one hung worker fails its chunk, not the
+        stream.  Error rows are never journalled or cached, so a resumed
+        run retries them.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` consulted at the
+        deterministic chaos sites (``worker-exception`` / ``worker-hang`` /
+        ``solver-slow`` match on instance index; ``journal-torn`` on the
+        journal's append counter).
 
     Raises
     ------
@@ -399,12 +475,55 @@ def solve_stream(
 
     journal = (
         _RunJournal(
-            run_dir, _run_fingerprint(solver, power, budget_list, instance_list), solver
+            run_dir,
+            _run_fingerprint(solver, power, budget_list, instance_list),
+            solver,
+            fault_plan=fault_plan,
         )
         if run_dir is not None
         else None
     )
-    return _stream_chunks(chunks, solver, power, workers, verify, cache, journal)
+    return _stream_chunks(
+        chunks, solver, power, workers, verify, cache, journal,
+        chunk_timeout, fault_plan,
+    )
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may hold a hung worker, without waiting for it.
+
+    ``shutdown(wait=False)`` alone leaves a hung worker process running (and
+    its non-daemon management machinery joining at interpreter exit), so the
+    worker processes are killed first.  ``_processes`` is private executor
+    state; guarded, because losing the kill only costs a leaked process for
+    the life of the run, never correctness.
+    """
+    try:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.kill()
+    except Exception:  # pragma: no cover - racing executor teardown
+        pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _timeout_result(
+    item: tuple[int, Instance, float], solver: str, chunk_timeout: float
+) -> BatchResult:
+    """The error row for one item of a chunk that exceeded ``chunk_timeout``."""
+    index, instance, _ = item
+    return BatchResult(
+        index=index,
+        solver=solver,
+        n_jobs=instance.n_jobs,
+        value=float("nan"),
+        energy=float("nan"),
+        speeds=np.zeros(0),
+        error_code=WorkerTimeoutError.code,
+        error_message=(
+            f"chunk containing instance {index} exceeded the per-chunk "
+            f"timeout of {chunk_timeout:g}s; worker pool was recycled"
+        ),
+    )
 
 
 def _stream_chunks(
@@ -415,6 +534,8 @@ def _stream_chunks(
     verify: bool,
     cache: ResultCache | None,
     journal: _RunJournal | None,
+    chunk_timeout: float | None,
+    fault_plan: FaultPlan | None,
 ) -> Iterator[BatchResult]:
     """The generator behind :func:`solve_stream` (validation already done)."""
     want_envelopes = cache is not None
@@ -496,16 +617,32 @@ def _stream_chunks(
                     # write-behind: this point is only reached after the
                     # worker's verify (when enabled) passed
                     cache.put_envelope(_request(item), envelope)
-            if record and journal is not None:
+            if record and result.ok and journal is not None:
                 journal.record(result, name=instance.name)
             yield result
+
+    def _emit_timed_out(chunk, resolved):
+        """Input-order rows for a hung chunk: resolved items pass through,
+        unsolved ones become ``worker-timeout`` error rows (not journalled,
+        so a resumed run retries them)."""
+        for item in chunk:
+            index, instance, _ = item
+            if index in resolved:
+                result, record = resolved[index]
+                if record and result.ok and journal is not None:
+                    journal.record(result, name=instance.name)
+                yield result
+            else:
+                yield _timeout_result(item, solver, chunk_timeout)
 
     try:
         if workers <= 1:
             for chunk in chunks:
                 resolved, missing = _plan(chunk)
                 solved = (
-                    _solve_chunk((solver, power, missing, verify, want_envelopes))
+                    _solve_chunk(
+                        (solver, power, missing, verify, want_envelopes, fault_plan)
+                    )
                     if missing
                     else []
                 )
@@ -515,28 +652,65 @@ def _stream_chunks(
         # Bound the in-flight window: enough chunks to keep every worker fed
         # while the head of the line streams out, never the whole batch.
         window = max(2 * max_workers, 2)
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            pending: deque = deque()
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        # pending entries are mutable: [chunk, resolved, missing, future,
+        # submitted_at] — pool recovery rewrites futures in place
+        pending: deque = deque()
 
-            def _drain_one():
-                chunk, resolved, future = pending.popleft()
-                solved = future.result() if future is not None else []
-                yield from _emit(chunk, resolved, solved)
+        def _submit(missing):
+            if not missing:
+                return None
+            return pool.submit(
+                _solve_chunk, (solver, power, missing, verify, want_envelopes, fault_plan)
+            )
 
+        def _drain_one():
+            nonlocal pool
+            chunk, resolved, missing, future, submitted_at = pending.popleft()
+            if future is None:
+                yield from _emit(chunk, resolved, [])
+                return
+            if chunk_timeout is None:
+                yield from _emit(chunk, resolved, future.result())
+                return
+            # per-chunk budget runs from submission, not from this drain
+            remaining = chunk_timeout - (time.monotonic() - submitted_at)
+            try:
+                solved = future.result(timeout=max(remaining, 0.05))
+            except FuturesTimeoutError:
+                # a hung worker cannot be interrupted: kill the whole pool,
+                # rebuild it, and resubmit every other in-flight chunk (a
+                # chunk that already finished keeps its completed result)
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+                for entry in pending:
+                    stale = entry[3]
+                    if stale is None:
+                        continue
+                    if (
+                        stale.done()
+                        and not stale.cancelled()
+                        and stale.exception() is None
+                    ):
+                        continue
+                    entry[3] = _submit(entry[2])
+                    entry[4] = time.monotonic()
+                yield from _emit_timed_out(chunk, resolved)
+                return
+            yield from _emit(chunk, resolved, solved)
+
+        try:
             for chunk in chunks:
                 resolved, missing = _plan(chunk)
-                future = (
-                    pool.submit(
-                        _solve_chunk, (solver, power, missing, verify, want_envelopes)
-                    )
-                    if missing
-                    else None
+                pending.append(
+                    [chunk, resolved, missing, _submit(missing), time.monotonic()]
                 )
-                pending.append((chunk, resolved, future))
                 while len(pending) >= window:
                     yield from _drain_one()
             while pending:
                 yield from _drain_one()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
     finally:
         if journal is not None:
             journal.close()
@@ -552,6 +726,8 @@ def solve_many(
     verify: bool = False,
     cache: ResultCache | None = None,
     run_dir: str | Path | None = None,
+    chunk_timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[BatchResult]:
     """Solve many instances and return the full result list.
 
@@ -571,5 +747,7 @@ def solve_many(
             verify=verify,
             cache=cache,
             run_dir=run_dir,
+            chunk_timeout=chunk_timeout,
+            fault_plan=fault_plan,
         )
     )

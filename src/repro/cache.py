@@ -36,10 +36,12 @@ Consumers: the batch engine (:func:`repro.batch.solve_stream` /
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import threading
+import warnings
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -50,6 +52,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 import numpy as np
 
 from .exceptions import ReproError
+from .faults import CACHE_WRITE, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
     from .api.registry import SolverRegistry
@@ -175,6 +178,7 @@ class CacheStats:
     corrupt_entries: int = 0
     uncacheable: int = 0
     invalidated: int = 0
+    disk_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -199,12 +203,23 @@ class ResultCache:
     registry:
         The solver registry keys are resolved against; defaults to the
         process-wide :data:`repro.api.REGISTRY`.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; the ``cache-write`` site is
+        consulted before each disk write (chaos tests inject ``ENOSPC``
+        deterministically through it).
 
     Only successful results are stored (error envelopes are never cached).
     Requests that cannot be keyed — unknown solver, non-JSON options — are
     counted as ``uncacheable`` and behave as misses.  All operations are
-    thread-safe (the threaded TCP transport of ``repro serve`` shares one
-    cache across connection handlers).
+    thread-safe (the TCP transport of ``repro serve`` shares one cache
+    across connections).
+
+    Disk writes are best-effort: when the store fails (``ENOSPC``, a
+    permissions change, a vanished mount) the cache degrades to memory-only
+    with a one-time :class:`RuntimeWarning` instead of propagating — a full
+    disk must never kill a serve loop.  Failures are tallied as
+    ``disk_errors`` in :meth:`stats`; existing on-disk entries remain
+    readable.
     """
 
     def __init__(
@@ -212,6 +227,7 @@ class ResultCache:
         directory: str | Path | None = None,
         max_memory_entries: int = 1024,
         registry: "SolverRegistry | None" = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if max_memory_entries < 0:
             raise ValueError(
@@ -232,6 +248,9 @@ class ResultCache:
         self._corrupt = 0
         self._uncacheable = 0
         self._invalidated = 0
+        self._disk_errors = 0
+        self._disk_write_failed = False
+        self._fault_plan = fault_plan
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
 
@@ -360,13 +379,45 @@ class ResultCache:
             self._memory.popitem(last=False)
 
     def _write_disk(self, key: str, entry: dict[str, Any]) -> None:
-        if self.directory is None:
+        """Best-effort disk store: a failing write degrades to memory-only.
+
+        ``ENOSPC`` / ``EACCES`` / any other ``OSError`` must not propagate —
+        a full disk killing a long-running serve loop is exactly the failure
+        mode this guards.  The first failure disables further disk writes
+        (one warning, ``disk_errors`` tallied); reads keep working.
+        """
+        if self.directory is None or self._disk_write_failed:
             return
         path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            if self._fault_plan is not None:
+                rule = self._fault_plan.fire(CACHE_WRITE)
+                if rule is not None:
+                    raise OSError(
+                        errno.ENOSPC,
+                        rule.message or "injected cache disk-write failure",
+                    )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            with self._lock:
+                self._disk_errors += 1
+                first = not self._disk_write_failed
+                self._disk_write_failed = True
+            try:  # never leave a torn temp file behind
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+            if first:
+                warnings.warn(
+                    f"result cache disk store at {self.directory} failed to "
+                    f"write ({exc}); continuing memory-only — existing disk "
+                    "entries remain readable",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
 
     def _entry_path(self, key: str) -> Path:
         assert self.directory is not None
@@ -433,6 +484,7 @@ class ResultCache:
                 corrupt_entries=self._corrupt,
                 uncacheable=self._uncacheable,
                 invalidated=self._invalidated,
+                disk_errors=self._disk_errors,
             )
 
     def __len__(self) -> int:

@@ -40,8 +40,10 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import Sequence
@@ -56,6 +58,7 @@ from .batch import solve_many
 from .cache import ResultCache
 from .core import Instance, PolynomialPower
 from .exceptions import ReproError, VerificationError
+from .faults import FaultPlan
 from .io import (
     batch_result_to_dict,
     capabilities_to_dict,
@@ -68,7 +71,7 @@ from .io import (
 )
 from .makespan import makespan_frontier
 from .online.compete import ALGORITHMS, FAMILIES, competitive_sweep
-from .service import ServeStats, make_tcp_server, serve_stream
+from .service import DEFAULT_MAX_PENDING, AsyncServeLoop
 from .workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
 
 __all__ = ["main", "build_parser"]
@@ -434,6 +437,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         verify=args.verify,
         cache=_cache_from_args(args),
         run_dir=args.run_dir,
+        chunk_timeout=args.chunk_timeout,
     )
     elapsed = time.perf_counter() - start
     throughput = len(results) / elapsed if elapsed > 0 else float("inf")
@@ -518,28 +522,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache = ResultCache(
             directory=args.cache_dir, max_memory_entries=args.memory_cache
         )
-    timing = not args.no_timing
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = FaultPlan.from_file(args.fault_plan)
+    loop = AsyncServeLoop(
+        cache=cache,
+        verify=args.verify,
+        timing=not args.no_timing,
+        default_deadline_ms=args.deadline_ms,
+        max_pending=args.max_pending,
+        solve_threads=args.solve_threads,
+        fault_plan=fault_plan,
+    )
     if args.tcp is not None:
         host, port = _parse_tcp_address(args.tcp)
-        server = make_tcp_server(host, port, cache=cache, verify=args.verify,
-                                 timing=timing)
-        bound_host, bound_port = server.server_address[:2]
-        print(f"serve: listening on {bound_host}:{bound_port}", file=sys.stderr)
+
+        class _Announce(threading.Event):
+            """Print the bound address the moment the listener is up."""
+
+            def set(self) -> None:
+                bound_host, bound_port = loop.address
+                print(f"serve: listening on {bound_host}:{bound_port}",
+                      file=sys.stderr)
+                sys.stderr.flush()
+                super().set()
+
         try:
-            server.serve_forever()
+            asyncio.run(loop.serve_tcp(host, port, ready=_Announce()))
         except KeyboardInterrupt:
-            pass  # SIGINT is the orderly TCP shutdown
-        finally:
-            server.server_close()
-        print(f"serve: {server.stats.summary()}", file=sys.stderr)
-        return 0
-    stats = ServeStats()
-    try:
-        serve_stream(sys.stdin, sys.stdout, cache=cache, verify=args.verify,
-                     timing=timing, stats=stats)
-    except KeyboardInterrupt:
-        pass  # SIGINT mid-loop: finish cleanly, stats already tallied
-    print(f"serve: {stats.summary()}", file=sys.stderr)
+            pass  # SIGINT before the drain handler took over
+    else:
+        try:
+            asyncio.run(loop.run_stream(sys.stdin, sys.stdout))
+        except KeyboardInterrupt:
+            pass  # SIGINT mid-loop: finish cleanly, stats already tallied
+    print(f"serve: {loop.stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -692,6 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="journal completed results here; re-running with the "
                         "same inputs resumes where a killed run stopped and "
                         "reproduces the same capture byte for byte")
+    p.add_argument("--chunk-timeout", type=float, default=None,
+                   help="per-chunk timeout in seconds (parallel mode): a hung "
+                        "worker fails its chunk with worker-timeout rows and "
+                        "the pool is recycled, instead of stalling the batch")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_batch)
 
@@ -754,6 +775,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-timing", action="store_true",
                    help="omit latency_ms from responses (byte-reproducible "
                         "transcripts, e.g. for goldens)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="default per-request deadline in ms (clients may "
+                        "override per request with a 'deadline_ms' key); "
+                        "expired requests get a deadline-exceeded envelope")
+    p.add_argument("--max-pending", type=int, default=DEFAULT_MAX_PENDING,
+                   help="admission-queue bound; beyond it requests are shed "
+                        f"with an overloaded envelope (default "
+                        f"{DEFAULT_MAX_PENDING})")
+    p.add_argument("--solve-threads", type=int, default=1,
+                   help="concurrent solve threads (default 1)")
+    p.add_argument("--fault-plan", metavar="FILE",
+                   help="JSON fault plan (repro.faults.FaultPlan) injecting "
+                        "deterministic chaos — for robustness testing only")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("figures", help="regenerate the paper's Figure 1-3 series")

@@ -26,6 +26,15 @@ still distinguishing the common failure modes:
   verification (see :mod:`repro.verify`); raised by
   :meth:`repro.verify.VerificationReport.raise_if_failed` and by the batch
   engine's ``verify=True`` mode.
+* :class:`DeadlineExceededError` -- a request's deadline expired before (or
+  while) it was being solved; the serving tier answers with this code
+  instead of a late result.
+* :class:`OverloadedError` -- the serving tier's admission queue is full and
+  the request was shed instead of queued unboundedly; carries
+  ``retry_after_ms``, the server's backoff hint.
+* :class:`WorkerTimeoutError` -- a batch worker exceeded its per-chunk
+  timeout (e.g. a hung worker process); the chunk fails, the stream
+  continues.
 
 Every class carries a stable machine-readable ``code`` (a short kebab-case
 string) used by the typed request/response API (:mod:`repro.api`) to map
@@ -45,6 +54,9 @@ __all__ = [
     "UnsupportedPowerFunctionError",
     "UnknownSolverError",
     "VerificationError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "WorkerTimeoutError",
     "error_code",
 ]
 
@@ -113,6 +125,44 @@ class VerificationError(ReproError):
     """A solve result failed certificate verification (see :mod:`repro.verify`)."""
 
     code = "verification-failed"
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline expired before a (timely) answer could be produced.
+
+    The serving tier (:mod:`repro.service`) raises/answers with this when a
+    request's ``deadline_ms`` (client-supplied, or the server default) runs
+    out while the request is queued or being solved; a late answer is never
+    sent.
+    """
+
+    code = "deadline-exceeded"
+
+
+class OverloadedError(ReproError):
+    """The serving tier shed a request because its admission queue is full.
+
+    ``retry_after_ms`` is the server's backoff hint (an estimate of when the
+    queue should have drained); clients such as ``tools/loadgen.py`` retry
+    with exponential backoff seeded from it.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, retry_after_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class WorkerTimeoutError(ReproError):
+    """A batch worker exceeded its per-chunk timeout (e.g. a hung worker).
+
+    Raised internally by the batch engine's pool-recovery path; surfaced as
+    the stable ``worker-timeout`` error code on the failed chunk's rows while
+    the rest of the stream keeps flowing on a fresh pool.
+    """
+
+    code = "worker-timeout"
 
 
 def error_code(exc: BaseException) -> str:

@@ -1,0 +1,289 @@
+"""Deterministic fault injection for the serving and batch tiers.
+
+A robustness claim is only worth what its tests can reproduce.  This module
+provides *seeded, scoped* fault injectors that the production code paths
+carry as an explicit :class:`FaultPlan` — no monkeypatching, no global state
+— so every chaos test replays the exact same failures in the exact same
+places, run after run and process after process:
+
+* ``worker-exception`` -- a solve raises a foreign exception (a crashed
+  worker),
+* ``worker-hang``      -- a solve blocks far beyond any reasonable deadline
+  (a hung worker; the batch engine's per-chunk timeout and the serve loop's
+  request deadline are what recover from it),
+* ``solver-slow``      -- a solve takes ``delay`` seconds longer than it
+  should (deadline-miss pressure without a full hang),
+* ``cache-write``      -- the result cache's disk store raises ``ENOSPC``
+  on write (:class:`repro.cache.ResultCache` must degrade to memory-only),
+* ``journal-torn``     -- the batch run journal is killed mid-line, leaving
+  a torn tail the next resume must tolerate,
+* ``connection-drop``  -- the serve loop's transport drops a connection
+  mid-response (the loop must keep serving other connections).
+
+Injection points decide *where* a site is consulted; a :class:`FaultRule`
+decides *whether* it fires there, either at explicit ordinals (``indices``
+— e.g. "instance 3 hangs", deterministic even across worker processes) or
+at a seeded ``rate`` (the decision for ordinal *k* is a pure function of
+``(seed, site, k)`` via SHA-256, so it is reproducible regardless of
+process, thread or interleaving).
+
+Carried by :func:`repro.batch.solve_stream`, :class:`repro.cache.ResultCache`
+and :class:`repro.service.AsyncServeLoop` (``repro serve --fault-plan
+plan.json`` on the command line); ``tools/chaos_smoke.py`` runs the serve
+loop under a canned plan in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .exceptions import InvalidInstanceError
+
+__all__ = [
+    "SITES",
+    "WORKER_EXCEPTION",
+    "WORKER_HANG",
+    "SOLVER_SLOW",
+    "CACHE_WRITE",
+    "JOURNAL_TORN",
+    "CONNECTION_DROP",
+    "FaultRule",
+    "FaultPlan",
+    "InjectedFault",
+]
+
+WORKER_EXCEPTION = "worker-exception"
+WORKER_HANG = "worker-hang"
+SOLVER_SLOW = "solver-slow"
+CACHE_WRITE = "cache-write"
+JOURNAL_TORN = "journal-torn"
+CONNECTION_DROP = "connection-drop"
+
+#: Every known injection site; a rule naming anything else is rejected.
+SITES: tuple[str, ...] = (
+    WORKER_EXCEPTION,
+    WORKER_HANG,
+    SOLVER_SLOW,
+    CACHE_WRITE,
+    JOURNAL_TORN,
+    CONNECTION_DROP,
+)
+
+
+class InjectedFault(RuntimeError):
+    """An injected failure (raised where the real fault would have raised).
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: real crashes
+    are foreign exceptions, so injected ones must be too — the serving tier
+    maps both to the stable ``internal`` error code.
+    """
+
+
+def _seeded_unit(seed: int, site: str, ordinal: int) -> float:
+    """A uniform [0, 1) draw that is a pure function of (seed, site, ordinal).
+
+    Hash-based rather than ``random.Random`` so the decision is identical in
+    every process and thread (``hash(str)`` is salted per process; SHA-256 is
+    not).
+    """
+    digest = hashlib.sha256(f"{seed}:{site}:{ordinal}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scoped injector: *when* a given site should fail.
+
+    Parameters
+    ----------
+    site:
+        One of :data:`SITES`.
+    indices:
+        Explicit ordinals at which the rule fires (for batch worker sites the
+        ordinal is the instance index; for serve/cache/journal sites it is
+        the site's running invocation count, starting at 0).
+    rate:
+        Probability of firing at any ordinal not listed in ``indices``;
+        decided by the plan's seed (see :func:`_seeded_unit`), so a given
+        ``(seed, site, ordinal)`` always decides the same way.
+    delay:
+        Seconds to sleep for ``worker-hang`` / ``solver-slow`` sites
+        (hang defaults to :data:`FaultPlan.HANG_DELAY` when 0).
+    message:
+        Text carried by the injected error.
+    """
+
+    site: str
+    indices: frozenset[int] = frozenset()
+    rate: float = 0.0
+    delay: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise InvalidInstanceError(
+                f"unknown fault site {self.site!r}; known sites: {list(SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise InvalidInstanceError(
+                f"fault rate must be in [0, 1], got {self.rate}"
+            )
+        if self.delay < 0:
+            raise InvalidInstanceError(f"fault delay must be >= 0, got {self.delay}")
+        object.__setattr__(self, "indices", frozenset(int(i) for i in self.indices))
+
+    def applies(self, ordinal: int, seed: int) -> bool:
+        """Whether this rule fires at ``ordinal`` under ``seed``."""
+        if ordinal in self.indices:
+            return True
+        if self.rate > 0.0:
+            return _seeded_unit(seed, self.site, ordinal) < self.rate
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "site": self.site,
+            "indices": sorted(self.indices),
+            "rate": self.rate,
+            "delay": self.delay,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultRule":
+        if not isinstance(data, Mapping):
+            raise InvalidInstanceError(
+                f"not a fault-rule payload: expected an object, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                site=str(data["site"]),
+                indices=frozenset(int(i) for i in data.get("indices", ())),
+                rate=float(data.get("rate", 0.0)),
+                delay=float(data.get("delay", 0.0)),
+                message=str(data.get("message", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidInstanceError(f"malformed fault rule: {exc!r}") from exc
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s the production paths consult.
+
+    The plan is explicit state threaded through the code under test — the
+    batch engine, the cache and the serve loop each accept one — so chaos is
+    opt-in, scoped and reproducible.  Thread-safe; picklable (worker
+    processes receive a copy whose per-site counters restart, which is why
+    batch worker sites match on the *instance index*, not the counter).
+    """
+
+    #: Default sleep for ``worker-hang`` rules whose ``delay`` is 0: long
+    #: enough that only a timeout ends it, short enough that an abandoned
+    #: daemon thread cannot outlive a test session by much.
+    HANG_DELAY = 300.0
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rules = tuple(
+            r if isinstance(r, FaultRule) else FaultRule.from_dict(r)
+            for r in self.rules
+        )
+        self.seed = int(self.seed)
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+
+    # -- pickling: drop the lock, reset counters (see class docstring) -----
+    def __getstate__(self) -> dict[str, Any]:
+        return {"rules": self.rules, "seed": self.seed}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.rules = state["rules"]
+        self.seed = state["seed"]
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._fired = {}
+
+    # ------------------------------------------------------------------
+    def fire(self, site: str, ordinal: int | None = None) -> FaultRule | None:
+        """The rule firing at this invocation of ``site``, or ``None``.
+
+        ``ordinal`` identifies the invocation; when omitted, the plan's own
+        per-site counter is used (each call consumes one tick).  The caller
+        performs the actual failure action — raise, sleep, drop — so the
+        plan itself stays side-effect free.
+        """
+        if site not in SITES:
+            raise InvalidInstanceError(
+                f"unknown fault site {site!r}; known sites: {list(SITES)}"
+            )
+        with self._lock:
+            if ordinal is None:
+                ordinal = self._counters.get(site, 0)
+                self._counters[site] = ordinal + 1
+            for rule in self.rules:
+                if rule.site == site and rule.applies(ordinal, self.seed):
+                    self._fired[site] = self._fired.get(site, 0) + 1
+                    return rule
+        return None
+
+    def sleep(self, rule: FaultRule) -> None:
+        """Serve a hang/slow rule's delay (hangs default to ``HANG_DELAY``)."""
+        delay = rule.delay
+        if delay == 0.0 and rule.site == WORKER_HANG:
+            delay = self.HANG_DELAY
+        if delay > 0.0:
+            time.sleep(delay)
+
+    def fired(self, site: str | None = None) -> int:
+        """How many times rules fired (at one site, or in total)."""
+        with self._lock:
+            if site is not None:
+                return self._fired.get(site, 0)
+            return sum(self._fired.values())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "fault-plan",
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(data, Mapping):
+            raise InvalidInstanceError(
+                f"not a fault-plan payload: expected an object, got {type(data).__name__}"
+            )
+        if data.get("kind") != "fault-plan":
+            raise InvalidInstanceError(
+                f"not a fault-plan payload: kind={data.get('kind')!r}"
+            )
+        rules = data.get("rules", ())
+        if not isinstance(rules, Iterable) or isinstance(rules, (str, bytes)):
+            raise InvalidInstanceError("fault-plan 'rules' must be a list")
+        return cls(
+            rules=tuple(FaultRule.from_dict(r) for r in rules),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan from a JSON file (``repro serve --fault-plan``)."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise InvalidInstanceError(
+                f"unreadable fault plan {path}: {exc}"
+            ) from exc
+        return cls.from_dict(data)

@@ -65,6 +65,8 @@ __all__ = [
     "capabilities_to_dict",
     "batch_result_to_dict",
     "batch_result_from_dict",
+    "serve_response_to_dict",
+    "serve_response_from_dict",
     "report_to_dict",
     "report_from_dict",
 ]
@@ -561,9 +563,12 @@ def batch_result_to_dict(result: "BatchResult", name: str) -> dict[str, Any]:
 
     ``name`` is the instance's display name (the batch engine stores only the
     index).  Key order matches the historical ``repro batch --json`` output,
-    so routing the CLI through this helper is byte-identical.
+    so routing the CLI through this helper is byte-identical.  A failed row
+    (``result.ok`` false, e.g. a ``worker-timeout`` chunk) serialises its NaN
+    value/energy as ``null`` — strict JSON has no NaN — and appends an
+    ``"error"`` object with the stable code; successful rows are unchanged.
     """
-    return {
+    row: dict[str, Any] = {
         "index": result.index,
         "name": name,
         "n_jobs": result.n_jobs,
@@ -571,6 +576,11 @@ def batch_result_to_dict(result: "BatchResult", name: str) -> dict[str, Any]:
         "energy": result.energy,
         "speeds": _speeds_to_list(result.speeds),
     }
+    if not result.ok:
+        row["value"] = None
+        row["energy"] = None
+        row["error"] = {"code": result.error_code, "message": result.error_message}
+    return row
 
 
 def batch_result_from_dict(data: dict[str, Any], solver: str) -> "BatchResult":
@@ -589,14 +599,63 @@ def batch_result_from_dict(data: dict[str, Any], solver: str) -> "BatchResult":
             f"not a batch-result row: expected a JSON object, got {type(data).__name__}"
         )
     try:
-        speeds = data["speeds"]
+        error = data.get("error") or {}
+        value = data["value"]
+        energy = data["energy"]
+        speeds = data["speeds"] or ()
         return BatchResult(
             index=int(data["index"]),
             solver=str(solver),
             n_jobs=int(data["n_jobs"]),
-            value=float(data["value"]),
-            energy=float(data["energy"]),
+            value=float("nan") if value is None else float(value),
+            energy=float("nan") if energy is None else float(energy),
             speeds=np.asarray([float(s) for s in speeds], dtype=float),
+            error_code=error.get("code"),
+            error_message=error.get("message"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise InvalidInstanceError(f"malformed batch-result row: {exc!r}") from exc
+
+
+def serve_response_to_dict(
+    result: SolveResult,
+    request_id: Any = None,
+    serve: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """JSON-ready ``serve-response`` envelope (one ``repro serve`` output line).
+
+    Key order — ``kind``, ``id``, ``result``, ``serve`` — matches the
+    historical serve loop output, so routing the service through this helper
+    keeps transcripts byte-identical.  ``serve`` is the per-request serving
+    metadata (cache state, latency, verification); it is shallow-copied.
+    """
+    return {
+        "kind": "serve-response",
+        "id": request_id,
+        "result": result_to_dict(result),
+        "serve": dict(serve or {}),
+    }
+
+
+def serve_response_from_dict(data: dict[str, Any]) -> tuple[Any, SolveResult, dict[str, Any]]:
+    """Parse a ``serve-response`` envelope into ``(id, result, serve_meta)``.
+
+    The client-side half of :func:`serve_response_to_dict` — used by
+    ``tools/loadgen.py`` and the chaos/bench harnesses to read responses
+    without hand-rolled key access.
+    """
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a serve-response payload: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    if data.get("kind") != "serve-response":
+        raise InvalidInstanceError(
+            f"not a serve-response payload: kind={data.get('kind')!r}"
+        )
+    serve = data.get("serve")
+    if serve is None:
+        serve = {}
+    if not isinstance(serve, dict):
+        raise InvalidInstanceError("serve-response 'serve' must be an object")
+    return data.get("id"), result_from_dict(data.get("result")), dict(serve)

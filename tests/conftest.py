@@ -29,6 +29,27 @@ settings.register_profile("ci", max_examples=30, derandomize=True, **_COMMON)
 settings.register_profile("dev", max_examples=150, **_COMMON)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
+# ----------------------------------------------------------------------
+# suite-wide hang ceiling (pytest-timeout, optional)
+#
+# The robustness suites deliberately create hung workers and abandoned
+# threads; a bug there must fail fast, not stall CI for six hours.  When the
+# pytest-timeout plugin is installed (CI does; the ``test`` extra declares
+# it) every test that does not set its own timeout gets a generous per-test
+# ceiling.  Without the plugin the marker is inert, so local runs in minimal
+# environments behave exactly as before.
+# ----------------------------------------------------------------------
+
+SUITE_TIMEOUT_SECONDS = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(SUITE_TIMEOUT_SECONDS))
+
 
 @pytest.fixture
 def cube() -> PolynomialPower:

@@ -16,6 +16,7 @@ import repro.api
 import repro.batch
 import repro.cache
 import repro.exceptions
+import repro.faults
 import repro.io
 import repro.service
 import repro.verify
@@ -80,6 +81,8 @@ IO_SURFACE = {
     "capabilities_to_dict",
     "batch_result_to_dict",
     "batch_result_from_dict",
+    "serve_response_to_dict",
+    "serve_response_from_dict",
     "report_to_dict",
     "report_from_dict",
 }
@@ -98,7 +101,20 @@ SERVICE_SURFACE = {
     "ServeStats",
     "handle_request_line",
     "serve_stream",
-    "make_tcp_server",
+    "AsyncServeLoop",
+}
+
+FAULTS_SURFACE = {
+    "SITES",
+    "WORKER_EXCEPTION",
+    "WORKER_HANG",
+    "SOLVER_SLOW",
+    "CACHE_WRITE",
+    "JOURNAL_TORN",
+    "CONNECTION_DROP",
+    "FaultRule",
+    "FaultPlan",
+    "InjectedFault",
 }
 
 EXCEPTIONS_SURFACE = {
@@ -111,6 +127,9 @@ EXCEPTIONS_SURFACE = {
     "UnsupportedPowerFunctionError",
     "UnknownSolverError",
     "VerificationError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "WorkerTimeoutError",
     "error_code",
 }
 
@@ -125,6 +144,8 @@ TOP_LEVEL_SURFACE = {
     "ResultCache",
     "core",
     "discrete",
+    "faults",
+    "FaultPlan",
     "flow",
     "io",
     "makespan",
@@ -193,6 +214,10 @@ def test_service_surface_snapshot():
     assert set(repro.service.__all__) == SERVICE_SURFACE
 
 
+def test_faults_surface_snapshot():
+    assert set(repro.faults.__all__) == FAULTS_SURFACE
+
+
 def test_exceptions_surface_snapshot():
     assert set(repro.exceptions.__all__) == EXCEPTIONS_SURFACE
 
@@ -207,6 +232,6 @@ def test_registered_solver_names_snapshot():
 
 def test_all_names_actually_exported():
     for module in (repro, repro.api, repro.io, repro.batch, repro.cache,
-                   repro.exceptions, repro.service, repro.verify):
+                   repro.exceptions, repro.faults, repro.service, repro.verify):
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name} missing"

@@ -407,3 +407,140 @@ class TestBatchCLI:
         code = main(["batch", "--instances", str(path), "--energy", "50,60"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestBatchRobustness:
+    """Tentpole/satellites: pool recovery, atomic manifest, torn journal."""
+
+    def test_chunk_timeout_fails_chunk_not_stream(self, tmp_path):
+        from repro.faults import WORKER_HANG, FaultPlan, FaultRule
+
+        insts = [poisson_instance(10, seed=s, arrival_rate=1.0) for s in range(6)]
+        run_dir = tmp_path / "run"
+        plan = FaultPlan(
+            rules=(FaultRule(site=WORKER_HANG, indices=frozenset({2}), delay=30.0),)
+        )
+        rows = solve_many(
+            insts, CUBE, 50.0, solver="laptop", workers=2, chunk_size=2,
+            chunk_timeout=1.5, fault_plan=plan, run_dir=run_dir,
+        )
+        assert [r.index for r in rows] == list(range(6))
+        bad = [r for r in rows if not r.ok]
+        assert [r.index for r in bad] == [2, 3]  # the hung chunk, nothing else
+        assert all(r.error_code == "worker-timeout" for r in bad)
+        assert all(np.isnan(r.value) and np.isnan(r.energy) for r in bad)
+        # error rows are never journalled: a resumed run retries exactly them
+        journal = (run_dir / "journal.jsonl").read_text().splitlines()
+        assert len(journal) == 4
+        resumed = solve_many(
+            insts, CUBE, 50.0, solver="laptop", workers=2, chunk_size=2,
+            run_dir=run_dir,
+        )
+        expected = solve_many(insts, CUBE, 50.0, solver="laptop")
+        assert all(r.ok for r in resumed)
+        for a, b in zip(resumed, expected):
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    def test_worker_exception_still_propagates(self, instances):
+        from repro.faults import WORKER_EXCEPTION, FaultPlan, FaultRule, InjectedFault
+
+        plan = FaultPlan(
+            rules=(FaultRule(site=WORKER_EXCEPTION, indices=frozenset({1}),
+                             message="crashed worker"),)
+        )
+        with pytest.raises(InjectedFault, match="crashed worker"):
+            solve_many(instances, CUBE, 50.0, solver="laptop", fault_plan=plan)
+
+    def test_manifest_is_complete_json_after_first_yield(self, instances, tmp_path):
+        run_dir = tmp_path / "run"
+        stream = solve_stream(
+            instances, CUBE, 50.0, solver="laptop", chunk_size=1, run_dir=run_dir
+        )
+        next(stream)
+        # temp+rename: the manifest is never observable half-written
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "batch-run"
+        leftovers = [p.name for p in run_dir.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+        stream.close()
+
+    def test_kill_during_manifest_write_leaves_no_manifest(
+        self, instances, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        run_dir = tmp_path / "run"
+        real_replace = os_module.replace
+
+        def killed(src, dst, *args, **kwargs):
+            if str(dst).endswith("manifest.json"):
+                raise KeyboardInterrupt("killed mid-manifest")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr("os.replace", killed)
+        with pytest.raises(KeyboardInterrupt):
+            list(
+                solve_stream(
+                    instances, CUBE, 50.0, solver="laptop", run_dir=run_dir
+                )
+            )
+        monkeypatch.undo()
+        # no half-written manifest: the next run starts from a clean slate
+        assert not (run_dir / "manifest.json").exists()
+        rerun = solve_many(instances, CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        expected = solve_many(instances, CUBE, 50.0, solver="laptop")
+        for a, b in zip(rerun, expected):
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    def test_journal_torn_injector_resumes_byte_identical(self, instances, tmp_path):
+        from repro.faults import JOURNAL_TORN, FaultPlan, FaultRule, InjectedFault
+
+        run_dir = tmp_path / "run"
+        plan = FaultPlan(
+            rules=(FaultRule(site=JOURNAL_TORN, indices=frozenset({2})),)
+        )
+        with pytest.raises(InjectedFault):
+            list(
+                solve_stream(
+                    instances, CUBE, 50.0, solver="laptop", chunk_size=1,
+                    run_dir=run_dir, fault_plan=plan,
+                )
+            )
+        lines = (run_dir / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 3  # two complete rows plus the torn half-line
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(lines[-1])
+        resumed = solve_many(instances, CUBE, 50.0, solver="laptop", run_dir=run_dir)
+        expected = solve_many(instances, CUBE, 50.0, solver="laptop")
+        for a, b in zip(resumed, expected):
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+
+    def test_error_rows_round_trip_through_io(self):
+        from repro.batch import BatchResult
+        from repro.io import batch_result_from_dict, batch_result_to_dict
+
+        row = BatchResult(
+            index=3, solver="laptop", n_jobs=5, value=float("nan"),
+            energy=float("nan"), speeds=np.zeros(0),
+            error_code="worker-timeout", error_message="chunk timed out",
+        )
+        data = batch_result_to_dict(row, name="inst-3")
+        # strict JSON: NaN never reaches the wire
+        assert data["value"] is None and data["energy"] is None
+        assert data["error"] == {"code": "worker-timeout",
+                                 "message": "chunk timed out"}
+        json.dumps(data)  # must be serialisable without allow_nan abuse
+        back = batch_result_from_dict(data, solver="laptop")
+        assert not back.ok and back.error_code == "worker-timeout"
+        assert np.isnan(back.value) and np.isnan(back.energy)
+
+    def test_cli_chunk_timeout_flag(self, tmp_path, instances, capsys):
+        path = tmp_path / "batch.json"
+        save_instances(instances[:2], path)
+        code = main(
+            ["batch", "--instances", str(path), "--energy", "50",
+             "--workers", "2", "--chunk-timeout", "30", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all("error" not in row for row in payload["results"])

@@ -272,3 +272,73 @@ class TestCorruption:
         # overwriting repairs the entry
         cache.put(request, api_solve(request))
         assert cache.get(request) is not None
+
+
+class TestDiskDegradation:
+    """Satellite: a failing disk store degrades to memory-only, never crashes."""
+
+    def _plan(self, *indices):
+        from repro.faults import CACHE_WRITE, FaultPlan, FaultRule
+
+        return FaultPlan(
+            rules=(FaultRule(site=CACHE_WRITE, indices=frozenset(indices),
+                             message="disk full"),)
+        )
+
+    def test_enospc_degrades_to_memory_only_with_one_warning(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, fault_plan=self._plan(0, 1, 2))
+        requests = [_request_for("laptop"), _request_for("yds")]
+        with pytest.warns(RuntimeWarning, match="disk"):
+            cache.put(requests[0], api_solve(requests[0]))
+        # further writes are silent (the warning fired once) and keep working
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.put(requests[1], api_solve(requests[1]))
+        # both entries are served from the memory front
+        assert cache.get(requests[0]) is not None
+        assert cache.get(requests[1]) is not None
+        stats = cache.stats()
+        assert stats.disk_errors == 1
+        assert stats.memory_hits == 2 and stats.disk_hits == 0
+
+    def test_no_disk_files_after_degradation(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, fault_plan=self._plan(0))
+        request = _request_for("laptop")
+        with pytest.warns(RuntimeWarning):
+            cache.put(request, api_solve(request))
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert leftovers == []
+
+    def test_existing_disk_entries_stay_readable(self, tmp_path):
+        warm = ResultCache(directory=tmp_path)
+        request = _request_for("laptop")
+        warm.put(request, api_solve(request))
+        # a later failing write must not disable reads of what is on disk
+        cache = ResultCache(directory=tmp_path, max_memory_entries=0,
+                            fault_plan=self._plan(0))
+        other = _request_for("yds")
+        with pytest.warns(RuntimeWarning):
+            cache.put(other, api_solve(other))
+        assert cache.get(request) is not None
+        assert cache.stats().disk_hits == 1
+
+    def test_real_unwritable_directory_degrades_the_same_way(self, tmp_path):
+        import os
+        import sys
+
+        if os.geteuid() == 0:
+            pytest.skip("chmod 0 is not an obstacle for root")
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        cache = ResultCache(directory=blocked)
+        blocked.chmod(0o500)  # no write permission -> EACCES on tmp file
+        try:
+            request = _request_for("laptop")
+            with pytest.warns(RuntimeWarning, match="disk"):
+                cache.put(request, api_solve(request))
+            assert cache.get(request) is not None
+            assert cache.stats().disk_errors == 1
+        finally:
+            blocked.chmod(0o700)

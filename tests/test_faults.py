@@ -1,0 +1,147 @@
+"""Tests for the deterministic fault-injection subsystem (:mod:`repro.faults`)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.faults import (
+    CACHE_WRITE,
+    SITES,
+    SOLVER_SLOW,
+    WORKER_EXCEPTION,
+    WORKER_HANG,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
+
+
+class TestFaultRule:
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown fault site"):
+            FaultRule(site="reactor-meltdown")
+
+    def test_rate_out_of_range_is_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="rate"):
+            FaultRule(site=CACHE_WRITE, rate=1.5)
+
+    def test_negative_delay_is_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="delay"):
+            FaultRule(site=SOLVER_SLOW, delay=-1.0)
+
+    def test_explicit_indices_fire_exactly_there(self):
+        rule = FaultRule(site=WORKER_EXCEPTION, indices=frozenset({2, 5}))
+        fired = [i for i in range(10) if rule.applies(i, seed=0)]
+        assert fired == [2, 5]
+
+    def test_rate_zero_never_fires(self):
+        rule = FaultRule(site=WORKER_EXCEPTION)
+        assert not any(rule.applies(i, seed=7) for i in range(100))
+
+    def test_rate_one_always_fires(self):
+        rule = FaultRule(site=WORKER_EXCEPTION, rate=1.0)
+        assert all(rule.applies(i, seed=7) for i in range(100))
+
+    def test_seeded_rate_is_deterministic(self):
+        rule = FaultRule(site=WORKER_EXCEPTION, rate=0.3)
+        a = [rule.applies(i, seed=42) for i in range(200)]
+        b = [rule.applies(i, seed=42) for i in range(200)]
+        assert a == b
+        # a different seed decides differently somewhere
+        c = [rule.applies(i, seed=43) for i in range(200)]
+        assert a != c
+        # and the empirical rate is in the right ballpark
+        assert 0.15 < sum(a) / len(a) < 0.45
+
+    def test_round_trips_through_dict(self):
+        rule = FaultRule(site=WORKER_HANG, indices=frozenset({1, 3}),
+                         rate=0.25, delay=2.0, message="stuck")
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_fire_matches_rules_by_ordinal(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site=WORKER_EXCEPTION, indices=frozenset({1})),)
+        )
+        assert plan.fire(WORKER_EXCEPTION, ordinal=0) is None
+        assert plan.fire(WORKER_EXCEPTION, ordinal=1) is not None
+        assert plan.fired(WORKER_EXCEPTION) == 1
+        assert plan.fired() == 1
+
+    def test_counter_mode_consumes_one_tick_per_call(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site=CACHE_WRITE, indices=frozenset({0, 2})),)
+        )
+        hits = [plan.fire(CACHE_WRITE) is not None for _ in range(4)]
+        assert hits == [True, False, True, False]
+
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown fault site"):
+            FaultPlan().fire("nope")
+
+    def test_pickle_round_trip_resets_counters(self):
+        plan = FaultPlan(
+            rules=(FaultRule(site=CACHE_WRITE, indices=frozenset({0})),), seed=9
+        )
+        assert plan.fire(CACHE_WRITE) is not None
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.rules == plan.rules and clone.seed == plan.seed
+        assert clone.fired() == 0
+        # the clone's counter restarts, so ordinal 0 fires again
+        assert clone.fire(CACHE_WRITE) is not None
+
+    def test_decisions_identical_after_pickling(self):
+        rule = FaultRule(site=WORKER_EXCEPTION, rate=0.5)
+        plan = FaultPlan(rules=(rule,), seed=123)
+        clone = pickle.loads(pickle.dumps(plan))
+        mine = [plan.fire(WORKER_EXCEPTION, ordinal=i) is not None
+                for i in range(64)]
+        theirs = [clone.fire(WORKER_EXCEPTION, ordinal=i) is not None
+                  for i in range(64)]
+        assert mine == theirs
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site=WORKER_HANG, indices=frozenset({3}), delay=1.0),
+                FaultRule(site=CACHE_WRITE, rate=0.1, message="disk full"),
+            ),
+            seed=7,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()).rules == plan.rules
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()), encoding="utf-8")
+        loaded = FaultPlan.from_file(path)
+        assert loaded.rules == plan.rules and loaded.seed == 7
+
+    def test_from_file_rejects_garbage(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(InvalidInstanceError, match="unreadable fault plan"):
+            FaultPlan.from_file(path)
+        with pytest.raises(InvalidInstanceError, match="not a fault-plan"):
+            FaultPlan.from_dict({"kind": "instance"})
+
+    def test_sleep_serves_rule_delay(self):
+        plan = FaultPlan()
+        rule = FaultRule(site=SOLVER_SLOW, delay=0.01)
+        import time
+
+        start = time.monotonic()
+        plan.sleep(rule)
+        assert time.monotonic() - start >= 0.009
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        from repro.exceptions import ReproError, error_code
+
+        exc = InjectedFault("boom")
+        assert not isinstance(exc, ReproError)
+        assert error_code(exc) == "internal"
+
+    def test_all_sites_enumerated(self):
+        assert len(SITES) == 6 and len(set(SITES)) == 6

@@ -15,7 +15,7 @@ from repro.cache import ResultCache
 from repro.cli import main
 from repro.core import CUBE
 from repro.io import request_to_dict, result_to_dict
-from repro.service import ServeStats, make_tcp_server, serve_stream
+from repro.service import AsyncServeLoop, ServeStats, serve_stream
 from repro.workloads import figure1_instance
 
 
@@ -120,58 +120,40 @@ class TestServeStream:
         assert stats == ServeStats()
 
 
-class TestServeTcp:
-    def _roundtrip(self, server, lines: list[str]) -> list[dict]:
-        host, port = server.server_address[:2]
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        try:
-            with socket.create_connection((host, port), timeout=5) as conn:
-                conn.sendall("".join(lines).encode("utf-8"))
-                conn.shutdown(socket.SHUT_WR)
-                blob = b""
-                while True:
-                    chunk = conn.recv(65536)
-                    if not chunk:
-                        break
-                    blob += chunk
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
-        return [json.loads(line) for line in blob.decode("utf-8").splitlines()]
+def _tcp_roundtrip(address, lines: list[str]) -> list[dict]:
+    """Send all lines on one connection, half-close, read responses to EOF."""
+    with socket.create_connection(address, timeout=10) as conn:
+        conn.sendall("".join(lines).encode("utf-8"))
+        conn.shutdown(socket.SHUT_WR)
+        blob = b""
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            blob += chunk
+    return [json.loads(line) for line in blob.decode("utf-8").splitlines()]
 
+
+class TestServeTcp:
     def test_tcp_roundtrip_with_cache_hit(self):
-        server = make_tcp_server(port=0, cache=ResultCache())
-        responses = self._roundtrip(server, [_request_line(), _request_line()])
+        loop = AsyncServeLoop(cache=ResultCache())
+        address = loop.start_in_thread()
+        try:
+            responses = _tcp_roundtrip(address, [_request_line(), _request_line()])
+        finally:
+            stats = loop.stop()
         assert [r["serve"]["cache"] for r in responses] == ["miss", "hit"]
         assert all(r["result"]["status"] == "ok" for r in responses)
-        assert server.stats.requests == 2
-        assert server.stats.cache_hits == 1
+        assert stats.requests == 2
+        assert stats.cache_hits == 1
 
     def test_tcp_cache_is_shared_across_connections(self):
-        cache = ResultCache()
-        server = make_tcp_server(port=0, cache=cache)
-        host, port = server.server_address[:2]
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
+        loop = AsyncServeLoop(cache=ResultCache())
+        address = loop.start_in_thread()
         try:
-            seen = []
-            for _ in range(2):
-                with socket.create_connection((host, port), timeout=5) as conn:
-                    conn.sendall(_request_line().encode("utf-8"))
-                    conn.shutdown(socket.SHUT_WR)
-                    blob = b""
-                    while True:
-                        chunk = conn.recv(65536)
-                        if not chunk:
-                            break
-                        blob += chunk
-                seen.append(json.loads(blob.decode("utf-8")))
+            seen = [_tcp_roundtrip(address, [_request_line()])[0] for _ in range(2)]
         finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=5)
+            loop.stop()
         assert seen[0]["serve"]["cache"] == "miss"
         assert seen[1]["serve"]["cache"] == "hit"
 

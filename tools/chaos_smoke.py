@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""CI chaos smoke for the hardened serve loop: faults in, envelopes out.
+
+Two phases against real ``repro serve`` subprocesses:
+
+1. **stdio under a canned fault plan** -- a worker crash, a hung worker (cut
+   off by a per-request deadline) and a slow solve are injected
+   deterministically via ``--fault-plan``.  Every fault must come back as a
+   structured error envelope with its stable code (``internal``,
+   ``deadline-exceeded``) while healthy requests keep solving; the process
+   must exit 0 with a final stats line.
+2. **TCP + SIGTERM drain** -- a TCP server answers a request, then receives
+   SIGTERM.  It must drain gracefully: exit code 0, a final stats line on
+   stderr, and no traceback.
+
+Run as ``python tools/chaos_smoke.py``; exits non-zero with a diagnostic on
+the first violation.  The fault plan is seeded, so every CI run replays the
+exact same chaos.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:  # runnable straight from a checkout
+    sys.path.insert(0, _SRC)
+
+
+def _fail(message: str) -> int:
+    print(f"chaos smoke FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _request_line(request_id: str, seed: int, deadline_ms: float | None = None) -> str:
+    from repro.api import SolveRequest
+    from repro.core import CUBE
+    from repro.io import request_to_dict
+    from repro.workloads import poisson_instance
+
+    request = SolveRequest(
+        instance=poisson_instance(6, seed=seed, arrival_rate=1.0),
+        power=CUBE, solver="laptop", budget=20.0,
+    )
+    envelope = request_to_dict(request)
+    envelope["id"] = request_id
+    if deadline_ms is not None:
+        envelope["deadline_ms"] = deadline_ms
+    return json.dumps(envelope) + "\n"
+
+
+def _canned_plan_file() -> str:
+    """The canned chaos: solve #1 crashes, solve #2 hangs (deadline cuts it)."""
+    from repro.faults import WORKER_EXCEPTION, WORKER_HANG, FaultPlan, FaultRule
+
+    plan = FaultPlan(
+        rules=(
+            FaultRule(site=WORKER_EXCEPTION, indices=frozenset({1}),
+                      message="chaos: injected worker crash"),
+            FaultRule(site=WORKER_HANG, indices=frozenset({2}), delay=30.0),
+        ),
+        seed=7,
+    )
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".json", prefix="chaos-plan-", delete=False
+    )
+    json.dump(plan.to_dict(), handle)
+    handle.close()
+    return handle.name
+
+
+def _phase_stdio() -> int:
+    plan_path = _canned_plan_file()
+    lines = [
+        _request_line("healthy-0", seed=0),
+        _request_line("crash", seed=1),
+        _request_line("hung", seed=2, deadline_ms=500.0),
+        _request_line("healthy-1", seed=3),
+    ]
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", "--no-timing",
+         "--fault-plan", plan_path],
+        input="".join(lines), capture_output=True, text=True, timeout=120,
+        env=_env(), cwd=REPO_ROOT,
+    )
+    os.unlink(plan_path)
+    if proc.returncode != 0:
+        return _fail(
+            f"stdio phase exited {proc.returncode}; stderr:\n{proc.stderr}"
+        )
+    responses = [json.loads(line) for line in proc.stdout.splitlines()]
+    if len(responses) != 4:
+        return _fail(f"expected 4 responses, got {len(responses)}")
+    by_id = {r["id"]: r for r in responses}
+
+    def code(request_id: str):
+        return (by_id[request_id]["result"].get("error") or {}).get("code")
+
+    if code("healthy-0") is not None or code("healthy-1") is not None:
+        return _fail(f"healthy requests failed: {proc.stdout}")
+    if code("crash") != "internal":
+        return _fail(f"injected crash gave {code('crash')!r}, want 'internal'")
+    if "chaos: injected worker crash" not in json.dumps(by_id["crash"]):
+        return _fail("crash envelope lost the injected message")
+    if code("hung") != "deadline-exceeded":
+        return _fail(
+            f"hung worker gave {code('hung')!r}, want 'deadline-exceeded'"
+        )
+    if "serve: 4 request(s)" not in proc.stderr:
+        return _fail(f"missing final stats line; stderr:\n{proc.stderr}")
+    if "deadline miss" not in proc.stderr:
+        return _fail(f"stats line does not count the deadline miss: {proc.stderr}")
+    print("chaos smoke phase 1 OK: structured envelopes under injected faults, "
+          "clean exit")
+    return 0
+
+
+def _phase_sigterm_drain() -> int:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--tcp", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_env(), cwd=REPO_ROOT,
+    )
+    try:
+        # the bound address is announced on stderr once listening
+        line = proc.stderr.readline()
+        if "listening on" not in line:
+            proc.kill()
+            return _fail(f"no listening line, got {line!r}")
+        address = line.rsplit(" ", 1)[-1].strip()
+        host, port = address.rsplit(":", 1)
+
+        with socket.create_connection((host, int(port)), timeout=10) as conn:
+            conn.sendall(_request_line("drain-0", seed=0).encode("utf-8"))
+            blob = b""
+            while b"\n" not in blob:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    return _fail("connection closed before a response")
+                blob += chunk
+        response = json.loads(blob.decode("utf-8").splitlines()[0])
+        if response["result"]["status"] != "ok":
+            return _fail(f"TCP solve failed: {response}")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            _, stderr_rest = proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            return _fail("server did not drain within 30s of SIGTERM")
+        if proc.returncode != 0:
+            return _fail(
+                f"SIGTERM drain exited {proc.returncode}; stderr:\n{stderr_rest}"
+            )
+        if "serve: 1 request(s)" not in stderr_rest:
+            return _fail(f"missing post-drain stats line:\n{stderr_rest}")
+        if "Traceback" in stderr_rest:
+            return _fail(f"drain printed a traceback:\n{stderr_rest}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    print("chaos smoke phase 2 OK: SIGTERM drained cleanly with a stats line")
+    return 0
+
+
+def main() -> int:
+    deadline = time.monotonic() + 300
+    for phase in (_phase_stdio, _phase_sigterm_drain):
+        if time.monotonic() > deadline:
+            return _fail("chaos smoke overran its time budget")
+        code = phase()
+        if code != 0:
+            return code
+    print("chaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
