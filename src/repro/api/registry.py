@@ -35,12 +35,17 @@ from ..exceptions import (
 )
 from .types import ProblemSpec, SolveRequest, SolveResult, SolverCapabilities
 
-__all__ = ["SolverFn", "RegisteredSolver", "SolverRegistry", "REGISTRY"]
+__all__ = ["SolverFn", "BatchSolverFn", "RegisteredSolver", "SolverRegistry", "REGISTRY"]
 
 #: Low-level solver contract: request in, ``(value, energy, speeds, extras)``
 #: out.  ``value``/``energy``/``speeds`` may be ``None`` (frontier solvers);
 #: ``extras`` must contain only JSON-ready types.
 SolverFn = Callable[[SolveRequest], tuple]
+
+#: Batched solver contract: a chunk of same-solver requests in, one
+#: ``(value, energy, speeds, extras)`` tuple per request out (same order).
+#: Results must be byte-identical to calling the per-request ``fn`` on each.
+BatchSolverFn = Callable[[list[SolveRequest]], list[tuple]]
 
 #: Subpackage registration hooks, imported lazily on first registry access.
 #: Each module must expose ``register_solvers(registry)``.
@@ -54,10 +59,16 @@ _HOOK_MODULES: tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class RegisteredSolver:
-    """One registry entry: capability metadata plus the solver callable."""
+    """One registry entry: capability metadata plus the solver callable(s).
+
+    ``batch_fn`` is present exactly when the capabilities declare
+    ``batch_kernel=True``: a structure-of-arrays entry point that solves a
+    whole chunk of requests at once, byte-identical to mapping ``fn``.
+    """
 
     capabilities: SolverCapabilities
     fn: SolverFn
+    batch_fn: BatchSolverFn | None = None
 
     @property
     def name(self) -> str:
@@ -94,16 +105,31 @@ class SolverRegistry:
             self._bootstrapping = False
 
     def register(
-        self, capabilities: SolverCapabilities, fn: SolverFn | None = None
+        self,
+        capabilities: SolverCapabilities,
+        fn: SolverFn | None = None,
+        *,
+        batch_fn: BatchSolverFn | None = None,
     ) -> Callable:
-        """Register ``fn`` under ``capabilities`` (usable as a decorator)."""
+        """Register ``fn`` under ``capabilities`` (usable as a decorator).
+
+        ``batch_fn`` must be supplied if and only if the capabilities declare
+        ``batch_kernel=True``, so the metadata honestly advertises whether
+        :meth:`run_batch` can dispatch to the solver.
+        """
         if fn is None:
-            return lambda f: self.register(capabilities, f)
+            return lambda f: self.register(capabilities, f, batch_fn=batch_fn)
         if capabilities.name in self._entries:
             raise InvalidInstanceError(
                 f"solver {capabilities.name!r} is already registered"
             )
-        self._entries[capabilities.name] = RegisteredSolver(capabilities, fn)
+        if capabilities.batch_kernel != (batch_fn is not None):
+            raise InvalidInstanceError(
+                f"solver {capabilities.name!r}: batch_kernel={capabilities.batch_kernel} "
+                f"but batch_fn is {'missing' if batch_fn is None else 'provided'}; "
+                "the capability flag and the batched entry point must agree"
+            )
+        self._entries[capabilities.name] = RegisteredSolver(capabilities, fn, batch_fn)
         return fn
 
     # ------------------------------------------------------------------
@@ -238,6 +264,46 @@ class SolverRegistry:
         self._validate(entry.capabilities, request)
         value, energy, speeds, extras = entry.fn(request)
         return SolveResult.success(name, value, energy, speeds, extras)
+
+    def run_batch(self, requests: list[SolveRequest]) -> list[SolveResult]:
+        """Dispatch a homogeneous chunk through a solver's batched kernel.
+
+        All requests must name the same solver, and that solver must declare
+        ``batch_kernel=True`` (i.e. carry a registered batched entry point).
+        Every request is validated exactly as :meth:`run` would before the
+        chunk is handed to the batched kernel; results come back in request
+        order and are byte-identical to running each request individually
+        (pinned by ``tests/test_batched_kernels.py``).
+        """
+        if not requests:
+            return []
+        names = {
+            request.solver if request.solver is not None else self.resolve(request.spec)
+            for request in requests
+        }
+        if len(names) != 1:
+            raise InvalidInstanceError(
+                f"run_batch needs a homogeneous chunk; got solvers {sorted(names)}"
+            )
+        name = next(iter(names))
+        entry = self.get(name)
+        if entry.batch_fn is None:
+            raise InvalidInstanceError(
+                f"solver {name!r} does not provide a batched kernel "
+                "(capabilities.batch_kernel is False)"
+            )
+        for request in requests:
+            self._validate(entry.capabilities, request)
+        tuples = entry.batch_fn(list(requests))
+        if len(tuples) != len(requests):
+            raise InvalidInstanceError(
+                f"solver {name!r}: batched kernel returned {len(tuples)} results "
+                f"for {len(requests)} requests"
+            )
+        return [
+            SolveResult.success(name, value, energy, speeds, extras)
+            for value, energy, speeds, extras in tuples
+        ]
 
 
 #: The default process-wide registry every entry point dispatches through.

@@ -107,7 +107,11 @@ class SolverCapabilities:
     The spec says *which* problem the solver answers; the remaining flags say
     *how* it can be driven: whether the batch engine may fan it out, which
     budget it consumes, and which preconditions the registry should enforce
-    before dispatching a request to it.  ``certificates`` names the semantic
+    before dispatching a request to it.  ``batch_kernel`` declares that the
+    solver also registers a structure-of-arrays batched entry point
+    (:meth:`repro.api.registry.SolverRegistry.run_batch`) that solves a whole
+    chunk of same-solver requests in one kernel call, byte-identical to the
+    per-request path.  ``certificates`` names the semantic
     certificate kinds of :data:`repro.verify.CHECKERS` that apply to the
     solver's results; :func:`repro.api.verify` runs them after the structural
     checks, and the conformance suite fails any solver registered without
@@ -119,6 +123,7 @@ class SolverCapabilities:
     summary: str
     budget_kind: str = "energy"
     batchable: bool = False
+    batch_kernel: bool = False
     needs_polynomial_power: bool = False
     needs_deadlines: bool = False
     needs_equal_work: bool = False

@@ -24,7 +24,13 @@ request batches.  This module provides the streaming engine:
 
 Dispatch goes through :meth:`repro.api.SolverRegistry.run`, the same path as
 ``repro.solve`` and the CLI, so the batch engine cannot drift from the rest
-of the API.  The legacy module-level :data:`SOLVERS` mapping survives only as
+of the API.  Cache-miss items are additionally bucketed by job count and —
+when the solver registered a structure-of-arrays batched kernel
+(``capabilities.batch_kernel``) — whole buckets go through
+:meth:`repro.api.SolverRegistry.run_batch` in one kernel call, byte-identical
+to the per-item path and an order of magnitude cheaper on fleets of small
+same-shape instances (``batch_kernel="auto"|"on"|"off"`` controls this).
+The legacy module-level :data:`SOLVERS` mapping survives only as
 a deprecated read-only view of the registry's batchable solvers.
 
 Exposed on the command line as ``repro batch`` (see :mod:`repro.cli`), and
@@ -150,6 +156,26 @@ class _DeprecatedSolversView(Mapping):
 SOLVERS: Mapping[str, Callable] = _DeprecatedSolversView()
 
 
+def _fire_item_faults(fault_plan: FaultPlan, index: int) -> None:
+    """Consult the worker-site fault rules for one instance index.
+
+    Worker-site faults match on the instance index, so the decision is
+    identical no matter which worker process (or dispatch path) draws the
+    chunk.
+    """
+    rule = fault_plan.fire(WORKER_HANG, ordinal=index)
+    if rule is not None:
+        fault_plan.sleep(rule)
+    rule = fault_plan.fire(SOLVER_SLOW, ordinal=index)
+    if rule is not None:
+        fault_plan.sleep(rule)
+    rule = fault_plan.fire(WORKER_EXCEPTION, ordinal=index)
+    if rule is not None:
+        raise InjectedFault(
+            rule.message or f"injected worker crash at instance {index}"
+        )
+
+
 def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
     """Worker entry point: solve one chunk of (index, instance, budget) items.
 
@@ -160,33 +186,61 @@ def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
     JSON-ready :func:`repro.io.result_to_dict` form of the full result when
     ``with_envelopes`` is set (the picklable write-behind payload for the
     parent's cache) and ``None`` otherwise.
+
+    ``batch_kernel`` (``"auto"`` / ``"on"`` / ``"off"``) selects the
+    structure-of-arrays tier: unless it is ``"off"``, items are bucketed by
+    job count and each bucket is dispatched through
+    :meth:`repro.api.SolverRegistry.run_batch` when the solver registered a
+    batched kernel.  Under ``"auto"`` a singleton bucket keeps the reference
+    per-instance path (packing one instance gains nothing); ``"on"`` forces
+    the batched kernel even then.  Results are byte-identical either way.
     """
-    solver_name, power, items, verify, with_envelopes, fault_plan = payload
+    (
+        solver_name, power, items, verify, with_envelopes, fault_plan,
+        batch_kernel,
+    ) = payload
     if verify:
         # lazy: repro.verify pulls solver machinery the plain path never needs
         from .verify import verify as verify_result
     if with_envelopes:
         from .io import result_to_dict
-    out = []
-    for index, instance, budget in items:
-        if fault_plan is not None:
-            # worker-site faults match on the instance index, so the decision
-            # is identical no matter which worker process draws the chunk
-            rule = fault_plan.fire(WORKER_HANG, ordinal=index)
-            if rule is not None:
-                fault_plan.sleep(rule)
-            rule = fault_plan.fire(SOLVER_SLOW, ordinal=index)
-            if rule is not None:
-                fault_plan.sleep(rule)
-            rule = fault_plan.fire(WORKER_EXCEPTION, ordinal=index)
-            if rule is not None:
-                raise InjectedFault(
-                    rule.message or f"injected worker crash at instance {index}"
-                )
-        request = SolveRequest(
+    requests = [
+        SolveRequest(
             instance=instance, power=power, solver=solver_name, budget=budget
         )
-        result = REGISTRY.run(request)
+        for _, instance, budget in items
+    ]
+    batched = batch_kernel != "off" and REGISTRY.get(solver_name).batch_fn is not None
+    results: list[SolveResult]
+    if batched:
+        # fault rules fire per item, in index order, *before* the batched
+        # solve: a chunk that raises is lost atomically on both paths, so the
+        # observable fault behaviour matches the per-item loop below
+        if fault_plan is not None:
+            for index, _, _ in items:
+                _fire_item_faults(fault_plan, index)
+        results = [None] * len(items)  # type: ignore[list-item]
+        buckets: dict[int, list[int]] = {}
+        for pos, (_, instance, _) in enumerate(items):
+            buckets.setdefault(instance.n_jobs, []).append(pos)
+        for positions in buckets.values():
+            if batch_kernel == "auto" and len(positions) < 2:
+                for pos in positions:
+                    results[pos] = REGISTRY.run(requests[pos])
+            else:
+                for pos, result in zip(
+                    positions,
+                    REGISTRY.run_batch([requests[pos] for pos in positions]),
+                ):
+                    results[pos] = result
+    else:
+        results = []
+        for (index, _, _), request in zip(items, requests):
+            if fault_plan is not None:
+                _fire_item_faults(fault_plan, index)
+            results.append(REGISTRY.run(request))
+    out = []
+    for (index, instance, _), request, result in zip(items, requests, results):
         if verify:
             # certificate-check in the worker, next to the solve; a failed
             # report raises VerificationError naming the instance
@@ -361,6 +415,7 @@ def solve_stream(
     run_dir: str | Path | None = None,
     chunk_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
+    batch_kernel: str = "auto",
 ) -> Iterator[BatchResult]:
     """Solve many instances with one solver, yielding results as they complete.
 
@@ -425,6 +480,14 @@ def solve_stream(
         deterministic chaos sites (``worker-exception`` / ``worker-hang`` /
         ``solver-slow`` match on instance index; ``journal-torn`` on the
         journal's append counter).
+    batch_kernel:
+        Structure-of-arrays dispatch policy for cache-miss items.  ``"auto"``
+        (default) buckets same-shape items and routes buckets of two or more
+        through the solver's batched kernel when it registered one
+        (``capabilities.batch_kernel``); ``"on"`` forces the batched kernel
+        for every item and raises if the solver has none; ``"off"`` keeps
+        the reference per-instance path.  Results are byte-identical across
+        all three settings.
 
     Raises
     ------
@@ -432,8 +495,9 @@ def solve_stream(
         If ``solver`` is not registered (carries the known solver names).
     InvalidInstanceError
         If ``solver`` is registered but not batchable, the budget list does
-        not match the instance list, or ``run_dir`` belongs to a different
-        batch.
+        not match the instance list, ``run_dir`` belongs to a different
+        batch, or ``batch_kernel`` is ``"on"`` for a solver with no batched
+        kernel (or not one of ``"auto"`` / ``"on"`` / ``"off"``).
     VerificationError
         If ``verify=True`` and any result fails its certificate checks.
     """
@@ -442,6 +506,15 @@ def solve_stream(
         raise InvalidInstanceError(
             f"solver {solver!r} is not batchable; batchable solvers: "
             f"{sorted(REGISTRY.find(batchable=True))}"
+        )
+    if batch_kernel not in ("auto", "on", "off"):
+        raise InvalidInstanceError(
+            f"batch_kernel must be 'auto', 'on' or 'off', got {batch_kernel!r}"
+        )
+    if batch_kernel == "on" and not capabilities.batch_kernel:
+        raise InvalidInstanceError(
+            f"batch_kernel='on' but solver {solver!r} registers no batched "
+            f"kernel; solvers with one: {sorted(REGISTRY.find(batch_kernel=True))}"
         )
     instance_list = list(instances)
     count = len(instance_list)
@@ -485,7 +558,7 @@ def solve_stream(
     )
     return _stream_chunks(
         chunks, solver, power, workers, verify, cache, journal,
-        chunk_timeout, fault_plan,
+        chunk_timeout, fault_plan, batch_kernel,
     )
 
 
@@ -536,6 +609,7 @@ def _stream_chunks(
     journal: _RunJournal | None,
     chunk_timeout: float | None,
     fault_plan: FaultPlan | None,
+    batch_kernel: str,
 ) -> Iterator[BatchResult]:
     """The generator behind :func:`solve_stream` (validation already done)."""
     want_envelopes = cache is not None
@@ -641,7 +715,8 @@ def _stream_chunks(
                 resolved, missing = _plan(chunk)
                 solved = (
                     _solve_chunk(
-                        (solver, power, missing, verify, want_envelopes, fault_plan)
+                        (solver, power, missing, verify, want_envelopes,
+                         fault_plan, batch_kernel)
                     )
                     if missing
                     else []
@@ -661,7 +736,9 @@ def _stream_chunks(
             if not missing:
                 return None
             return pool.submit(
-                _solve_chunk, (solver, power, missing, verify, want_envelopes, fault_plan)
+                _solve_chunk,
+                (solver, power, missing, verify, want_envelopes, fault_plan,
+                 batch_kernel),
             )
 
         def _drain_one():
@@ -728,6 +805,7 @@ def solve_many(
     run_dir: str | Path | None = None,
     chunk_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
+    batch_kernel: str = "auto",
 ) -> list[BatchResult]:
     """Solve many instances and return the full result list.
 
@@ -749,5 +827,6 @@ def solve_many(
             run_dir=run_dir,
             chunk_timeout=chunk_timeout,
             fault_plan=fault_plan,
+            batch_kernel=batch_kernel,
         )
     )

@@ -438,6 +438,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache=_cache_from_args(args),
         run_dir=args.run_dir,
         chunk_timeout=args.chunk_timeout,
+        batch_kernel=args.batch_kernel,
     )
     elapsed = time.perf_counter() - start
     throughput = len(results) / elapsed if elapsed > 0 else float("inf")
@@ -713,6 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-chunk timeout in seconds (parallel mode): a hung "
                         "worker fails its chunk with worker-timeout rows and "
                         "the pool is recycled, instead of stalling the batch")
+    p.add_argument("--batch-kernel", choices=("auto", "on", "off"), default="auto",
+                   help="structure-of-arrays dispatch for same-shape buckets: "
+                        "auto (default) uses the solver's batched kernel when "
+                        "registered, on forces it (error if the solver has "
+                        "none), off keeps the per-instance reference path; "
+                        "results are byte-identical either way")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_batch)
 

@@ -229,7 +229,13 @@ class Instance:
 
     def has_deadlines(self) -> bool:
         """Whether every job carries a finite deadline (YDS model)."""
-        return all(job.has_deadline for job in self.jobs)
+        # cached lazily: jobs is a frozen tuple, so the answer never changes,
+        # and solver precondition checks ask several times per solve
+        cached = self.__dict__.get("_has_deadlines")
+        if cached is None:
+            cached = all(job.has_deadline for job in self.jobs)
+            object.__setattr__(self, "_has_deadlines", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # transformations

@@ -23,6 +23,20 @@ Scalar reference implementations are retained next to each vectorized
 caller; ``tests/test_kernels.py`` pins the two to each other at 1e-9 on
 randomized instances.
 
+On top of the per-instance kernels sits a *structure-of-arrays batched tier*
+(the ``*_batched`` functions): many same-shape instances are packed into
+padded 2-D ``(batch, n)`` arrays (:func:`pack_instances`) and each kernel
+runs once over the whole chunk, so a cache-cold sweep of small instances
+stops paying per-instance Python dispatch.  The batched YDS round
+(:func:`max_density_interval_batched`) is engineered for *bitwise* parity
+with :func:`max_density_interval`: duplicate-keeping sorted grid axes with
+work scattered at the last-duplicate release / first-duplicate deadline
+index reproduce the unique-grid prefix sums exactly (interleaved zero cells
+do not perturb IEEE addition), and the first-flat-argmax tie-break maps to
+the unique grid because duplicates are adjacent and ordered.
+``tests/test_batched_kernels.py`` pins every batched kernel to a loop over
+its per-instance counterpart.
+
 Fast closed forms are used only for :class:`~repro.core.power.PolynomialPower`
 (``power = speed ** alpha``), where they are exact; every other power
 function falls back to the scalar methods element-wise, preserving their
@@ -32,7 +46,8 @@ validation and error behaviour.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -49,6 +64,17 @@ __all__ = [
     "interval_work_grid",
     "stepwise_rate_profile",
     "common_release_prefix_speeds",
+    "PaddedBatch",
+    "pack_instances",
+    "BatchWorkspace",
+    "prefix_sums_batched",
+    "power_eval_batched",
+    "energy_eval_batched",
+    "chain_start_times_batched",
+    "interval_work_grid_batched",
+    "max_density_interval_batched",
+    "stepwise_rate_profile_batched",
+    "common_release_prefix_speeds_batched",
 ]
 
 
@@ -91,9 +117,13 @@ def energy_eval(
     speeds = np.asarray(speeds, dtype=float)
     if isinstance(power, PolynomialPower):
         return works * speeds ** (power.exponent - 1.0)
+    works_b, speeds_b = np.broadcast_arrays(works, speeds)
     return np.array(
-        [power.energy(float(w), float(s)) for w, s in zip(works, speeds)]
-    )
+        [
+            power.energy(float(w), float(s))
+            for w, s in zip(works_b.ravel(), speeds_b.ravel())
+        ]
+    ).reshape(works_b.shape)
 
 
 def scalar_energy_fn(power: PowerFunction) -> Callable[[float, float], float]:
@@ -141,6 +171,9 @@ def chain_start_times(
     """
     releases = np.asarray(releases, dtype=float)
     durations = np.asarray(durations, dtype=float)
+    if len(releases) == 0:
+        empty = np.empty(0)
+        return empty, empty.copy()
     prefix = prefix_sums(durations)
     adjusted = releases - prefix[:-1]
     adjusted[0] = max(float(clock0), float(releases[0]))
@@ -312,3 +345,437 @@ def common_release_prefix_speeds(
         speeds[lo : last_job[j] + 1] = slopes[j - 1]
         lo = last_job[j] + 1
     return speeds
+
+
+# ----------------------------------------------------------------------
+# structure-of-arrays batched tier: many small same-shape instances at once
+# ----------------------------------------------------------------------
+
+#: Largest finite double: substituted for +inf releases before the interval
+#: length subtraction so dead grid cells produce huge-negative lengths (and
+#: hence negative densities) instead of inf - inf = NaN.
+_BIG = 8.98846567431158e307
+
+
+@dataclass(frozen=True)
+class PaddedBatch:
+    """A chunk of instances packed into padded ``(batch, n)`` arrays.
+
+    Rows are instances; columns are job slots.  Slots beyond an instance's
+    job count are padding: ``mask`` is False, releases/deadlines are ``+inf``
+    and works are ``0.0`` — the sentinel encoding every batched kernel
+    understands (padded jobs sort to the end of every grid axis and scatter
+    zero work).
+    """
+
+    releases: np.ndarray
+    deadlines: np.ndarray
+    works: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return self.releases.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.releases.shape[1]
+
+    @property
+    def n_jobs(self) -> np.ndarray:
+        """Live job count per row."""
+        return self.mask.sum(axis=1)
+
+
+def pack_instances(instances: Sequence) -> PaddedBatch:
+    """Pack instances into one :class:`PaddedBatch` (width = max job count)."""
+    if not instances:
+        raise ValueError("pack_instances needs at least one instance")
+    batch = len(instances)
+    width = max(inst.n_jobs for inst in instances)
+    releases = np.full((batch, width), np.inf)
+    deadlines = np.full((batch, width), np.inf)
+    works = np.zeros((batch, width))
+    mask = np.zeros((batch, width), dtype=bool)
+    for b, inst in enumerate(instances):
+        m = inst.n_jobs
+        releases[b, :m] = inst.releases
+        if inst.deadlines is not None:
+            deadlines[b, :m] = inst.deadlines
+        works[b, :m] = inst.works
+        mask[b, :m] = True
+    return PaddedBatch(releases, deadlines, works, mask)
+
+
+def prefix_sums_batched(values: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`prefix_sums`: ``(batch, n)`` in, ``(batch, n + 1)`` out."""
+    values = np.asarray(values, dtype=float)
+    batch, n = values.shape
+    out = np.empty((batch, n + 1))
+    out[:, 0] = 0.0
+    np.cumsum(values, axis=1, out=out[:, 1:])
+    return out
+
+
+def power_eval_batched(power: PowerFunction, speeds: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`power_eval` over a ``(batch, n)`` speed array."""
+    return power_eval(power, np.asarray(speeds, dtype=float))
+
+
+def energy_eval_batched(
+    power: PowerFunction,
+    works: np.ndarray,
+    speeds: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-wise :func:`energy_eval`; padded slots (``mask`` False) yield 0.
+
+    Masked slots are evaluated at a safe ``(work=0, speed=1)`` point so that
+    padding sentinels (zero or infinite speeds) never reach the power
+    function's validation.
+    """
+    works = np.asarray(works, dtype=float)
+    speeds = np.asarray(speeds, dtype=float)
+    if mask is None:
+        return energy_eval(power, works, speeds)
+    out = energy_eval(
+        power, np.where(mask, works, 0.0), np.where(mask, speeds, 1.0)
+    )
+    out[~np.asarray(mask, dtype=bool)] = 0.0
+    return out
+
+
+def chain_start_times_batched(
+    releases: np.ndarray,
+    durations: np.ndarray,
+    clock0: np.ndarray | float,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`chain_start_times` via the same prefix-max recurrence.
+
+    ``clock0`` may be a scalar or one value per row.  Padded slots must be
+    trailing; they are forced to zero duration so every live prefix computes
+    the identical float sequence as the per-instance kernel (the rows agree
+    bitwise on the live slots).
+    """
+    releases = np.asarray(releases, dtype=float)
+    durations = np.asarray(durations, dtype=float)
+    if releases.shape[1] == 0:
+        empty = np.empty_like(releases)
+        return empty, empty.copy()
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        durations = np.where(mask, durations, 0.0)
+        releases = np.where(mask, releases, -np.inf)
+    prefix = prefix_sums_batched(durations)
+    adjusted = releases - prefix[:, :-1]
+    adjusted[:, 0] = np.maximum(np.asarray(clock0, dtype=float), releases[:, 0])
+    base = np.maximum.accumulate(adjusted, axis=1)
+    starts = base + prefix[:, :-1]
+    ends = starts + durations
+    return starts, ends
+
+
+def _dup_ranks(
+    values: np.ndarray, sorted_vals: np.ndarray, order: np.ndarray, last: bool
+) -> np.ndarray:
+    """Index of each value in its own sorted row: last-dup or first-dup.
+
+    The duplicate-keeping analogue of ``np.unique(..., return_inverse=True)``:
+    each entry maps to the first (or last) position of its value run in the
+    row's sort, so scatters land exactly where the unique-grid scatter would.
+    """
+    batch, n = values.shape
+    bidx = np.arange(batch)[:, None]
+    pos = np.empty((batch, n), dtype=np.int64)
+    pos[bidx, order] = np.arange(n)
+    ar = np.arange(n)
+    if last:
+        is_last = np.ones((batch, n), dtype=bool)
+        is_last[:, :-1] = sorted_vals[:, :-1] != sorted_vals[:, 1:]
+        run = np.minimum.accumulate(np.where(is_last, ar, n)[:, ::-1], axis=1)[:, ::-1]
+    else:
+        is_first = np.ones((batch, n), dtype=bool)
+        is_first[:, 1:] = sorted_vals[:, 1:] != sorted_vals[:, :-1]
+        run = np.maximum.accumulate(np.where(is_first, ar, -1), axis=1)
+    return run[bidx, pos]
+
+
+class BatchWorkspace:
+    """Reusable scratch buffers for :func:`max_density_interval_batched`.
+
+    Allocating the multi-MB round intermediates fresh every call makes the
+    allocator return the blocks to the kernel (glibc munmaps large frees), so
+    each round pays page-zeroing again.  A workspace sized for the first
+    round serves every later (smaller) round via flat slices.  The scatter
+    buffer is kept pristine-zero between rounds by sparsely re-zeroing only
+    the touched cells.
+    """
+
+    def __init__(self, batch_size: int, width: int) -> None:
+        cells = batch_size * (width + 1) * width
+        grid = batch_size * width * width
+        self.scatter = np.zeros(cells)
+        self.cell = np.empty(cells)
+        self.mw = np.empty(grid)
+        self.length = np.empty(grid)
+        self.nan = np.empty(grid, dtype=bool)
+
+    def fits(self, batch_size: int, width: int) -> bool:
+        return batch_size * (width + 1) * width <= len(self.scatter)
+
+
+def _sorted_dup_grid(
+    releases: np.ndarray, deadlines: np.ndarray, works: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared scatter for the batched grid kernels.
+
+    Returns ``(r_sorted, d_sorted, flat_idx, minlength)``: the dup-keeping
+    sorted axes plus the flat scatter index of every job into the
+    reversed-release ``(batch, n + 1, n)`` cell grid (row 0 is the all-zero
+    row for the empty release suffix; padded jobs scatter there with zero
+    work).
+    """
+    batch, n = releases.shape
+    bidx = np.arange(batch)[:, None]
+    order_r = np.argsort(releases, axis=1, kind="stable")
+    order_d = np.argsort(deadlines, axis=1, kind="stable")
+    r_sorted = releases[bidx, order_r]
+    d_sorted = deadlines[bidx, order_d]
+    idx_r = _dup_ranks(releases, r_sorted, order_r, last=True)
+    idx_d = _dup_ranks(deadlines, d_sorted, order_d, last=False)
+    dead = ~np.isfinite(releases)
+    idx_rr = np.where(dead, 0, n - idx_r)
+    idx_dd = np.where(dead, 0, idx_d)
+    flat_idx = ((bidx * (n + 1) + idx_rr) * n + idx_dd).ravel()
+    return r_sorted, d_sorted, flat_idx, batch * (n + 1) * n
+
+
+def interval_work_grid_batched(
+    releases: np.ndarray,
+    deadlines: np.ndarray,
+    works: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise :func:`interval_work_grid` on duplicate-keeping axes.
+
+    Returns ``(r_sorted, d_sorted, member_work)`` with ``r_sorted``/``d_sorted``
+    the *sorted-with-duplicates* ``(batch, n)`` axes and ``member_work`` of
+    shape ``(batch, n + 1, n)``: ``member_work[b, a, j]`` is the total work of
+    row ``b``'s jobs with ``release >= r_sorted[b, a]`` and
+    ``deadline <= d_sorted[b, j]`` (row ``n`` is the all-zero empty-suffix
+    row, mirroring the per-instance extra row).  Reads at *any* duplicate
+    index equal the unique-grid entry bitwise, so searchsorted consumers
+    (the BKP profile) work unchanged on the dup axes.
+    """
+    releases = np.asarray(releases, dtype=float)
+    deadlines = np.asarray(deadlines, dtype=float)
+    works = np.asarray(works, dtype=float)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        releases = np.where(mask, releases, np.inf)
+        deadlines = np.where(mask, deadlines, np.inf)
+        works = np.where(mask, works, 0.0)
+    batch, n = releases.shape
+    r_sorted, d_sorted, flat_idx, cells = _sorted_dup_grid(releases, deadlines, works)
+    cell = np.bincount(flat_idx, weights=works.ravel(), minlength=cells).reshape(
+        batch, n + 1, n
+    )
+    np.cumsum(cell, axis=1, out=cell)
+    member = np.cumsum(cell[:, ::-1, :], axis=2)
+    return r_sorted, d_sorted, member
+
+
+def max_density_interval_batched(
+    releases: np.ndarray,
+    deadlines: np.ndarray,
+    works: np.ndarray,
+    workspace: BatchWorkspace | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise :func:`max_density_interval` over padded ``(batch, n)`` rows.
+
+    Padded/retired jobs are the ``release = deadline = +inf, work = 0``
+    sentinel.  Returns ``(t1, t2, density)`` arrays; a row with no valid
+    interval reports ``density <= 0`` (callers test ``density > 0`` exactly
+    as the per-instance kernel's ``None`` return).  For every row with a
+    valid interval the result is bitwise equal to the per-instance kernel:
+    the dup-grid prefix sums only interleave IEEE-exact ``+ 0.0`` terms, and
+    the first-flat-argmax tie-break picks the same ``(t1, t2)`` because
+    duplicate axis entries are adjacent and in unique order.
+
+    No explicit validity mask is needed: live jobs always satisfy
+    ``release < deadline`` strictly (an invariant the YDS interval collapse
+    preserves), so any grid cell with non-positive length has zero member
+    work — the only NaNs are ``0 / 0`` cells, scrubbed to ``-inf`` before the
+    argmax.
+    """
+    releases = np.asarray(releases, dtype=float)
+    deadlines = np.asarray(deadlines, dtype=float)
+    works = np.asarray(works, dtype=float)
+    batch, n = releases.shape
+    r_sorted, d_sorted, flat_idx, cells = _sorted_dup_grid(releases, deadlines, works)
+    if workspace is not None and workspace.fits(batch, n):
+        zbuf = workspace.scatter[:cells]
+        np.add.at(zbuf, flat_idx, works.ravel())
+        zcell = zbuf.reshape(batch, n + 1, n)
+        cell = workspace.cell[:cells].reshape(batch, n + 1, n)
+        if batch * n >= 1024:
+            # row-loop cumsum: same per-lane add chain as np.cumsum (bitwise
+            # identical) but contiguous full-width adds, ~1.6x faster here
+            np.copyto(cell[:, 0, :], zcell[:, 0, :])
+            for i in range(1, n + 1):
+                np.add(cell[:, i - 1, :], zcell[:, i, :], out=cell[:, i, :])
+        else:
+            np.cumsum(zcell, axis=1, out=cell)
+        zbuf[flat_idx] = 0.0  # restore pristine zeros for the next round
+        mw = workspace.mw[: batch * n * n].reshape(batch, n, n)
+        length = workspace.length[: batch * n * n].reshape(batch, n, n)
+        nan = workspace.nan[: batch * n * n].reshape(batch, n, n)
+    else:
+        cell = np.bincount(flat_idx, weights=works.ravel(), minlength=cells).reshape(
+            batch, n + 1, n
+        )
+        np.cumsum(cell, axis=1, out=cell)
+        mw = np.empty((batch, n, n))
+        length = np.empty((batch, n, n))
+        nan = np.empty((batch, n, n), dtype=bool)
+    np.cumsum(cell[:, n:0:-1, :], axis=2, out=mw)
+    r_len = np.where(np.isinf(r_sorted), _BIG, r_sorted)
+    np.subtract(d_sorted[:, None, :], r_len[:, :, None], out=length)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        np.divide(mw, length, out=mw)
+    np.isnan(mw, out=nan)
+    mw[nan] = -np.inf
+    flat_best = np.argmax(mw.reshape(batch, -1), axis=1)
+    a, b = np.divmod(flat_best, n)
+    rows = np.arange(batch)
+    density = mw.reshape(batch, -1)[rows, flat_best]
+    t1 = r_sorted[rows, a]
+    t2 = d_sorted[rows, b]
+    return t1, t2, density
+
+
+def stepwise_rate_profile_batched(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    rates: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`stepwise_rate_profile` on duplicate-keeping events.
+
+    Returns ``(events, levels)`` of shapes ``(batch, 2n)`` and
+    ``(batch, 2n - 1)``: ``events`` are the per-row sorted endpoint values
+    *with duplicates* (padded slots contribute ``+inf`` pairs at the end) and
+    ``levels[b, k]`` is the total rate on ``[events[b, k], events[b, k+1])``.
+    Duplicate events produce zero-length segments; dropping them (and any
+    non-finite endpoints) recovers the per-instance profile bitwise, since
+    rate deltas scatter at the first duplicate of each value in the same
+    order the per-instance kernel accumulates them.
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    rates = np.asarray(rates, dtype=float)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        starts = np.where(mask, starts, np.inf)
+        ends = np.where(mask, ends, np.inf)
+        rates = np.where(mask, rates, 0.0)
+    batch, n = starts.shape
+    cat = np.concatenate([starts, ends], axis=1)
+    order = np.argsort(cat, axis=1, kind="stable")
+    events = np.take_along_axis(cat, order, axis=1)
+    first = _dup_ranks(cat, events, order, last=False)
+    width = 2 * n
+    bidx = np.arange(batch)[:, None]
+    flat = (bidx * width + first).ravel().reshape(batch, width)
+    delta = np.zeros(batch * width)
+    np.add.at(delta, flat[:, :n].ravel(), rates.ravel())
+    np.subtract.at(delta, flat[:, n:].ravel(), rates.ravel())
+    levels = np.cumsum(delta.reshape(batch, width), axis=1)[:, :-1]
+    return events, levels
+
+
+def common_release_prefix_speeds_batched(
+    t0: np.ndarray | float,
+    deadlines: np.ndarray,
+    works: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-wise :func:`common_release_prefix_speeds` (lockstep hull stacks).
+
+    ``deadlines`` rows must be sorted non-decreasingly over their live slots
+    (trailing padding allowed via ``mask``) and strictly greater than the
+    row's ``t0``.  All rows advance through the hull construction in
+    lockstep: one vectorised push per job column, with the concavity merge
+    loop iterating until no row needs another pop.  Per-row float operations
+    are the exact sequence the scalar kernel performs, so live-slot speeds
+    match it bitwise; padded slots return 0.
+    """
+    deadlines = np.asarray(deadlines, dtype=float)
+    works = np.asarray(works, dtype=float)
+    batch, m = deadlines.shape
+    t0_arr = np.broadcast_to(np.asarray(t0, dtype=float), (batch,)).astype(float)
+    if mask is None:
+        mask = np.ones((batch, m), dtype=bool)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+    if m == 0:
+        return np.zeros((batch, 0))
+
+    bad = mask & (deadlines <= t0_arr[:, None])
+    if bad.any():
+        row, col = np.argwhere(bad)[0]
+        raise ValueError(
+            f"deadline {deadlines[row, col]:g} is not after the common "
+            f"availability time {t0_arr[row]:g}"
+        )
+
+    xs = np.empty((batch, m + 1))
+    ys = np.empty((batch, m + 1))
+    last_job = np.full((batch, m + 1), -1, dtype=np.int64)
+    slopes = np.zeros((batch, m))
+    xs[:, 0] = t0_arr
+    ys[:, 0] = 0.0
+    top = np.zeros(batch, dtype=np.int64)  # index of the current top vertex
+    y_run = np.zeros(batch)
+    rows = np.arange(batch)
+    for k in range(m):
+        active = mask[:, k]
+        if not active.any():
+            continue
+        x = deadlines[:, k]
+        y_run = np.where(active, y_run + works[:, k], y_run)
+        while True:
+            can_pop = active & (top >= 1)
+            top_x = xs[rows, top]
+            top_y = ys[rows, top]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                slope = np.where(
+                    x <= top_x, np.inf, (y_run - top_y) / (x - top_x)
+                )
+            pop = can_pop & (slope >= slopes[rows, np.maximum(top - 1, 0)]) & (top >= 1)
+            if not pop.any():
+                break
+            top[pop] -= 1
+        sel = np.where(active)[0]
+        t = top[sel]
+        slopes[sel, t] = (y_run[sel] - ys[sel, t]) / (
+            deadlines[sel, k] - xs[sel, t]
+        )
+        top[sel] += 1
+        xs[sel, t + 1] = deadlines[sel, k]
+        ys[sel, t + 1] = y_run[sel]
+        last_job[sel, t + 1] = k
+
+    # fill per-job speeds: job k belongs to the hull segment whose last_job
+    # boundary is the first one >= k (scatter segment-start markers, cumsum)
+    seg_marker = np.zeros((batch, m), dtype=np.int64)
+    vertex = np.arange(m + 1)[None, :]
+    valid_vertex = (vertex >= 1) & (vertex <= top[:, None])
+    seg_start = last_job + 1  # position after each segment's last job
+    in_range = valid_vertex & (seg_start < m) & (seg_start >= 0)
+    br, bc = np.nonzero(in_range)
+    np.add.at(seg_marker, (br, seg_start[br, bc]), 1)
+    seg = np.cumsum(seg_marker, axis=1)
+    speeds = slopes[np.arange(batch)[:, None], seg]
+    return np.where(mask, speeds, 0.0)

@@ -549,6 +549,7 @@ def capabilities_to_dict(capabilities: SolverCapabilities) -> dict[str, Any]:
         "machine": capabilities.spec.machine,
         "online": capabilities.online,
         "batchable": capabilities.batchable,
+        "batch_kernel": capabilities.batch_kernel,
         "budget": capabilities.budget_kind,
         "needs_polynomial_power": capabilities.needs_polynomial_power,
         "needs_deadlines": capabilities.needs_deadlines,

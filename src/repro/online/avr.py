@@ -18,16 +18,28 @@ exactly piecewise constant -- no discretisation is involved.
 
 from __future__ import annotations
 
+import math
+from typing import Sequence
+
 import numpy as np
 
 from ..core.job import Instance
-from ..core.kernels import stepwise_rate_profile
+from ..core.kernels import (
+    pack_instances,
+    stepwise_rate_profile,
+    stepwise_rate_profile_batched,
+)
 from ..core.power import PowerFunction
 from ..core.schedule import Schedule
 from ..exceptions import InvalidInstanceError
 from .executor import execute_profile_edf
 
-__all__ = ["avr_speed_profile", "avr_speed_profile_reference", "avr_schedule"]
+__all__ = [
+    "avr_speed_profile",
+    "avr_speed_profiles_batch",
+    "avr_speed_profile_reference",
+    "avr_schedule",
+]
 
 
 def avr_speed_profile(instance: Instance) -> list[tuple[float, float, float]]:
@@ -52,6 +64,46 @@ def avr_speed_profile(instance: Instance) -> list[tuple[float, float, float]]:
         (float(a), float(b), float(s))
         for a, b, s in zip(events, events[1:], levels)
     ]
+
+
+def avr_speed_profiles_batch(
+    instances: Sequence[Instance],
+) -> list[list[tuple[float, float, float]]]:
+    """AVR profiles for a whole chunk of instances via one batched sweep.
+
+    Packs the chunk and runs
+    :func:`repro.core.kernels.stepwise_rate_profile_batched` once; each row's
+    duplicate/padding segments (zero length or non-finite end) are dropped,
+    which recovers exactly the per-instance
+    :func:`avr_speed_profile` list — bitwise, since the dup-grid scatter and
+    cumulative sum only interleave exact ``+ 0.0`` terms.  Pinned by
+    ``tests/test_batched_kernels.py``.
+    """
+    for instance in instances:
+        if not instance.has_deadlines():
+            raise InvalidInstanceError("AVR requires deadlines on every job")
+    batch = pack_instances(instances)
+    with np.errstate(invalid="ignore"):
+        rates = np.where(
+            batch.mask,
+            batch.works / (batch.deadlines - batch.releases),
+            0.0,
+        )
+    events, levels = stepwise_rate_profile_batched(
+        batch.releases, batch.deadlines, rates, batch.mask
+    )
+    profiles: list[list[tuple[float, float, float]]] = []
+    for b in range(batch.batch_size):
+        row_events = events[b]
+        row_levels = levels[b]
+        profiles.append(
+            [
+                (float(a), float(c), float(s))
+                for a, c, s in zip(row_events, row_events[1:], row_levels)
+                if c > a and math.isfinite(c)
+            ]
+        )
+    return profiles
 
 
 def avr_speed_profile_reference(

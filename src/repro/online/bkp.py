@@ -73,7 +73,10 @@ def bkp_speed_at(instance: Instance, t: float) -> float:
 
 
 def bkp_speed_profile(
-    instance: Instance, steps_per_interval: int = 64
+    instance: Instance,
+    steps_per_interval: int = 64,
+    *,
+    grid: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> list[tuple[float, float, float]]:
     """Discretised BKP speed profile between consecutive event points.
 
@@ -84,6 +87,13 @@ def bkp_speed_profile(
     tolerances and tie handling replicate the scalar evaluation exactly;
     the equivalence suite pins this function to
     :func:`bkp_speed_profile_reference` at 1e-9.
+
+    ``grid`` optionally supplies a precomputed ``(grid_r, grid_d,
+    member_work)`` triple.  Duplicate-keeping axes — one row of
+    :func:`repro.core.kernels.interval_work_grid_batched` — are accepted:
+    searchsorted reads at any duplicate index equal the unique-grid entry
+    bitwise, so the profile is unchanged.  This is how the batched solver
+    tier amortises the grid construction over a whole chunk.
     """
     if not instance.has_deadlines():
         raise InvalidInstanceError("BKP requires deadlines on every job")
@@ -93,7 +103,10 @@ def bkp_speed_profile(
     deadlines = instance.deadlines
     works = instance.works
     e = math.e
-    grid_r, grid_d, member = interval_work_grid(releases, deadlines, works)
+    if grid is None:
+        grid_r, grid_d, member = interval_work_grid(releases, deadlines, works)
+    else:
+        grid_r, grid_d, member = grid
     events = np.unique(np.concatenate([releases, deadlines]))
 
     segments: list[tuple[float, float, float]] = []
@@ -153,7 +166,11 @@ def bkp_schedule(
     power: PowerFunction,
     steps_per_interval: int = 64,
     work_tolerance: float = 1e-3,
+    *,
+    grid: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
 ) -> Schedule:
     """Execute the (discretised) BKP policy and return the resulting schedule."""
-    profile = bkp_speed_profile(instance, steps_per_interval=steps_per_interval)
+    profile = bkp_speed_profile(
+        instance, steps_per_interval=steps_per_interval, grid=grid
+    )
     return execute_profile_edf(instance, power, profile, work_tolerance=work_tolerance)

@@ -27,6 +27,60 @@ def _run_yds(request: SolveRequest) -> tuple:
     return _energy_result(yds_schedule(request.instance, request.power))
 
 
+def _run_yds_batch(requests: list[SolveRequest]) -> list[tuple]:
+    """Batched YDS: one structure-of-arrays plan pass over the whole chunk.
+
+    ``yds_speeds_batch`` computes every instance's optimal per-job speeds in
+    shared padded arrays; the EDF realisation (energy + realised per-job
+    speeds) is then evaluated per instance by ``edf_energy_speeds``, which is
+    bitwise-identical to ``yds_schedule(...).energy`` / ``.speeds``.
+    """
+    from .yds import edf_energy_speeds, yds_speeds_batch
+
+    planned = yds_speeds_batch([request.instance for request in requests])
+    results: list[tuple] = []
+    for b, request in enumerate(requests):
+        n = request.instance.n_jobs
+        energy, job_speeds = edf_energy_speeds(
+            request.instance, request.power, planned[b, :n]
+        )
+        results.append((energy, energy, job_speeds, {}))
+    return results
+
+
+def _run_avr_batch(requests: list[SolveRequest]) -> list[tuple]:
+    """Batched AVR: one event-grid sweep builds every chunk member's profile."""
+    from .avr import avr_speed_profiles_batch
+    from .executor import execute_profile_edf
+
+    profiles = avr_speed_profiles_batch([request.instance for request in requests])
+    return [
+        _energy_result(execute_profile_edf(request.instance, request.power, profile))
+        for request, profile in zip(requests, profiles)
+    ]
+
+
+def _run_bkp_batch(requests: list[SolveRequest]) -> list[tuple]:
+    """Batched BKP: share one packed release x deadline work grid per chunk."""
+    from ..core.kernels import interval_work_grid_batched, pack_instances
+    from .bkp import bkp_schedule
+
+    batch = pack_instances([request.instance for request in requests])
+    grid_r, grid_d, member = interval_work_grid_batched(
+        batch.releases, batch.deadlines, batch.works, batch.mask
+    )
+    results: list[tuple] = []
+    for b, request in enumerate(requests):
+        n = request.instance.n_jobs
+        schedule = bkp_schedule(
+            request.instance,
+            request.power,
+            grid=(grid_r[b, :n], grid_d[b, :n], member[b, : n + 1, :n]),
+        )
+        results.append(_energy_result(schedule))
+    return results
+
+
 def _run_avr(request: SolveRequest) -> tuple:
     from .avr import avr_schedule
 
@@ -48,30 +102,51 @@ def _run_bkp(request: SolveRequest) -> tuple:
 def register_solvers(registry) -> None:
     """Register the deadline-feasibility solvers (YDS, AVR, OA, BKP)."""
 
-    def caps(name: str, summary: str, online: bool) -> SolverCapabilities:
+    def caps(
+        name: str, summary: str, online: bool, batch_kernel: bool = False
+    ) -> SolverCapabilities:
         return SolverCapabilities(
             name=name,
             spec=ProblemSpec(objective="energy", mode="server", online=online),
             summary=summary,
             budget_kind="none",
             batchable=True,
+            batch_kernel=batch_kernel,
             needs_deadlines=True,
             certificates=("competitive-ratio",) if online else ("yds-density",),
         )
 
     registry.register(
-        caps("yds", "offline-optimal deadline-feasible energy (YDS)", online=False),
+        caps(
+            "yds",
+            "offline-optimal deadline-feasible energy (YDS)",
+            online=False,
+            batch_kernel=True,
+        ),
         _run_yds,
+        batch_fn=_run_yds_batch,
     )
     registry.register(
-        caps("avr", "Average Rate online heuristic (deadline-feasible)", online=True),
+        caps(
+            "avr",
+            "Average Rate online heuristic (deadline-feasible)",
+            online=True,
+            batch_kernel=True,
+        ),
         _run_avr,
+        batch_fn=_run_avr_batch,
     )
     registry.register(
         caps("oa", "Optimal Available online algorithm (incremental engine)", online=True),
         _run_oa,
     )
     registry.register(
-        caps("bkp", "Bansal-Kimbrel-Pruhs online algorithm (discretised)", online=True),
+        caps(
+            "bkp",
+            "Bansal-Kimbrel-Pruhs online algorithm (discretised)",
+            online=True,
+            batch_kernel=True,
+        ),
         _run_bkp,
+        batch_fn=_run_bkp_batch,
     )

@@ -29,8 +29,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import heapq
+from typing import Sequence
+
 from ..core.job import Instance
-from ..core.kernels import max_density_interval
+from ..core.kernels import (
+    BatchWorkspace,
+    max_density_interval,
+    max_density_interval_batched,
+    pack_instances,
+    power_eval,
+)
 from ..core.power import PowerFunction
 from ..core.schedule import Piece, Schedule
 from ..exceptions import InfeasibleError, InvalidInstanceError
@@ -38,9 +47,11 @@ from ..exceptions import InfeasibleError, InvalidInstanceError
 __all__ = [
     "YDSResult",
     "yds_speeds",
+    "yds_speeds_batch",
     "yds_speeds_reference",
     "yds_schedule",
     "edf_schedule_at_speeds",
+    "edf_energy_speeds",
 ]
 
 
@@ -246,3 +257,170 @@ def yds_schedule(instance: Instance, power: PowerFunction) -> Schedule:
     """The full YDS minimum-energy schedule meeting every deadline."""
     result = yds_speeds(instance)
     return edf_schedule_at_speeds(instance, power, result.speeds)
+
+
+# ----------------------------------------------------------------------
+# structure-of-arrays batched tier
+# ----------------------------------------------------------------------
+
+def yds_speeds_batch(instances: Sequence[Instance]) -> np.ndarray:
+    """YDS speeds for a whole chunk of instances in lockstep.
+
+    Packs the chunk into padded ``(batch, n)`` arrays and runs every YDS
+    round once over all still-active rows via
+    :func:`repro.core.kernels.max_density_interval_batched`, so a fleet of
+    small instances pays one NumPy dispatch per round instead of one per
+    instance per round.  Returns a ``(batch, max_n)`` speed array whose row
+    ``b`` equals ``yds_speeds(instances[b]).speeds`` *bitwise* on the first
+    ``instances[b].n_jobs`` slots (padding slots are 0); pinned by
+    ``tests/test_batched_kernels.py``.
+    """
+    for instance in instances:
+        _require_deadlines(instance)
+    batch = pack_instances(instances)
+    releases = np.where(batch.mask, batch.releases, np.inf)
+    deadlines = np.where(batch.mask, batch.deadlines, np.inf)
+    works = np.where(batch.mask, batch.works, 0.0)
+    n_rows, width = releases.shape
+    ids = np.broadcast_to(np.arange(width), (n_rows, width)).copy()
+    rows = np.arange(n_rows)
+    speeds = np.zeros((n_rows, width))
+    workspace = (
+        BatchWorkspace(n_rows, width) if n_rows * width >= 1024 else None
+    )
+    while len(rows):
+        t1, t2, density = max_density_interval_batched(
+            releases, deadlines, works, workspace
+        )
+        live_rows = np.where(density > 0.0)[0]
+        if len(live_rows) == 0:
+            break
+        if len(live_rows) < len(rows):
+            rows = rows[live_rows]
+            releases = releases[live_rows]
+            deadlines = deadlines[live_rows]
+            works = works[live_rows]
+            ids = ids[live_rows]
+            t1 = t1[live_rows]
+            t2 = t2[live_rows]
+            density = density[live_rows]
+        members = (releases >= t1[:, None]) & (deadlines <= t2[:, None])
+        mem_r, mem_c = np.nonzero(members)
+        speeds[rows[mem_r], ids[mem_r, mem_c]] = density[mem_r]
+        # retire the members, then collapse [t1, t2] exactly as the
+        # per-instance rounds do
+        works[members] = 0.0
+        releases[members] = np.inf
+        deadlines[members] = np.inf
+        lo = t1[:, None]
+        hi = t2[:, None]
+        length = hi - lo
+        releases = np.where(
+            releases >= hi, releases - length, np.where(releases > lo, lo, releases)
+        )
+        deadlines = np.where(
+            deadlines >= hi, deadlines - length, np.where(deadlines > lo, lo, deadlines)
+        )
+        alive = np.isfinite(deadlines)
+        live_width = int(alive.sum(axis=1).max()) if len(alive) else 0
+        if live_width == 0:
+            break
+        if live_width < releases.shape[1]:
+            # stable-partition live jobs first and shrink the row width so
+            # later rounds run on the smallest grid that still fits
+            order = np.argsort(~alive, axis=1, kind="stable")
+            releases = np.take_along_axis(releases, order, axis=1)[:, :live_width]
+            deadlines = np.take_along_axis(deadlines, order, axis=1)[:, :live_width]
+            works = np.take_along_axis(works, order, axis=1)[:, :live_width]
+            ids = np.take_along_axis(ids, order, axis=1)[:, :live_width]
+    return speeds
+
+
+def edf_energy_speeds(
+    instance: Instance,
+    power: PowerFunction,
+    speeds: np.ndarray,
+) -> tuple[float, np.ndarray]:
+    """Energy and per-job average speeds of the EDF realisation, fast.
+
+    Computes exactly what ``edf_schedule_at_speeds(...).energy`` and
+    ``.speeds`` would (same thresholds, same piece-merge criteria, same
+    float operation order — the results are bitwise identical) without
+    constructing ``Piece``/``Schedule`` objects, which dominate the cost for
+    small instances.  The batched solver tier realises its planned speeds
+    through this path; ``tests/test_batched_kernels.py`` pins it to the
+    schedule-building one.
+    """
+    _require_deadlines(instance)
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.shape != (instance.n_jobs,):
+        raise InvalidInstanceError("need one speed per job")
+    if np.any(speeds <= 0.0) or np.any(~np.isfinite(speeds)):
+        raise InvalidInstanceError("speeds must be finite and positive")
+
+    n = instance.n_jobs
+    order = np.argsort(instance.releases, kind="stable")
+    releases = instance.releases[order].tolist()
+    deadline_arr = instance.deadlines
+    deadlines = deadline_arr[order].tolist()
+    remaining = instance.works[order].astype(float).tolist()
+    job_ids = order.tolist()
+    speed_list = speeds[order].tolist()
+
+    pending: list[tuple[float, int]] = []  # (deadline, original job id) heap
+    nxt = 0
+    t = releases[0] if n else 0.0
+    piece_jobs: list[int] = []
+    piece_starts: list[float] = []
+    piece_ends: list[float] = []
+    piece_speeds: list[float] = []
+    slot_of = [0] * n  # original job id -> sorted slot
+    for slot, jid in enumerate(job_ids):
+        slot_of[jid] = slot
+    for _ in range(10 * n * (n + 1) + 10):
+        while nxt < n and releases[nxt] <= t + 1e-12:
+            heapq.heappush(pending, (deadlines[nxt], job_ids[nxt]))
+            nxt += 1
+        while pending and remaining[slot_of[pending[0][1]]] <= 1e-12:
+            heapq.heappop(pending)
+        if not pending:
+            if nxt >= n:
+                break
+            t = releases[nxt]
+            continue
+        job = pending[0][1]
+        slot = slot_of[job]
+        speed = speed_list[slot]
+        finish_time = t + remaining[slot] / speed
+        next_release = releases[nxt] if nxt < n else math.inf
+        end = finish_time if finish_time < next_release else next_release
+        if end > t + 1e-15:
+            if (
+                piece_jobs
+                and piece_jobs[-1] == job
+                and math.isclose(piece_ends[-1], t, abs_tol=1e-12)
+                and math.isclose(piece_speeds[-1], speed, rel_tol=1e-12)
+            ):
+                piece_ends[-1] = end
+                piece_speeds[-1] = speed
+            else:
+                piece_jobs.append(job)
+                piece_starts.append(t)
+                piece_ends.append(end)
+                piece_speeds.append(speed)
+            remaining[slot] -= speed * (end - t)
+        t = end
+    else:  # pragma: no cover - defensive
+        raise InfeasibleError("EDF simulation did not terminate")
+
+    jobs = np.array(piece_jobs, dtype=np.intp)
+    starts = np.array(piece_starts)
+    ends = np.array(piece_ends)
+    piece_speed_arr = np.array(piece_speeds)
+    durations = ends - starts
+    energy = float(np.sum(power_eval(power, piece_speed_arr) * durations))
+    total_time = np.bincount(jobs, weights=durations, minlength=n)
+    total_work = np.bincount(jobs, weights=piece_speed_arr * durations, minlength=n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        job_speeds = np.where(total_time > 0, total_work / total_time, math.nan)
+    return energy, job_speeds

@@ -42,6 +42,7 @@ from repro.core.kernels import (
     power_eval,
     prefix_sums,
 )
+from repro.core.power import AffinePolynomialPower
 from repro.makespan import brute_force_laptop, incmerge, makespan_frontier, quadratic_laptop
 from repro.online import yds_speeds, yds_speeds_reference
 
@@ -73,6 +74,55 @@ def test_power_and_energy_eval_match_scalar_methods(works, alpha):
     assert np.allclose(power_eval(power, speeds), expect_power, rtol=1e-12)
     expect_energy = [power.energy(float(w), float(s)) for w, s in zip(works, speeds)]
     assert np.allclose(energy_eval(power, np.array(works), speeds), expect_energy, rtol=1e-12)
+
+
+def test_energy_eval_general_power_accepts_2d_regression():
+    """Pinned falsifying input for the non-polynomial 2-D ``energy_eval`` bug.
+
+    The general-power fallback zipped the raw arrays, so 2-D input paired
+    whole *rows* and ``float(row)`` raised ``TypeError``.  The batched tier
+    evaluates padded ``(batch, n)`` arrays through this exact branch, so the
+    fallback must flatten (and broadcast) before the scalar loop.
+    """
+    power = AffinePolynomialPower(exponent=3.0, coefficient=1.0, static=0.5)
+    assert not power.is_polynomial  # must exercise the fallback branch
+    # all speeds above the affine model's critical speed (~0.63)
+    works = np.array([[1.0, 2.0, 0.5], [0.25, 3.0, 1.5]])
+    speeds = np.array([[2.0, 1.0, 4.0], [1.0, 1.5, 2.0]])
+    out = energy_eval(power, works, speeds)
+    assert out.shape == (2, 3)
+    for i in range(2):
+        for j in range(3):
+            assert out[i, j] == pytest.approx(
+                power.energy(float(works[i, j]), float(speeds[i, j])), rel=1e-12
+            )
+    # broadcasting (one speed row against a 2-D work grid) follows numpy rules
+    broad = energy_eval(power, works, speeds[0])
+    assert broad.shape == (2, 3)
+    assert broad[1, 2] == pytest.approx(
+        power.energy(float(works[1, 2]), float(speeds[0, 2])), rel=1e-12
+    )
+
+
+def test_chain_start_times_empty_input_regression():
+    """Pinned falsifying input for the empty-chain ``IndexError`` bug.
+
+    ``chain_start_times([], [], t0)`` indexed ``adjusted[0]`` unconditionally;
+    an empty chain (e.g. a processor that was assigned no jobs) must come
+    back as an empty ``(starts, ends)`` pair instead of raising.
+    """
+    starts, ends = chain_start_times(np.empty(0), np.empty(0), 3.5)
+    assert starts.shape == (0,)
+    assert ends.shape == (0,)
+    assert starts is not ends  # callers may mutate one without the other
+    # the downstream Schedule.from_speeds path over the same recurrence is
+    # unchanged for the smallest real chain
+    from repro.core.schedule import Schedule
+
+    inst = Instance.from_arrays([1.0], [2.0])
+    sched = Schedule.from_speeds(inst, CUBE, np.array([4.0]))
+    assert sched.pieces[0].start == pytest.approx(1.0, rel=1e-12)
+    assert sched.pieces[0].end == pytest.approx(1.5, rel=1e-12)
 
 
 @common_settings
