@@ -1,0 +1,213 @@
+"""SIM-REPLAY -- the scenario matrix: measured energy vs the YDS bound.
+
+ROADMAP item 3 (scenario diversity): replay the three trace families
+(day-night periodic, heavy-tail bursty, MMPP) through the online policies
+(AVR, OA, BKP) on machine models of increasing realism -- the paper's pure
+``s^alpha`` machine, a static-power + sleep-state variant, and the discrete
+Athlon-64-ladder variants under both quantization policies.  This benchmark
+
+* runs the full {trace x machine x algorithm} matrix twice and asserts the
+  two payloads are identical (the replay is a pure function of
+  ``(trace, seed)``),
+* asserts every pure-machine row matches the competitive pipeline's registry
+  solvers to 1e-9 (they are in fact bitwise-equal by construction),
+* measures replay throughput in simulation events per second,
+* writes ``benchmarks/results/BENCH_sim.json`` (events/sec plus the
+  energy-ratio summary per {machine x algorithm x family}) and a
+  human-readable table.
+
+Running this file directly with ``--quick`` is the CI smoke: a 1-seed
+single-family matrix, the same continuous-match assertion, and a freshness
+check that the committed ``BENCH_sim.json`` carries the sections this file
+writes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import best_of as _best_of
+from repro.analysis import format_table
+from repro.batch import solve_many
+from repro.core import PolynomialPower
+from repro.sim import generate_trace, machine_model, scenario_matrix, simulate
+
+RESULTS = Path(__file__).parent / "results"
+
+ALGORITHMS = ("avr", "oa", "bkp")
+MACHINES = ("pure", "static-sleep", "athlon64", "athlon64-nearest")
+FAMILIES = ("day-night", "heavy-tail", "mmpp")
+SIZES = (8, 12)
+SEEDS = 3
+ALPHA = 3.0
+
+#: Pure-machine rows must match the competitive pipeline to this tolerance
+#: (the acceptance bar; the implementation shares the solver functions, so
+#: the observed difference is exactly zero).
+CONTINUOUS_RTOL = 1e-9
+
+
+def _merge_results(filename: str, update: dict) -> None:
+    """Read-modify-write a results JSON so independent sections coexist."""
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    path = RESULTS / filename
+    data: dict = {}
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    data.update(update)
+    path.write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+
+def _assert_continuous_match(payload: dict, alpha: float) -> None:
+    """Every pure-machine cell equals the registry's online solver energy."""
+    power = PolynomialPower(alpha)
+    pure = [c for c in payload["cells"] if c["machine"] == "pure"]
+    assert pure, "the matrix must include the pure machine"
+    for cell in pure:
+        trace = generate_trace(cell["family"], cell["n_jobs"], cell["seed"])
+        instance = trace.to_instance()
+        row = solve_many([instance], power, 0.0, solver=cell["algorithm"])[0]
+        bound = solve_many([instance], power, 0.0, solver="yds")[0]
+        assert abs(cell["energy"] - row.energy) <= CONTINUOUS_RTOL * row.energy, (
+            f"{cell['algorithm']} on {cell['trace']}: sim energy "
+            f"{cell['energy']!r} != registry {row.energy!r}"
+        )
+        assert abs(cell["yds_bound"] - bound.energy) <= CONTINUOUS_RTOL * bound.energy
+
+
+def test_sim_scenario_matrix():
+    start = time.perf_counter()
+    payload = scenario_matrix(
+        algorithms=ALGORITHMS,
+        machines=MACHINES,
+        families=FAMILIES,
+        sizes=SIZES,
+        seeds=SEEDS,
+        alpha=ALPHA,
+    )
+    elapsed = time.perf_counter() - start
+    again = scenario_matrix(
+        algorithms=ALGORITHMS,
+        machines=MACHINES,
+        families=FAMILIES,
+        sizes=SIZES,
+        seeds=SEEDS,
+        alpha=ALPHA,
+    )
+    assert payload == again, "the scenario matrix must be deterministic"
+    _assert_continuous_match(payload, ALPHA)
+
+    total_events = sum(c["n_events"] for c in payload["cells"])
+    events_per_second = total_events / elapsed if elapsed > 0 else float("inf")
+
+    rows = [
+        [
+            r["machine"],
+            r["algorithm"],
+            r["family"],
+            r["cells"],
+            round(r["mean_ratio"], 4),
+            round(r["max_ratio"], 4),
+            r["deadline_misses"],
+            r["sleep_transitions"],
+            r["clamped_segments"],
+        ]
+        for r in payload["summary"]
+    ]
+    report = {
+        "benchmark": "sim_replay",
+        "parameters": payload["parameters"],
+        "cells": len(payload["cells"]),
+        "total_events": total_events,
+        "elapsed_seconds": elapsed,
+        "events_per_second": events_per_second,
+        "continuous_match_rtol": CONTINUOUS_RTOL,
+        "summary": payload["summary"],
+    }
+    _merge_results("BENCH_sim.json", {"scenario_matrix": report})
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "sim_scenario_matrix.txt").write_text(
+        format_table(
+            ["machine", "algorithm", "family", "cells", "mean_ratio",
+             "max_ratio", "misses", "sleeps", "clamped"],
+            rows,
+            title=(
+                f"scenario matrix: measured energy / clairvoyant YDS bound "
+                f"(alpha={ALPHA:g}, sizes={SIZES}, {SEEDS} seeds; "
+                f"{total_events} events at {events_per_second:.0f} events/s)"
+            ),
+        ),
+        encoding="utf-8",
+    )
+
+
+def test_sim_replay_throughput():
+    """Single-trace replay timing per machine model (best of 3)."""
+    trace = generate_trace("mmpp", 12, 0)
+    section: dict = {"trace": trace.name, "machines": {}}
+    for name in MACHINES:
+        machine = machine_model(name, alpha=ALPHA)
+        t, result = _best_of(lambda m=machine: simulate(trace, m, "oa"), repeats=3)
+        section["machines"][name] = {
+            "seconds": t,
+            "events": result.report.n_events,
+            "events_per_second": result.report.n_events / t if t > 0 else float("inf"),
+            "energy_ratio": result.report.energy_ratio,
+        }
+    _merge_results("BENCH_sim.json", {"single_replay": section})
+
+
+def _quick_smoke() -> int:
+    """CI smoke: tiny matrix, continuous-match assertion, freshness check."""
+    start = time.perf_counter()
+    payload = scenario_matrix(
+        algorithms=("oa", "avr"),
+        machines=("pure", "athlon64"),
+        families=("day-night",),
+        sizes=(8,),
+        seeds=1,
+        alpha=ALPHA,
+    )
+    elapsed = time.perf_counter() - start
+    _assert_continuous_match(payload, ALPHA)
+    total_events = sum(c["n_events"] for c in payload["cells"])
+    print(
+        f"quick smoke: {len(payload['cells'])} cells, {total_events} events "
+        f"in {elapsed:.3f}s -- pure rows match the registry to "
+        f"{CONTINUOUS_RTOL:g}"
+    )
+    path = RESULTS / "BENCH_sim.json"
+    if not path.exists():
+        print(f"FAIL: {path} missing -- regenerate with the full benchmarks")
+        return 1
+    data = json.loads(path.read_text(encoding="utf-8"))
+    status = 0
+    for key in ("scenario_matrix", "single_replay"):
+        if key not in data:
+            print(
+                f"FAIL: {path} has no {key!r} section -- regenerate with the "
+                "full benchmarks"
+            )
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: tiny matrix, continuous-match assertion, and a "
+             "freshness check on the committed BENCH_sim.json",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        sys.exit(_quick_smoke())
+    test_sim_scenario_matrix()
+    test_sim_replay_throughput()
+    print("full sim replay benchmarks written to", RESULTS)

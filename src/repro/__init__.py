@@ -36,7 +36,13 @@ Subpackage map (see README.md and DESIGN.md for the full tour):
   structural feasibility/accounting checks plus the per-solver optimality
   certificates declared in the registry (``repro verify`` on the command
   line, :func:`repro.api.verify` in the library).
-* :mod:`repro.discrete` -- discrete speed levels (future-work extension).
+* :mod:`repro.discrete` -- discrete speed levels: named DVFS ladders and the
+  two-level / nearest quantization of continuous plans and speed profiles.
+* :mod:`repro.sim` -- trace-driven discrete-event simulation: arrival traces
+  (CSV/JSON-lines), machine models (static power, sleep states, discrete
+  levels), the deterministic replay engine and the
+  {trace x machine x algorithm} scenario matrix (``repro sim`` /
+  ``repro compete --machines`` on the command line).
 * :mod:`repro.workloads` -- the paper's instances and synthetic generators.
 * :mod:`repro.analysis` -- derivatives, breakpoints, tables, ASCII plots.
 """
@@ -55,6 +61,7 @@ from . import (
     multi,
     online,
     service,
+    sim,
     verify,
     workloads,
 )
@@ -103,6 +110,7 @@ __all__ = [
     "multi",
     "online",
     "service",
+    "sim",
     "verify",
     "workloads",
     "ProblemSpec",

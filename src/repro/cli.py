@@ -64,6 +64,7 @@ from .io import (
     capabilities_to_dict,
     load_instance,
     load_instances,
+    machine_model_from_dict,
     report_to_dict,
     request_from_dict,
     result_from_dict,
@@ -72,6 +73,18 @@ from .io import (
 from .makespan import makespan_frontier
 from .online.compete import ALGORITHMS, FAMILIES, competitive_sweep
 from .service import DEFAULT_MAX_PENDING, AsyncServeLoop
+from .sim import (
+    MACHINE_MODEL_NAMES,
+    SIM_ALGORITHMS,
+    TRACE_FAMILIES,
+    generate_trace,
+    load_trace,
+    machine_model,
+    save_trace,
+    scenario_matrix,
+    sim_report_to_dict,
+    simulate,
+)
 from .workloads import FIGURE1_ENERGY_RANGE, figure1_instance, figure1_power
 
 __all__ = ["main", "build_parser"]
@@ -464,25 +477,85 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_output(args: argparse.Namespace, payload: dict) -> None:
+    """Canonical deterministic dump: equal grids give byte-identical files."""
+    if not getattr(args, "output", None):
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    out = Path(args.output)
+    try:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot write {out}: {exc}") from exc
+
+
+def _cmd_compete_matrix(args: argparse.Namespace) -> int:
+    """The --machines branch: the {trace x machine x algorithm} matrix."""
+    alphas = _parse_floats(args.alphas) if args.alphas else [3.0]
+    if len(alphas) != 1:
+        raise ReproError(
+            "--machines replays one power exponent at a time; pass a single "
+            "--alphas value"
+        )
+    families = (
+        [f.strip() for f in args.families.split(",") if f.strip()]
+        if args.families
+        else list(TRACE_FAMILIES)
+    )
+    payload = scenario_matrix(
+        algorithms=[a.strip() for a in args.algorithms.split(",") if a.strip()],
+        machines=[m.strip() for m in args.machines.split(",") if m.strip()],
+        families=families,
+        sizes=[int(s) for s in _parse_floats(args.sizes)],
+        seeds=args.seeds,
+        alpha=alphas[0],
+        workers=args.workers,
+        cache=_cache_from_args(args),
+    )
+    _write_output(args, payload)
+    rows = [
+        [
+            r["machine"],
+            r["algorithm"],
+            r["family"],
+            r["cells"],
+            r["mean_ratio"],
+            r["max_ratio"],
+            r["deadline_misses"],
+            r["sleep_transitions"],
+        ]
+        for r in payload["summary"]
+    ]
+    _emit(
+        args,
+        ["machine", "algorithm", "family", "cells", "mean_ratio", "max_ratio",
+         "misses", "sleeps"],
+        rows,
+        f"measured energy vs clairvoyant YDS over {len(payload['cells'])} "
+        f"scenario cells (alpha={alphas[0]:g})",
+        payload,
+    )
+    return 0
+
+
 def _cmd_compete(args: argparse.Namespace) -> int:
+    if args.machines:
+        return _cmd_compete_matrix(args)
     payload = competitive_sweep(
         algorithms=[a.strip() for a in args.algorithms.split(",") if a.strip()],
-        alphas=_parse_floats(args.alphas),
-        families=[f.strip() for f in args.families.split(",") if f.strip()],
+        alphas=_parse_floats(args.alphas) if args.alphas else [2.0, 3.0],
+        families=(
+            [f.strip() for f in args.families.split(",") if f.strip()]
+            if args.families
+            else list(FAMILIES)
+        ),
         sizes=[int(s) for s in _parse_floats(args.sizes)],
         seeds=args.seeds,
         workers=args.workers,
         cache=_cache_from_args(args),
     )
-    if args.output:
-        # canonical deterministic dump: equal grids give byte-identical files
-        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-        out = Path(args.output)
-        try:
-            out.parent.mkdir(parents=True, exist_ok=True)
-            out.write_text(text, encoding="utf-8")
-        except OSError as exc:
-            raise ReproError(f"cannot write {out}: {exc}") from exc
+    _write_output(args, payload)
     rows = [
         [
             r["algorithm"],
@@ -500,6 +573,70 @@ def _cmd_compete(args: argparse.Namespace) -> int:
         ["algorithm", "alpha", "family", "cells", "mean_ratio", "max_ratio", "bound"],
         rows,
         f"empirical energy ratios vs YDS over {len(payload['cells'])} grid cells",
+        payload,
+    )
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    """Replay one trace through the online policies on a machine model."""
+    if args.trace:
+        trace = load_trace(args.trace)
+    elif args.family:
+        trace = generate_trace(args.family, args.size, args.seed)
+    else:
+        raise ReproError(
+            "provide --trace FILE (.csv/.jsonl) or --family NAME "
+            f"(known: {', '.join(TRACE_FAMILIES)})"
+        )
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+    if args.machine.endswith(".json"):
+        machine = machine_model_from_dict(_load_json(args.machine))
+    else:
+        machine = machine_model(args.machine, alpha=args.alpha)
+    algorithms = [a.strip() for a in args.algorithms.split(",") if a.strip()]
+    if not algorithms:
+        raise ReproError("provide at least one algorithm via --algorithms")
+    reports = []
+    bound = None  # the clairvoyant YDS bound is trace-level: compute it once
+    for algorithm in algorithms:
+        result = simulate(trace, machine, algorithm, yds_bound=bound)
+        bound = result.report.yds_bound
+        reports.append(result.report)
+    payload = {
+        "kind": "sim",
+        "parameters": {
+            "trace": trace.name,
+            "events": trace.n_events,
+            "machine": machine.name,
+            "alpha": args.alpha,
+            "algorithms": algorithms,
+        },
+        "reports": [sim_report_to_dict(r) for r in reports],
+    }
+    _write_output(args, payload)
+    rows = [
+        [
+            r.algorithm,
+            r.energy,
+            r.yds_bound,
+            r.energy_ratio,
+            r.deadline_misses,
+            r.speed_switches,
+            r.sleep_transitions,
+            r.clamped_segments,
+            r.n_events,
+        ]
+        for r in reports
+    ]
+    _emit(
+        args,
+        ["algorithm", "energy", "yds_bound", "ratio", "misses", "switches",
+         "sleeps", "clamped", "events"],
+        rows,
+        f"replay of {trace.name!r} ({trace.n_events} events) on "
+        f"{machine.describe()}",
         payload,
     )
     return 0
@@ -726,18 +863,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "compete",
         help="online-vs-YDS competitive-ratio sweep over a workload grid",
+        description="Sweep the online algorithms against the clairvoyant YDS "
+                    "optimum.  Default mode replays the continuous-model "
+                    "workload grid; --machines switches to the simulation "
+                    "scenario matrix: every trace family is replayed through "
+                    "repro.sim.simulate on each named machine model (static "
+                    "power, sleep states, discrete speed ladders), and the "
+                    "ratio reported is measured energy over the YDS bound.",
     )
     p.add_argument(
         "--algorithms", default=",".join(ALGORITHMS),
         help=f"comma-separated online algorithms (default {','.join(ALGORITHMS)})",
     )
     p.add_argument(
-        "--alphas", default="2,3",
-        help="comma-separated power exponents (power = speed^alpha)",
+        "--alphas", default=None,
+        help="comma-separated power exponents (power = speed^alpha; default "
+             "2,3 — with --machines a single value, default 3)",
     )
     p.add_argument(
-        "--families", default=",".join(FAMILIES),
-        help=f"comma-separated workload families (known: {','.join(FAMILIES)})",
+        "--families", default=None,
+        help=f"comma-separated workload families (default {','.join(FAMILIES)}; "
+             f"with --machines trace families, default "
+             f"{','.join(sorted(TRACE_FAMILIES))})",
+    )
+    p.add_argument(
+        "--machines", default=None,
+        help="comma-separated machine-model presets (e.g. pure,static-sleep,"
+             "athlon64): switch to the {trace x machine x algorithm} "
+             f"simulation matrix (known: {','.join(sorted(MACHINE_MODEL_NAMES))})",
     )
     p.add_argument(
         "--sizes", default="8,12", help="comma-separated instance sizes (jobs)"
@@ -755,6 +908,51 @@ def build_parser() -> argparse.ArgumentParser:
                         "overlapping grids pay for each cell once")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_compete)
+
+    p = sub.add_parser(
+        "sim",
+        help="replay an arrival trace on a realistic machine model",
+        description="Trace-driven discrete-event simulation: replay one "
+                    "arrival trace (a generated family or a .csv/.jsonl file) "
+                    "through the online policies on a machine model with "
+                    "static power, sleep states and discrete speed levels, "
+                    "and report measured energy against the clairvoyant YDS "
+                    "bound.  Exit code 2 flags malformed traces or unknown "
+                    "models.",
+    )
+    p.add_argument(
+        "--trace",
+        help="path to a trace file (.csv or .jsonl/.ndjson, see repro.sim)",
+    )
+    p.add_argument(
+        "--family", choices=sorted(TRACE_FAMILIES),
+        help="generate the trace from a seeded family instead of a file",
+    )
+    p.add_argument("--size", type=int, default=12,
+                   help="jobs per generated trace (default 12)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator seed (default 0)")
+    p.add_argument(
+        "--save-trace", metavar="FILE",
+        help="also write the replayed trace to FILE (.csv or .jsonl)",
+    )
+    p.add_argument(
+        "--machine", default="pure",
+        help="machine-model preset or a machine-model JSON file "
+             f"(presets: {','.join(sorted(MACHINE_MODEL_NAMES))}; default pure)",
+    )
+    p.add_argument(
+        "--algorithms", default=",".join(SIM_ALGORITHMS),
+        help=f"comma-separated online policies (default {','.join(SIM_ALGORITHMS)})",
+    )
+    p.add_argument("--alpha", type=float, default=3.0,
+                   help="power = speed^alpha for preset machines (default 3)")
+    p.add_argument(
+        "--output",
+        help="write the JSON payload to this file (deterministic byte-identical reruns)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    p.set_defaults(func=_cmd_sim)
 
     p = sub.add_parser(
         "serve",

@@ -8,14 +8,22 @@ continuous-speed plan, and the resulting energy-overhead accounting used by
 """
 
 from .models import ATHLON64, SpeedLevels, geometric_levels, uniform_levels
-from .quantize import QuantizationResult, quantize_schedule, two_level_split
+from .quantize import (
+    ProfileQuantization,
+    QuantizationResult,
+    quantize_profile,
+    quantize_schedule,
+    two_level_split,
+)
 
 __all__ = [
     "ATHLON64",
     "SpeedLevels",
     "geometric_levels",
     "uniform_levels",
+    "ProfileQuantization",
     "QuantizationResult",
+    "quantize_profile",
     "quantize_schedule",
     "two_level_split",
 ]

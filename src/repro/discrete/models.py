@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import InvalidInstanceError
+from ..exceptions import InvalidInstanceError, InvalidScheduleError
 
 __all__ = ["SpeedLevels", "ATHLON64", "uniform_levels", "geometric_levels"]
 
@@ -44,7 +44,18 @@ class SpeedLevels:
         return self.levels[-1]
 
     def bracket(self, speed: float) -> tuple[float, float]:
-        """The pair of adjacent levels surrounding ``speed`` (clamped at the ends)."""
+        """The pair of adjacent levels surrounding ``speed`` (clamped at the ends).
+
+        Idle is not an operating point: callers must handle zero-speed
+        segments themselves (map them to idle or sleep power), so a
+        non-positive ``speed`` raises rather than silently clamping up to
+        ``min_speed`` and inflating energy.
+        """
+        if speed <= 0:
+            raise InvalidScheduleError(
+                "cannot bracket a non-positive speed: idle segments must stay "
+                "idle, not run at the lowest operating point"
+            )
         if speed <= self.min_speed:
             return (self.min_speed, self.min_speed)
         if speed >= self.max_speed:
@@ -55,9 +66,22 @@ class SpeedLevels:
         return (float(levels[lo_index]), float(levels[hi_index]))
 
     def nearest(self, speed: float) -> float:
-        """The closest level to ``speed``."""
+        """The closest level to ``speed`` (idle is not a level; see :meth:`bracket`)."""
+        if speed <= 0:
+            raise InvalidScheduleError(
+                "cannot round a non-positive speed to an operating point"
+            )
         levels = np.asarray(self.levels)
         return float(levels[np.argmin(np.abs(levels - speed))])
+
+    def scaled(self, factor: float, name: str | None = None) -> "SpeedLevels":
+        """The same ladder with every level multiplied by ``factor``."""
+        if factor <= 0:
+            raise InvalidInstanceError("scale factor must be positive")
+        return SpeedLevels(
+            name or f"{self.name}-x{factor:g}",
+            tuple(level * factor for level in self.levels),
+        )
 
     def __len__(self) -> int:
         return len(self.levels)

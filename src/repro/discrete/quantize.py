@@ -14,6 +14,21 @@ continuous algorithms, reports the energy overhead, and flags infeasibility
 when a planned speed exceeds the hardware's maximum (in that case the job is
 clamped to the maximum level and the completion times shift right -- the
 caller decides whether that is acceptable).
+
+Two policies are supported end-to-end:
+
+* ``"two-level"`` -- the work-conserving emulation above (never misses a
+  deadline unless the maximum level clamps),
+* ``"nearest"`` -- snap to the closest level; rounding *down* loses capacity
+  inside the window, so completions shift right and deadline misses become
+  possible.  The simulation layer (:mod:`repro.sim`) records them instead of
+  raising.
+
+:func:`quantize_profile` applies the same policies to a piecewise-constant
+speed *profile* (the ``(start, end, speed)`` triples consumed by
+:func:`repro.online.execute_profile_edf`).  Zero-speed segments are idle, not
+work: they stay at speed 0 so the machine model can charge idle or sleep
+power for them -- never the lowest operating point.
 """
 
 from __future__ import annotations
@@ -28,7 +43,26 @@ from ..core.schedule import Piece, Schedule
 from ..exceptions import InvalidScheduleError
 from .models import SpeedLevels
 
-__all__ = ["QuantizationResult", "quantize_schedule", "two_level_split"]
+__all__ = [
+    "ProfileQuantization",
+    "QuantizationResult",
+    "quantize_profile",
+    "quantize_schedule",
+    "two_level_split",
+]
+
+#: Speeds at or below this are idle, not an operating point to round.
+IDLE_SPEED_EPS = 1e-12
+
+QUANTIZATION_POLICIES = ("two-level", "nearest")
+
+
+def _check_policy(policy: str) -> None:
+    if policy not in QUANTIZATION_POLICIES:
+        raise InvalidScheduleError(
+            f"unknown quantization policy {policy!r}; "
+            f"expected one of {QUANTIZATION_POLICIES}"
+        )
 
 
 def two_level_split(speed: float, lo: float, hi: float) -> tuple[float, float]:
@@ -69,15 +103,21 @@ class QuantizationResult:
 def quantize_schedule(
     schedule: Schedule,
     levels: SpeedLevels,
+    policy: str = "two-level",
 ) -> QuantizationResult:
     """Quantise a continuous-speed schedule onto the given speed levels.
 
-    Every piece is replaced by at most two pieces (the two-level emulation)
-    occupying the same time window, except when the planned speed exceeds the
-    maximum level: such pieces are *clamped* to the maximum level, take longer,
-    and push the subsequent pieces of the same processor later (preserving
-    order and release-time feasibility).
+    With the default ``"two-level"`` policy every piece is replaced by at
+    most two pieces (the two-level emulation) occupying the same time window,
+    except when the planned speed exceeds the maximum level: such pieces are
+    *clamped* to the maximum level, take longer, and push the subsequent
+    pieces of the same processor later (preserving order and release-time
+    feasibility).  With ``"nearest"`` each piece snaps to the closest level;
+    rounding down extends the piece the same way clamping does.  Idle gaps
+    between pieces are preserved as gaps -- they are never filled with the
+    lowest operating point.
     """
+    _check_policy(policy)
     power = schedule.power
     instance = schedule.instance
     new_pieces: list[Piece] = []
@@ -93,7 +133,6 @@ def quantize_schedule(
             start = piece.start + shift
             release = instance.jobs[piece.job].release
             start = max(start, release)
-            lo, hi = levels.bracket(piece.speed)
             if piece.speed > levels.max_speed and not math.isclose(piece.speed, levels.max_speed):
                 # clamp: run the whole piece's work at the maximum level
                 clamped.add(piece.job)
@@ -102,6 +141,17 @@ def quantize_schedule(
                     Piece(job=piece.job, processor=proc, start=start, end=start + duration,
                           speed=levels.max_speed)
                 )
+                shift = max(0.0, (start + duration) - piece.end)
+                continue
+            if policy == "nearest":
+                level = levels.nearest(piece.speed)
+                duration = piece.work / level
+                new_pieces.append(
+                    Piece(job=piece.job, processor=proc, start=start, end=start + duration,
+                          speed=level)
+                )
+                # rounding down loses capacity inside the window, so the piece
+                # extends and pushes later pieces exactly like clamping does
                 shift = max(0.0, (start + duration) - piece.end)
                 continue
             if piece.speed < levels.min_speed and not math.isclose(piece.speed, levels.min_speed):
@@ -116,6 +166,7 @@ def quantize_schedule(
                 )
                 shift = max(0.0, (start + duration) - piece.end)
                 continue
+            lo, hi = levels.bracket(piece.speed)
             frac_hi, frac_lo = two_level_split(piece.speed, lo, hi)
             t_hi = piece.duration * frac_hi
             t_lo = piece.duration * frac_lo
@@ -139,4 +190,95 @@ def quantize_schedule(
         discrete_energy=quantized.energy,
         clamped_jobs=tuple(sorted(clamped)),
         makespan_increase=quantized.makespan - schedule.makespan,
+    )
+
+
+@dataclass(frozen=True)
+class ProfileQuantization:
+    """Outcome of quantising a piecewise-constant speed profile.
+
+    ``segments`` keeps the ``(start, end, speed)`` convention of
+    :func:`repro.online.execute_profile_edf`; speed ``0.0`` marks idle time.
+    ``deficit_work`` is the work the quantized profile can no longer place
+    inside the original windows (clamping above ``max_speed``, or nearest
+    rounding down) -- the caller must append make-up capacity (e.g. a
+    maximum-speed tail) or accept deadline misses.
+    """
+
+    segments: tuple[tuple[float, float, float], ...]
+    clamped_segments: int
+    slowed_segments: int
+    deficit_work: float
+
+
+def quantize_profile(
+    segments: list[tuple[float, float, float]] | tuple[tuple[float, float, float], ...],
+    levels: SpeedLevels,
+    policy: str = "two-level",
+) -> ProfileQuantization:
+    """Quantise a speed profile onto discrete levels, preserving idle time.
+
+    Segments with speed at or below :data:`IDLE_SPEED_EPS` pass through at
+    speed 0 -- idle maps to idle (or sleep) power, never to the lowest
+    operating point.  Sub-``min_speed`` segments run at ``min_speed`` just
+    long enough to cover the planned work, then idle for the remainder of
+    the window (work-conserving, no delay).  Segments above ``max_speed``
+    are clamped and accrue ``deficit_work``; with the ``"nearest"`` policy,
+    rounding down does the same.
+    """
+    _check_policy(policy)
+    out: list[tuple[float, float, float]] = []
+    clamped = 0
+    slowed = 0
+    deficit = 0.0
+    for start, end, speed in segments:
+        duration = float(end) - float(start)
+        if duration <= 0:
+            raise InvalidScheduleError(
+                f"profile segment [{start:g}, {end:g}] has non-positive duration"
+            )
+        if speed < -IDLE_SPEED_EPS:
+            raise InvalidScheduleError("profile speeds must be non-negative")
+        if speed <= IDLE_SPEED_EPS:
+            # includes float-noise "negative zeros" the profile builders emit
+            # for idle stretches (e.g. -1e-16 from AVR's density sums)
+            out.append((float(start), float(end), 0.0))
+            continue
+        if speed > levels.max_speed and not math.isclose(speed, levels.max_speed):
+            clamped += 1
+            deficit += (speed - levels.max_speed) * duration
+            out.append((float(start), float(end), levels.max_speed))
+            continue
+        if policy == "nearest":
+            level = levels.nearest(speed)
+            if level >= speed or math.isclose(level, speed):
+                busy = speed * duration / level
+                out.append((float(start), float(start) + busy, level))
+                if duration - busy > 1e-15:
+                    out.append((float(start) + busy, float(end), 0.0))
+            else:
+                slowed += 1
+                deficit += (speed - level) * duration
+                out.append((float(start), float(end), level))
+            continue
+        if speed < levels.min_speed and not math.isclose(speed, levels.min_speed):
+            busy = speed * duration / levels.min_speed
+            out.append((float(start), float(start) + busy, levels.min_speed))
+            if duration - busy > 1e-15:
+                out.append((float(start) + busy, float(end), 0.0))
+            continue
+        lo, hi = levels.bracket(speed)
+        frac_hi, frac_lo = two_level_split(speed, lo, hi)
+        t_hi = duration * frac_hi
+        cursor = float(start)
+        if t_hi > 1e-15:
+            out.append((cursor, cursor + t_hi, hi))
+            cursor += t_hi
+        if duration * frac_lo > 1e-15:
+            out.append((cursor, float(end), lo))
+    return ProfileQuantization(
+        segments=tuple(out),
+        clamped_segments=clamped,
+        slowed_segments=slowed,
+        deficit_work=deficit,
     )

@@ -52,6 +52,10 @@ __all__ = [
     "instance_from_csv",
     "power_to_dict",
     "power_from_dict",
+    "speed_levels_to_dict",
+    "speed_levels_from_dict",
+    "machine_model_to_dict",
+    "machine_model_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
     "save_schedule",
@@ -280,6 +284,113 @@ def power_from_dict(data: dict[str, Any]) -> PowerFunction:
             f"malformed power-function payload: {exc!r}"
         ) from exc
     raise InvalidScheduleError(f"unknown power function type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# machine models (repro.sim)
+# ----------------------------------------------------------------------
+
+def speed_levels_to_dict(levels: Any) -> dict[str, Any]:
+    """JSON-ready representation of a :class:`~repro.discrete.SpeedLevels`."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "speed-levels",
+        "name": levels.name,
+        "levels": [float(level) for level in levels.levels],
+    }
+
+
+def speed_levels_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a :class:`~repro.discrete.SpeedLevels` from :func:`speed_levels_to_dict` output."""
+    from .discrete import SpeedLevels  # runtime import: io must stay import-light
+
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a speed-levels payload: expected a JSON object, got {type(data).__name__}"
+        )
+    if data.get("kind") != "speed-levels":
+        raise InvalidInstanceError(
+            f"not a speed-levels payload: kind={data.get('kind')!r}"
+        )
+    rows = data.get("levels")
+    if not isinstance(rows, list) or not rows:
+        raise InvalidInstanceError(
+            "speed-levels payload needs a non-empty 'levels' list"
+        )
+    try:
+        return SpeedLevels(
+            name=str(data.get("name", "levels")),
+            levels=tuple(float(level) for level in rows),
+        )
+    except ReproError:
+        raise  # e.g. non-positive levels: keep the specific error and code
+    except (TypeError, ValueError) as exc:
+        raise InvalidInstanceError(f"malformed speed-levels payload: {exc!r}") from exc
+
+
+def machine_model_to_dict(machine: Any) -> dict[str, Any]:
+    """JSON-ready representation of a :class:`~repro.sim.MachineModel`."""
+    sleep = machine.sleep
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "machine-model",
+        "name": machine.name,
+        "power": power_to_dict(machine.power),
+        "static_power": machine.static_power,
+        "sleep": None
+        if sleep is None
+        else {
+            "name": sleep.name,
+            "power": sleep.power,
+            "wake_latency": sleep.wake_latency,
+            "transition_energy": sleep.transition_energy,
+        },
+        "levels": None if machine.levels is None else speed_levels_to_dict(machine.levels),
+        "quantization": machine.quantization,
+    }
+
+
+def machine_model_from_dict(data: dict[str, Any]) -> Any:
+    """Rebuild a :class:`~repro.sim.MachineModel` from :func:`machine_model_to_dict` output."""
+    from .sim.machine import MachineModel, SleepState  # runtime import: io must stay import-light
+
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a machine-model payload: expected a JSON object, got {type(data).__name__}"
+        )
+    if data.get("kind") != "machine-model":
+        raise InvalidInstanceError(
+            f"not a machine-model payload: kind={data.get('kind')!r}"
+        )
+    if "power" not in data:
+        raise InvalidInstanceError("machine-model payload needs a 'power' section")
+    sleep_data = data.get("sleep")
+    levels_data = data.get("levels")
+    try:
+        sleep = None
+        if sleep_data is not None:
+            if not isinstance(sleep_data, dict):
+                raise InvalidInstanceError(
+                    "machine-model 'sleep' must be an object or null"
+                )
+            sleep = SleepState(
+                name=str(sleep_data.get("name", "sleep")),
+                power=float(sleep_data.get("power", 0.0)),
+                wake_latency=float(sleep_data.get("wake_latency", 0.0)),
+                transition_energy=float(sleep_data.get("transition_energy", 0.0)),
+            )
+        return MachineModel(
+            name=str(data.get("name", "machine")),
+            power=power_from_dict(data["power"]),
+            static_power=float(data.get("static_power", 0.0)),
+            sleep=sleep,
+            levels=None if levels_data is None else speed_levels_from_dict(levels_data),
+            quantization=str(data.get("quantization", "two-level")),
+        )
+    except ReproError:
+        raise  # keep specific errors (bad power, bad levels) and their codes
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidInstanceError(f"malformed machine-model payload: {exc!r}") from exc
 
 
 # ----------------------------------------------------------------------

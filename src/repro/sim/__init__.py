@@ -1,0 +1,67 @@
+"""Trace-driven discrete-event simulation with realistic machine models.
+
+The continuous-speed model the paper analyses is an idealisation: real
+processors pay static power while awake, sleep through long idle gaps at a
+wake-up cost, and only run at a finite ladder of operating points.  This
+subpackage replays arrival traces through the incremental online executors
+(OA/AVR/BKP from :mod:`repro.online`) on a configurable
+:class:`~repro.sim.machine.MachineModel` that composes all three effects,
+with discrete levels enforced end-to-end through the
+:mod:`repro.discrete` quantizers:
+
+* :mod:`repro.sim.traces` — the :class:`Trace` arrival format (CSV and
+  JSON-lines round-trips) and the seeded trace families (day-night periodic,
+  heavy-tail bursty, MMPP-modulated),
+* :mod:`repro.sim.machine` — :class:`SleepState`, :class:`MachineModel` and
+  the preset catalogue (``pure``, ``static-sleep``, ``athlon64``,
+  ``athlon64-nearest``),
+* :mod:`repro.sim.engine` — the deterministic replay event loop
+  (:func:`simulate`),
+* :mod:`repro.sim.report` — :class:`SimReport` and the
+  {trace x machine x algorithm} :func:`scenario_matrix` built on the batch
+  pipeline and result cache.
+
+Exposed on the command line as ``repro sim`` and ``repro compete
+--machines``.
+"""
+
+from .engine import SIM_ALGORITHMS, SimEvent, SimResult, simulate
+from .machine import MACHINE_MODEL_NAMES, MachineModel, SleepState, machine_model
+from .report import SimReport, scenario_matrix, sim_report_from_dict, sim_report_to_dict
+from .traces import (
+    TRACE_FAMILIES,
+    Trace,
+    TraceEvent,
+    generate_trace,
+    load_trace,
+    save_trace,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_csv,
+    trace_to_jsonl,
+)
+
+__all__ = [
+    "MACHINE_MODEL_NAMES",
+    "SIM_ALGORITHMS",
+    "TRACE_FAMILIES",
+    "MachineModel",
+    "SimEvent",
+    "SimReport",
+    "SimResult",
+    "SleepState",
+    "Trace",
+    "TraceEvent",
+    "generate_trace",
+    "load_trace",
+    "machine_model",
+    "save_trace",
+    "scenario_matrix",
+    "sim_report_from_dict",
+    "sim_report_to_dict",
+    "simulate",
+    "trace_from_csv",
+    "trace_from_jsonl",
+    "trace_to_csv",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,241 @@
+"""Simulation reports and the {trace x machine x algorithm} scenario matrix.
+
+:class:`SimReport` is the flat, JSON-ready summary of one replay: measured
+energy (broken down into dynamic / static / sleep / transition components)
+against the clairvoyant YDS bound of the full trace, deadline misses,
+speed-switch and sleep-transition counts, and the event/replan totals of the
+event loop.
+
+:func:`scenario_matrix` grows ``repro compete`` into the scenario grid of
+ROADMAP item 3: every combination of trace family, machine model and online
+algorithm is replayed through :func:`repro.sim.engine.simulate`, with the
+YDS bounds computed once per (trace, alpha) through the PR-2 batch pipeline
+(:func:`repro.batch.solve_many`) so a PR-5 :class:`~repro.cache.ResultCache`
+makes overlapping matrices pay for each bound once.  The payload mirrors
+``competitive_sweep``'s shape (``parameters`` / ``cells`` / ``summary``) and
+is deterministic: equal grids dump byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from ..core.power import PolynomialPower
+from ..exceptions import InvalidInstanceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ResultCache
+
+__all__ = ["SimReport", "scenario_matrix", "sim_report_from_dict", "sim_report_to_dict"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Flat summary of one trace replay on one machine model."""
+
+    trace: str
+    algorithm: str
+    machine: str
+    alpha: float | None
+    n_jobs: int
+    energy: float
+    dynamic_energy: float
+    static_energy: float
+    sleep_energy: float
+    transition_energy: float
+    yds_bound: float
+    energy_ratio: float
+    deadline_misses: int
+    max_lateness: float
+    speed_switches: int
+    sleep_transitions: int
+    clamped_segments: int
+    replans: int
+    n_events: int
+    busy_time: float
+    idle_time: float
+    sleep_time: float
+    makespan: float
+
+
+def sim_report_to_dict(report: SimReport) -> dict[str, Any]:
+    """JSON-ready representation of a :class:`SimReport`."""
+    payload: dict[str, Any] = {
+        "format": _FORMAT_VERSION,
+        "kind": "sim-report",
+    }
+    payload.update(asdict(report))
+    return payload
+
+
+def sim_report_from_dict(data: dict[str, Any]) -> SimReport:
+    """Rebuild a :class:`SimReport` from :func:`sim_report_to_dict` output."""
+    if not isinstance(data, dict):
+        raise InvalidInstanceError(
+            f"not a sim-report payload: expected a JSON object, got {type(data).__name__}"
+        )
+    if data.get("kind") != "sim-report":
+        raise InvalidInstanceError(
+            f"not a sim-report payload: kind={data.get('kind')!r}"
+        )
+    try:
+        alpha = data.get("alpha")
+        return SimReport(
+            trace=str(data["trace"]),
+            algorithm=str(data["algorithm"]),
+            machine=str(data["machine"]),
+            alpha=None if alpha is None else float(alpha),
+            n_jobs=int(data["n_jobs"]),
+            energy=float(data["energy"]),
+            dynamic_energy=float(data["dynamic_energy"]),
+            static_energy=float(data["static_energy"]),
+            sleep_energy=float(data["sleep_energy"]),
+            transition_energy=float(data["transition_energy"]),
+            yds_bound=float(data["yds_bound"]),
+            energy_ratio=float(data["energy_ratio"]),
+            deadline_misses=int(data["deadline_misses"]),
+            max_lateness=float(data["max_lateness"]),
+            speed_switches=int(data["speed_switches"]),
+            sleep_transitions=int(data["sleep_transitions"]),
+            clamped_segments=int(data["clamped_segments"]),
+            replans=int(data["replans"]),
+            n_events=int(data["n_events"]),
+            busy_time=float(data["busy_time"]),
+            idle_time=float(data["idle_time"]),
+            sleep_time=float(data["sleep_time"]),
+            makespan=float(data["makespan"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidInstanceError(f"malformed sim-report payload: {exc!r}") from exc
+
+
+def _matrix_summary(cells: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """One row per (machine, algorithm, family prefix of the trace name)."""
+    rows: list[dict[str, Any]] = []
+    seen: dict[tuple[str, str, str], dict[str, Any]] = {}
+    for cell in cells:
+        key = (cell["machine"], cell["algorithm"], cell["family"])
+        row = seen.get(key)
+        if row is None:
+            row = {
+                "machine": cell["machine"],
+                "algorithm": cell["algorithm"],
+                "family": cell["family"],
+                "cells": 0,
+                "mean_ratio": 0.0,
+                "max_ratio": -math.inf,
+                "deadline_misses": 0,
+                "speed_switches": 0,
+                "sleep_transitions": 0,
+                "clamped_segments": 0,
+            }
+            seen[key] = row
+            rows.append(row)
+        row["cells"] += 1
+        row["mean_ratio"] += cell["energy_ratio"]  # finalised to a mean below
+        row["max_ratio"] = max(row["max_ratio"], cell["energy_ratio"])
+        row["deadline_misses"] += cell["deadline_misses"]
+        row["speed_switches"] += cell["speed_switches"]
+        row["sleep_transitions"] += cell["sleep_transitions"]
+        row["clamped_segments"] += cell["clamped_segments"]
+    for row in rows:
+        row["mean_ratio"] = row["mean_ratio"] / row["cells"]
+    return rows
+
+
+def scenario_matrix(
+    algorithms: Sequence[str] = ("avr", "oa", "bkp"),
+    machines: Sequence[str] = ("pure", "static-sleep", "athlon64"),
+    families: Sequence[str] = ("day-night", "heavy-tail", "mmpp"),
+    sizes: Sequence[int] = (8, 12),
+    seeds: int = 3,
+    alpha: float = 3.0,
+    workers: int = 1,
+    cache: "ResultCache | None" = None,
+) -> dict[str, Any]:
+    """Replay the full {trace x machine x algorithm} grid.
+
+    ``machines`` are preset names (see
+    :func:`repro.sim.machine.machine_model`); ``families`` are trace-family
+    names (:data:`repro.sim.traces.TRACE_FAMILIES`).  The clairvoyant YDS
+    bounds are computed once for the whole trace grid through
+    :func:`repro.batch.solve_many` (``solver="yds"``), so a shared ``cache``
+    carries them across overlapping matrices — and, because the trace grid is
+    plain instances, across ``repro compete`` sweeps too.
+    """
+    from ..batch import solve_many
+    from .engine import SIM_ALGORITHMS, simulate
+    from .machine import machine_model
+    from .traces import TRACE_FAMILIES
+
+    for algorithm in algorithms:
+        if algorithm not in SIM_ALGORITHMS:
+            raise InvalidInstanceError(
+                f"unknown simulation algorithm {algorithm!r}; "
+                f"known: {sorted(SIM_ALGORITHMS)}"
+            )
+    for family in families:
+        if family not in TRACE_FAMILIES:
+            raise InvalidInstanceError(
+                f"unknown trace family {family!r}; known: {sorted(TRACE_FAMILIES)}"
+            )
+    if seeds <= 0:
+        raise InvalidInstanceError("seeds must be positive")
+    for size in sizes:
+        if int(size) <= 0:
+            raise InvalidInstanceError("sizes must be positive")
+    if not algorithms or not machines or not families or not sizes:
+        raise InvalidInstanceError(
+            "the scenario matrix needs at least one algorithm, machine, "
+            "family and size"
+        )
+    models = [machine_model(name, alpha=alpha) for name in machines]
+
+    # materialise the trace grid once: the same instances back every machine
+    # and algorithm, and the YDS bound of each is computed exactly once
+    grid: list[tuple[str, int, int]] = [
+        (family, int(size), seed)
+        for family in families
+        for size in sizes
+        for seed in range(int(seeds))
+    ]
+    traces = [TRACE_FAMILIES[family](size, seed) for family, size, seed in grid]
+    instances = [trace.to_instance() for trace in traces]
+    power = PolynomialPower(float(alpha))
+    bounds = solve_many(
+        instances, power, 0.0, solver="yds", workers=workers, cache=cache
+    )
+
+    cells: list[dict[str, Any]] = []
+    for model in models:
+        for algorithm in algorithms:
+            for (family, size, seed), instance, bound in zip(
+                grid, instances, bounds
+            ):
+                result = simulate(
+                    instance, model, algorithm, yds_bound=bound.energy
+                )
+                cell = sim_report_to_dict(result.report)
+                cell.pop("format")
+                cell.pop("kind")
+                cell["family"] = family
+                cell["seed"] = seed
+                cells.append(cell)
+
+    return {
+        "kind": "sim-matrix",
+        "parameters": {
+            "algorithms": list(algorithms),
+            "machines": list(machines),
+            "families": list(families),
+            "sizes": [int(s) for s in sizes],
+            "seeds": int(seeds),
+            "alpha": float(alpha),
+        },
+        "cells": cells,
+        "summary": _matrix_summary(cells),
+    }

@@ -1,0 +1,316 @@
+"""Arrival traces: the on-disk workload format of the simulation driver.
+
+A :class:`Trace` is an ordered list of arrival events ``(time, work,
+deadline, weight)`` — exactly the information an online algorithm sees as
+jobs arrive.  Traces convert losslessly to and from
+:class:`~repro.core.job.Instance` (events sort by time, matching the
+instance's release ordering) and round-trip byte-identically through two file
+formats:
+
+* **CSV** — header ``event,time,work,deadline,weight``, one row per event,
+  ``repr`` float precision (the :func:`repro.io.instance_to_csv` idiom), an
+  empty deadline field meaning "no deadline";
+* **JSON lines** — a ``{"kind": "trace", ...}`` header object on the first
+  line, then one JSON object per event.  ``json`` serialises floats via
+  ``repr``, so the round trip is exact here too.
+
+Malformed files raise :class:`~repro.exceptions.InvalidInstanceError`
+(stable code ``invalid-instance``), which ``repro sim`` maps to exit code 2
+like every other malformed input.
+
+:data:`TRACE_FAMILIES` names the seeded generator families used by the
+scenario matrix and ``repro sim --family``: day-night periodic arrivals,
+heavy-tailed bursts, and MMPP-modulated arrivals (see
+:mod:`repro.workloads.generators`), all carrying deadlines so the online
+algorithms apply.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from ..core.job import Instance, Job
+from ..exceptions import InvalidInstanceError
+from ..workloads import day_night_instance, heavy_tail_instance, mmpp_instance
+
+__all__ = [
+    "TRACE_FAMILIES",
+    "Trace",
+    "TraceEvent",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+    "trace_from_csv",
+    "trace_from_jsonl",
+    "trace_to_csv",
+    "trace_to_jsonl",
+]
+
+_FORMAT_VERSION = 1
+
+_CSV_HEADER = "event,time,work,deadline,weight"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One arrival: a job becomes known to the online scheduler."""
+
+    time: float
+    work: float
+    deadline: float | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        # full validation (finiteness, work > 0, deadline > time) happens in
+        # Job when the trace is replayed; here we only reject what would make
+        # the trace itself meaningless
+        if self.work <= 0:
+            raise InvalidInstanceError("trace event work must be positive")
+        if self.deadline is not None and self.deadline <= self.time:
+            raise InvalidInstanceError(
+                "trace event deadline must be after its arrival time"
+            )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered arrival trace (events sorted by time)."""
+
+    name: str
+    events: tuple[TraceEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise InvalidInstanceError("a trace needs at least one event")
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.time, e.deadline or e.time, e.work))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def has_deadlines(self) -> bool:
+        return all(e.deadline is not None for e in self.events)
+
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "Trace":
+        """The trace whose replay is exactly this instance."""
+        return cls(
+            name=instance.name,
+            events=tuple(
+                TraceEvent(
+                    time=job.release,
+                    work=job.work,
+                    deadline=job.deadline,
+                    weight=job.weight,
+                )
+                for job in instance.jobs
+            ),
+        )
+
+    def to_instance(self) -> Instance:
+        """Replay the trace as an instance (jobs indexed in arrival order)."""
+        return Instance(
+            [
+                Job(
+                    index=i,
+                    release=event.time,
+                    work=event.work,
+                    deadline=event.deadline,
+                    weight=event.weight,
+                )
+                for i, event in enumerate(self.events)
+            ],
+            name=self.name,
+        )
+
+
+#: Trace families: name -> (n_jobs, seed) -> deadline-carrying trace.
+TRACE_FAMILIES: Mapping[str, Callable[[int, int], Trace]] = {
+    "day-night": lambda n, seed: Trace.from_instance(day_night_instance(n, seed=seed)),
+    "heavy-tail": lambda n, seed: Trace.from_instance(
+        heavy_tail_instance(n, seed=seed)
+    ),
+    "mmpp": lambda n, seed: Trace.from_instance(mmpp_instance(n, seed=seed)),
+}
+
+
+def generate_trace(family: str, n_jobs: int, seed: int) -> Trace:
+    """A seeded trace from one of :data:`TRACE_FAMILIES`."""
+    factory = TRACE_FAMILIES.get(family)
+    if factory is None:
+        raise InvalidInstanceError(
+            f"unknown trace family {family!r}; known: {', '.join(TRACE_FAMILIES)}"
+        )
+    return factory(int(n_jobs), int(seed))
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+
+def trace_to_csv(trace: Trace) -> str:
+    """CSV text with one row per arrival event (``repr`` float precision)."""
+    lines = [_CSV_HEADER]
+    for i, event in enumerate(trace.events):
+        deadline = "" if event.deadline is None else f"{event.deadline!r}"
+        lines.append(
+            f"{i},{event.time!r},{event.work!r},{deadline},{event.weight!r}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_csv(text: str, name: str = "trace") -> Trace:
+    """Rebuild a trace from :func:`trace_to_csv` output."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != _CSV_HEADER:
+        raise InvalidInstanceError(
+            f"not a trace CSV: expected header {_CSV_HEADER!r}"
+        )
+    events = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        fields = line.split(",")
+        if len(fields) != 5:
+            raise InvalidInstanceError(
+                f"malformed trace CSV row at line {lineno}: "
+                f"expected 5 fields, got {len(fields)}"
+            )
+        _, time, work, deadline, weight = fields
+        try:
+            events.append(
+                TraceEvent(
+                    time=float(time),
+                    work=float(work),
+                    deadline=None if deadline == "" else float(deadline),
+                    weight=float(weight),
+                )
+            )
+        except ValueError as exc:
+            raise InvalidInstanceError(
+                f"malformed trace CSV row at line {lineno}: {exc}"
+            ) from exc
+    if not events:
+        raise InvalidInstanceError("trace CSV contains no events")
+    return Trace(name=name, events=tuple(events))
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """JSON-lines text: a trace header object, then one object per event."""
+    header: dict[str, Any] = {
+        "kind": "trace",
+        "format": _FORMAT_VERSION,
+        "name": trace.name,
+        "events": trace.n_events,
+    }
+    lines = [json.dumps(header)]
+    for event in trace.events:
+        lines.append(
+            json.dumps(
+                {
+                    "time": event.time,
+                    "work": event.work,
+                    "deadline": event.deadline,
+                    "weight": event.weight,
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def trace_from_jsonl(text: str, name: str | None = None) -> Trace:
+    """Rebuild a trace from :func:`trace_to_jsonl` output."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise InvalidInstanceError("empty trace JSONL file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise InvalidInstanceError(f"malformed trace JSONL header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != "trace":
+        raise InvalidInstanceError(
+            "not a trace JSONL file: the first line must be the "
+            '{"kind": "trace", ...} header object'
+        )
+    events = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise InvalidInstanceError(
+                f"malformed trace JSONL row at line {lineno}: {exc}"
+            ) from exc
+        if not isinstance(row, dict):
+            raise InvalidInstanceError(
+                f"malformed trace JSONL row at line {lineno}: expected an object"
+            )
+        try:
+            deadline = row.get("deadline")
+            events.append(
+                TraceEvent(
+                    time=float(row["time"]),
+                    work=float(row["work"]),
+                    deadline=None if deadline is None else float(deadline),
+                    weight=float(row.get("weight", 1.0)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidInstanceError(
+                f"malformed trace JSONL row at line {lineno}: {exc!r}"
+            ) from exc
+    if not events:
+        raise InvalidInstanceError("trace JSONL contains no events")
+    declared = header.get("events")
+    if declared is not None and int(declared) != len(events):
+        raise InvalidInstanceError(
+            f"trace JSONL header declares {declared} events but the file "
+            f"has {len(events)}"
+        )
+    return Trace(name=str(name or header.get("name", "trace")), events=tuple(events))
+
+
+# ----------------------------------------------------------------------
+# file dispatch
+# ----------------------------------------------------------------------
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to ``path``; the suffix picks the format (.csv/.jsonl)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        text = trace_to_csv(trace)
+    elif suffix in (".jsonl", ".ndjson"):
+        text = trace_to_jsonl(trace)
+    else:
+        raise InvalidInstanceError(
+            f"unknown trace file suffix {path.suffix!r}: use .csv or .jsonl"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace` (format from the suffix)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".csv", ".jsonl", ".ndjson"):
+        raise InvalidInstanceError(
+            f"unknown trace file suffix {path.suffix!r}: use .csv or .jsonl"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise InvalidInstanceError(f"cannot read trace {path}: {exc}") from exc
+    if suffix == ".csv":
+        return trace_from_csv(text, name=path.stem)
+    return trace_from_jsonl(text)

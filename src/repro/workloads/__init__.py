@@ -2,8 +2,11 @@
 
 from .generators import (
     bursty_instance,
+    day_night_instance,
     deadline_instance,
     equal_work_instance,
+    heavy_tail_instance,
+    mmpp_instance,
     nested_interval_instance,
     partition_elements,
     poisson_instance,
@@ -23,7 +26,10 @@ from .paper_instances import (
 
 __all__ = [
     "bursty_instance",
+    "day_night_instance",
     "deadline_instance",
+    "heavy_tail_instance",
+    "mmpp_instance",
     "equal_work_instance",
     "nested_interval_instance",
     "partition_elements",

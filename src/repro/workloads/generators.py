@@ -19,7 +19,12 @@ module provides deterministic (seeded) generators for them:
 * :func:`staircase_deadline_instance` / :func:`nested_interval_instance` --
   adversarial deadline workloads (releases accumulating against a common
   deadline, and nested feasibility windows) in the regimes where the online
-  algorithms' empirical competitive ratios are known to be bad.
+  algorithms' empirical competitive ratios are known to be bad,
+* :func:`day_night_instance` / :func:`heavy_tail_instance` /
+  :func:`mmpp_instance` -- trace families for the :mod:`repro.sim` replay
+  driver: periodic day/night rate modulation, heavy-tailed (Pareto) works and
+  inter-arrival gaps, and a two-state Markov-modulated Poisson process.  All
+  three carry laxity-controlled deadlines so the online algorithms apply.
 
 All generators take an explicit ``seed`` and are pure functions of their
 arguments, so every benchmark run is reproducible.
@@ -44,6 +49,9 @@ __all__ = [
     "zero_release_instance",
     "staircase_deadline_instance",
     "nested_interval_instance",
+    "day_night_instance",
+    "heavy_tail_instance",
+    "mmpp_instance",
 ]
 
 WorkDistribution = Literal["uniform", "exponential", "pareto"]
@@ -291,6 +299,172 @@ def nested_interval_instance(
         works,
         deadlines=deadlines,
         name=name or f"nested-n{n_jobs}-seed{seed}",
+    )
+
+
+def _laxity_deadlines(
+    releases: np.ndarray, seed: int, laxity: float, n_jobs: int
+) -> np.ndarray:
+    """Deadlines ``release + Uniform(0.5, 1.5) * laxity`` (shared idiom).
+
+    Uses ``seed + 1`` for the slack stream, matching
+    :func:`deadline_instance`, so arrival draws and slack draws stay
+    decoupled: changing the arrival process does not re-shuffle slacks.
+    """
+    if laxity <= 0:
+        raise InvalidInstanceError("laxity must be positive")
+    rng = np.random.default_rng(seed + 1)
+    return releases + rng.uniform(0.5, 1.5, n_jobs) * laxity
+
+
+def day_night_instance(
+    n_jobs: int,
+    seed: int,
+    period: float = 10.0,
+    day_fraction: float = 0.5,
+    day_rate: float = 2.0,
+    night_rate: float = 0.3,
+    mean_work: float = 1.0,
+    laxity: float = 3.0,
+    work_distribution: WorkDistribution = "uniform",
+    name: str | None = None,
+) -> Instance:
+    """Periodic day/night arrivals: a non-homogeneous Poisson process.
+
+    The intensity alternates between ``day_rate`` on
+    ``[k * period, k * period + day_fraction * period)`` and ``night_rate``
+    for the rest of each period.  Arrivals are generated by inversion: unit
+    exponential increments are mapped through the inverse of the integrated
+    rate, walked piecewise across the day/night boundaries, so the trace is a
+    pure function of ``seed``.  Deadlines follow the
+    :func:`deadline_instance` laxity convention.
+    """
+    if n_jobs <= 0:
+        raise InvalidInstanceError("n_jobs must be positive")
+    if period <= 0:
+        raise InvalidInstanceError("period must be positive")
+    if not 0.0 < day_fraction < 1.0:
+        raise InvalidInstanceError("day_fraction must lie strictly between 0 and 1")
+    if day_rate <= 0 or night_rate <= 0:
+        raise InvalidInstanceError("day_rate and night_rate must be positive")
+    rng = np.random.default_rng(seed)
+    increments = rng.exponential(1.0, n_jobs)
+    day_span = day_fraction * period
+    releases = np.empty(n_jobs)
+    t = 0.0
+    for i, target in enumerate(increments):
+        # consume `target` units of integrated rate starting from time t,
+        # stepping through day/night segment boundaries
+        remaining = target
+        while True:
+            phase = t % period
+            if phase < day_span:
+                rate, boundary = day_rate, day_span - phase
+            else:
+                rate, boundary = night_rate, period - phase
+            capacity = rate * boundary
+            if remaining <= capacity:
+                t += remaining / rate
+                break
+            remaining -= capacity
+            t += boundary
+        releases[i] = t
+    works = _draw_works(rng, n_jobs, work_distribution, mean_work)
+    deadlines = _laxity_deadlines(releases, seed, laxity, n_jobs)
+    return Instance.from_arrays(
+        releases,
+        works,
+        deadlines=deadlines,
+        name=name or f"day-night-n{n_jobs}-seed{seed}",
+    )
+
+
+def heavy_tail_instance(
+    n_jobs: int,
+    seed: int,
+    gap_shape: float = 1.5,
+    mean_gap: float = 1.0,
+    mean_work: float = 1.0,
+    laxity: float = 4.0,
+    name: str | None = None,
+) -> Instance:
+    """Heavy-tailed bursty arrivals: Pareto inter-arrival gaps *and* works.
+
+    Both the gaps and the works are Pareto with infinite variance
+    (``gap_shape`` defaults to 1.5; works always use the shared
+    ``"pareto"`` draw of :func:`_draw_works`), so occasional huge gaps
+    separate clusters of closely-spaced jobs and occasional huge jobs land
+    inside them -- the regime where static/sleep power and speed clamping
+    both matter.  Deadlines follow the :func:`deadline_instance` laxity
+    convention with a slightly larger default laxity so the big jobs stay
+    feasible at realistic maximum speeds.
+    """
+    if n_jobs <= 0:
+        raise InvalidInstanceError("n_jobs must be positive")
+    if gap_shape <= 1.0:
+        raise InvalidInstanceError("gap_shape must exceed 1 (finite mean gaps)")
+    if mean_gap <= 0:
+        raise InvalidInstanceError("mean_gap must be positive")
+    rng = np.random.default_rng(seed)
+    # Lomax/Pareto-II draws rescaled to the requested mean gap
+    raw = rng.pareto(gap_shape, n_jobs) + 1.0
+    gaps = raw * mean_gap * (gap_shape - 1.0) / gap_shape
+    releases = np.concatenate([[0.0], np.cumsum(gaps[:-1])])
+    works = _draw_works(rng, n_jobs, "pareto", mean_work)
+    deadlines = _laxity_deadlines(releases, seed, laxity, n_jobs)
+    return Instance.from_arrays(
+        releases,
+        works,
+        deadlines=deadlines,
+        name=name or f"heavy-tail-n{n_jobs}-seed{seed}",
+    )
+
+
+def mmpp_instance(
+    n_jobs: int,
+    seed: int,
+    rates: tuple[float, float] = (3.0, 0.3),
+    mean_dwell: tuple[float, float] = (2.0, 4.0),
+    mean_work: float = 1.0,
+    laxity: float = 3.0,
+    work_distribution: WorkDistribution = "uniform",
+    name: str | None = None,
+) -> Instance:
+    """Two-state Markov-modulated Poisson arrivals.
+
+    A hidden state alternates between 0 and 1 with exponential dwell times
+    ``mean_dwell[state]``; while in state ``i`` arrivals are Poisson with
+    rate ``rates[i]``.  Generated by competing exponentials (next arrival vs
+    next state flip), so the trace is a pure function of ``seed``.  Deadlines
+    follow the :func:`deadline_instance` laxity convention.
+    """
+    if n_jobs <= 0:
+        raise InvalidInstanceError("n_jobs must be positive")
+    if min(rates) <= 0 or min(mean_dwell) <= 0:
+        raise InvalidInstanceError("rates and mean_dwell must be positive")
+    rng = np.random.default_rng(seed)
+    releases = np.empty(n_jobs)
+    t = 0.0
+    state = 0
+    flip_at = t + rng.exponential(mean_dwell[state])
+    produced = 0
+    while produced < n_jobs:
+        arrival_gap = rng.exponential(1.0 / rates[state])
+        if t + arrival_gap < flip_at:
+            t += arrival_gap
+            releases[produced] = t
+            produced += 1
+        else:
+            t = flip_at
+            state = 1 - state
+            flip_at = t + rng.exponential(mean_dwell[state])
+    works = _draw_works(rng, n_jobs, work_distribution, mean_work)
+    deadlines = _laxity_deadlines(releases, seed, laxity, n_jobs)
+    return Instance.from_arrays(
+        releases,
+        works,
+        deadlines=deadlines,
+        name=name or f"mmpp-n{n_jobs}-seed{seed}",
     )
 
 

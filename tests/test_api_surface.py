@@ -19,6 +19,7 @@ import repro.exceptions
 import repro.faults
 import repro.io
 import repro.service
+import repro.sim
 import repro.verify
 
 API_SURFACE = {
@@ -85,6 +86,10 @@ IO_SURFACE = {
     "serve_response_from_dict",
     "report_to_dict",
     "report_from_dict",
+    "speed_levels_to_dict",
+    "speed_levels_from_dict",
+    "machine_model_to_dict",
+    "machine_model_from_dict",
 }
 
 BATCH_SURFACE = {"BatchResult", "SOLVERS", "solve_many", "solve_stream"}
@@ -102,6 +107,31 @@ SERVICE_SURFACE = {
     "handle_request_line",
     "serve_stream",
     "AsyncServeLoop",
+}
+
+SIM_SURFACE = {
+    "MACHINE_MODEL_NAMES",
+    "SIM_ALGORITHMS",
+    "TRACE_FAMILIES",
+    "MachineModel",
+    "SimEvent",
+    "SimReport",
+    "SimResult",
+    "SleepState",
+    "Trace",
+    "TraceEvent",
+    "generate_trace",
+    "load_trace",
+    "machine_model",
+    "save_trace",
+    "scenario_matrix",
+    "sim_report_from_dict",
+    "sim_report_to_dict",
+    "simulate",
+    "trace_from_csv",
+    "trace_from_jsonl",
+    "trace_to_csv",
+    "trace_to_jsonl",
 }
 
 FAULTS_SURFACE = {
@@ -152,6 +182,7 @@ TOP_LEVEL_SURFACE = {
     "multi",
     "online",
     "service",
+    "sim",
     "verify",
     "workloads",
     "ProblemSpec",
@@ -214,6 +245,10 @@ def test_service_surface_snapshot():
     assert set(repro.service.__all__) == SERVICE_SURFACE
 
 
+def test_sim_surface_snapshot():
+    assert set(repro.sim.__all__) == SIM_SURFACE
+
+
 def test_faults_surface_snapshot():
     assert set(repro.faults.__all__) == FAULTS_SURFACE
 
@@ -232,6 +267,7 @@ def test_registered_solver_names_snapshot():
 
 def test_all_names_actually_exported():
     for module in (repro, repro.api, repro.io, repro.batch, repro.cache,
-                   repro.exceptions, repro.faults, repro.service, repro.verify):
+                   repro.exceptions, repro.faults, repro.service, repro.sim,
+                   repro.verify):
         for name in module.__all__:
             assert hasattr(module, name), f"{module.__name__}.{name} missing"

@@ -39,6 +39,10 @@ GOLDEN_CASES = {
     "multi_flow.json": ["multi", *EQ, "--energy", "8", "--processors", "2",
                         "--metric", "flow", "--json"],
     "figures.json": ["figures", "--points", "7", "--json"],
+    "sim.json": ["sim", "--family", "day-night", "--size", "12", "--seed", "0",
+                 "--machine", "athlon64", "--json"],
+    "sim_table.txt": ["sim", "--family", "heavy-tail", "--size", "8",
+                      "--seed", "1", "--machine", "static-sleep"],
 }
 
 
@@ -57,6 +61,16 @@ class TestGoldenSubcommands:
         assert main(argv) == 0
         got = capsys.readouterr().out
         want = (GOLDEN / "compete.json").read_text(encoding="utf-8")
+        assert got == want
+
+    @pytest.mark.slow
+    def test_compete_machines_byte_identical(self, capsys):
+        argv = ["compete", "--machines", "pure,athlon64",
+                "--families", "day-night,mmpp", "--sizes", "6",
+                "--seeds", "1", "--algorithms", "oa,avr", "--json"]
+        assert main(argv) == 0
+        got = capsys.readouterr().out
+        want = (GOLDEN / "compete_machines.json").read_text(encoding="utf-8")
         assert got == want
 
     def test_batch_results_byte_identical(self, tmp_path, capsys):

@@ -5,18 +5,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import CUBE
+from repro.core import CUBE, Instance
 from repro.discrete import (
     ATHLON64,
     SpeedLevels,
     geometric_levels,
+    quantize_profile,
     quantize_schedule,
     two_level_split,
     uniform_levels,
 )
 from repro.exceptions import InvalidInstanceError, InvalidScheduleError
 from repro.makespan import incmerge
-from repro.workloads import figure1_instance, poisson_instance
+from repro.online import oa_schedule_incremental
+from repro.workloads import deadline_instance, figure1_instance, poisson_instance
 
 
 class TestSpeedLevels:
@@ -115,3 +117,117 @@ class TestQuantizeSchedule:
         result = quantize_schedule(sched, ATHLON64)
         assert not result.clamped_jobs
         assert result.energy_overhead >= 0.0
+
+    def test_idle_gap_is_preserved_not_filled(self, cube):
+        # regression: a schedule with an idle gap between bursts must keep the
+        # gap after quantization -- the machine idles (or sleeps) there, it
+        # does not run at the lowest operating point
+        inst = Instance.from_arrays(
+            [0.0, 10.0], [1.0, 1.0], deadlines=[1.0, 11.0], name="gapped"
+        )
+        sched = oa_schedule_incremental(inst, cube)
+        result = quantize_schedule(sched, SpeedLevels("wide", (0.5, 2.0)))
+        pieces = sorted(result.schedule.pieces, key=lambda p: p.start)
+        first_end = max(p.end for p in pieces if p.job == 0)
+        second_start = min(p.start for p in pieces if p.job == 1)
+        assert second_start - first_end >= 8.0  # the gap survives
+        assert all(p.speed >= 0.5 for p in pieces)  # busy pieces stay on-ladder
+
+    def test_nearest_policy_rounds_to_closest_level(self, cube):
+        inst = figure1_instance()
+        sched = incmerge(inst, cube, 17.0).schedule()  # speeds 1, 2, 2
+        result = quantize_schedule(sched, SpeedLevels("x", (0.9, 2.1)), "nearest")
+        speeds = sorted({round(p.speed, 6) for p in result.schedule.pieces})
+        assert speeds == [0.9, 2.1]
+
+    def test_unknown_policy_rejected(self, cube):
+        inst = figure1_instance()
+        sched = incmerge(inst, cube, 17.0).schedule()
+        with pytest.raises(InvalidScheduleError, match="policy"):
+            quantize_schedule(sched, ATHLON64, "stochastic")
+
+
+class TestBracketGuards:
+    def test_bracket_rejects_idle_speed(self):
+        # regression: bracket(0) used to clamp idle up to min_speed, turning
+        # idle gaps into busy time at the lowest operating point
+        levels = SpeedLevels("x", (1.0, 2.0))
+        with pytest.raises(InvalidScheduleError, match="idle"):
+            levels.bracket(0.0)
+        with pytest.raises(InvalidScheduleError, match="idle"):
+            levels.bracket(-1.0)
+        with pytest.raises(InvalidScheduleError, match="non-positive"):
+            levels.nearest(0.0)
+
+    def test_scaled_ladder(self):
+        doubled = ATHLON64.scaled(2.0)
+        assert doubled.levels == tuple(2.0 * s for s in ATHLON64.levels)
+        assert "x2" in doubled.name
+        named = ATHLON64.scaled(0.5, name="half")
+        assert named.name == "half"
+
+
+class TestQuantizeProfile:
+    def test_idle_segments_pass_through_at_speed_zero(self):
+        levels = SpeedLevels("x", (1.0, 2.0))
+        profile = [(0.0, 1.0, 1.5), (1.0, 3.0, 0.0), (3.0, 4.0, 2.0)]
+        pq = quantize_profile(profile, levels)
+        assert (1.0, 3.0, 0.0) in pq.segments
+        assert pq.clamped_segments == 0
+        assert pq.deficit_work == 0.0
+        # idle never becomes the lowest operating point
+        assert all(s == 0.0 or s >= 1.0 for _, _, s in pq.segments)
+
+    def test_two_level_split_preserves_work_per_segment(self):
+        levels = SpeedLevels("x", (1.0, 2.0))
+        pq = quantize_profile([(0.0, 2.0, 1.5)], levels)
+        work = sum((end - start) * speed for start, end, speed in pq.segments)
+        assert work == pytest.approx(3.0)
+        assert {speed for _, _, speed in pq.segments} == {1.0, 2.0}
+
+    def test_sub_minimum_speed_busy_then_idle(self):
+        levels = SpeedLevels("x", (1.0, 2.0))
+        pq = quantize_profile([(0.0, 4.0, 0.25)], levels)
+        assert pq.segments == ((0.0, 1.0, 1.0), (1.0, 4.0, 0.0))
+        assert pq.deficit_work == 0.0
+
+    def test_clamping_accrues_deficit(self):
+        levels = SpeedLevels("x", (1.0, 2.0))
+        pq = quantize_profile([(0.0, 1.0, 3.0)], levels)
+        assert pq.clamped_segments == 1
+        assert pq.deficit_work == pytest.approx(1.0)
+        assert pq.segments == ((0.0, 1.0, 2.0),)
+
+    def test_nearest_round_down_accrues_deficit(self):
+        levels = SpeedLevels("x", (1.0, 2.0))
+        pq = quantize_profile([(0.0, 1.0, 1.4)], levels, "nearest")
+        assert pq.slowed_segments == 1
+        assert pq.deficit_work == pytest.approx(0.4)
+        assert pq.segments == ((0.0, 1.0, 1.0),)
+
+    def test_nearest_round_up_busy_then_idle(self):
+        levels = SpeedLevels("x", (1.0, 2.0))
+        pq = quantize_profile([(0.0, 1.0, 1.6)], levels, "nearest")
+        assert pq.slowed_segments == 0
+        assert pq.deficit_work == 0.0
+        assert pq.segments == ((0.0, 0.8, 2.0), (0.8, 1.0, 0.0))
+
+    def test_invalid_segments_rejected(self):
+        levels = SpeedLevels("x", (1.0, 2.0))
+        with pytest.raises(InvalidScheduleError, match="duration"):
+            quantize_profile([(1.0, 1.0, 1.0)], levels)
+        with pytest.raises(InvalidScheduleError, match="non-negative"):
+            quantize_profile([(0.0, 1.0, -0.5)], levels)
+        with pytest.raises(InvalidScheduleError, match="policy"):
+            quantize_profile([(0.0, 1.0, 1.0)], levels, "stochastic")
+
+    def test_oa_quantized_end_to_end_keeps_deadlines(self, cube):
+        # the online path: OA plan -> quantize -> still meets every deadline
+        # with the two-level policy on a ladder whose max dominates the plan
+        inst = deadline_instance(8, seed=5)
+        sched = oa_schedule_incremental(inst, cube)
+        top = float(np.max(sched.speeds)) * 1.05
+        result = quantize_schedule(sched, uniform_levels(8, max_speed=top))
+        result.schedule.validate()
+        completions = result.schedule.completion_times
+        assert np.all(completions <= inst.deadlines * (1 + 1e-9))

@@ -14,12 +14,16 @@ from repro.io import (
     instance_to_dict,
     load_instance,
     load_schedule,
+    machine_model_from_dict,
+    machine_model_to_dict,
     power_from_dict,
     power_to_dict,
     save_instance,
     save_schedule,
     schedule_from_dict,
     schedule_to_dict,
+    speed_levels_from_dict,
+    speed_levels_to_dict,
 )
 from repro.makespan import incmerge
 from repro.workloads import deadline_instance, figure1_instance
@@ -107,6 +111,73 @@ class TestPowerSerialisation:
     def test_unknown_type_rejected(self):
         with pytest.raises(InvalidScheduleError):
             power_from_dict({"type": "mystery"})
+
+
+class TestSpeedLevelsSerialisation:
+    def test_roundtrip(self):
+        from repro.discrete import ATHLON64
+
+        back = speed_levels_from_dict(speed_levels_to_dict(ATHLON64))
+        assert back == ATHLON64
+        assert back.name == ATHLON64.name
+        assert back.levels == ATHLON64.levels
+
+    def test_json_safe(self):
+        import json
+
+        from repro.discrete import geometric_levels
+
+        levels = geometric_levels(4, max_speed=2.0, ratio=0.5)
+        data = json.loads(json.dumps(speed_levels_to_dict(levels)))
+        assert speed_levels_from_dict(data) == levels
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            speed_levels_from_dict({"kind": "instance"})
+        with pytest.raises(InvalidInstanceError, match="levels"):
+            speed_levels_from_dict({"kind": "speed-levels", "levels": []})
+
+    def test_invalid_levels_keep_their_specific_error(self):
+        # a structurally valid payload with bad values surfaces the
+        # SpeedLevels validation error, not a generic parse failure
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            speed_levels_from_dict(
+                {"kind": "speed-levels", "name": "x", "levels": [0.0, 1.0]}
+            )
+
+
+class TestMachineModelSerialisation:
+    @pytest.mark.parametrize(
+        "preset", ["pure", "static-sleep", "athlon64", "athlon64-nearest"]
+    )
+    def test_preset_roundtrip(self, preset):
+        from repro.sim import machine_model
+
+        machine = machine_model(preset, alpha=2.5)
+        back = machine_model_from_dict(machine_model_to_dict(machine))
+        assert back == machine
+
+    def test_file_roundtrip_feeds_the_cli(self, tmp_path):
+        import json
+
+        from repro.cli import main
+        from repro.sim import machine_model
+
+        machine = machine_model("static-sleep")
+        path = tmp_path / "machine.json"
+        path.write_text(
+            json.dumps(machine_model_to_dict(machine)), encoding="utf-8"
+        )
+        assert main(
+            ["sim", "--family", "mmpp", "--size", "5", "--machine", str(path),
+             "--algorithms", "oa", "--json"]
+        ) == 0
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            machine_model_from_dict({"kind": "speed-levels"})
+        with pytest.raises(InvalidInstanceError, match="power"):
+            machine_model_from_dict({"kind": "machine-model", "name": "m"})
 
 
 class TestScheduleSerialisation:

@@ -1,0 +1,308 @@
+"""Tests for the trace-replay engine, machine models and the scenario matrix."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.batch import solve_many
+from repro.core import PolynomialPower
+from repro.exceptions import InvalidInstanceError
+from repro.sim import (
+    MACHINE_MODEL_NAMES,
+    SIM_ALGORITHMS,
+    MachineModel,
+    SleepState,
+    Trace,
+    TraceEvent,
+    generate_trace,
+    machine_model,
+    scenario_matrix,
+    sim_report_from_dict,
+    sim_report_to_dict,
+    simulate,
+)
+
+
+def _gap_trace() -> Trace:
+    """Two unit jobs separated by a long idle gap (forces the sleep decision)."""
+    return Trace(
+        "gap",
+        (
+            TraceEvent(time=0.0, work=1.0, deadline=1.0),
+            TraceEvent(time=10.0, work=1.0, deadline=11.0),
+        ),
+    )
+
+
+class TestMachineModel:
+    def test_presets_cover_the_scenario_axes(self):
+        assert set(MACHINE_MODEL_NAMES) == {
+            "pure", "static-sleep", "athlon64", "athlon64-nearest",
+        }
+        pure = machine_model("pure", alpha=2.0)
+        assert pure.alpha == 2.0
+        assert pure.static_power == 0.0
+        assert pure.sleep is None and pure.levels is None
+        athlon = machine_model("athlon64")
+        assert athlon.levels is not None
+        assert athlon.quantization == "two-level"
+        assert machine_model("athlon64-nearest").quantization == "nearest"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown machine model"):
+            machine_model("cray-1")
+
+    def test_break_even_time(self):
+        machine = MachineModel(
+            name="m",
+            power=PolynomialPower(3.0),
+            static_power=0.05,
+            sleep=SleepState(power=0.005, wake_latency=0.2, transition_energy=0.02),
+        )
+        assert machine.break_even_time == pytest.approx(0.02 / 0.045)
+        assert machine.should_sleep(1.0)
+        assert not machine.should_sleep(0.1)
+
+    def test_never_sleeps_without_saving(self):
+        # sleeping at or above static power can't pay back the transition
+        machine = MachineModel(
+            name="m",
+            power=PolynomialPower(3.0),
+            static_power=0.01,
+            sleep=SleepState(power=0.01, transition_energy=0.02),
+        )
+        assert machine.break_even_time == math.inf
+        assert not machine.should_sleep(1e9)
+
+    def test_wake_latency_bounds_the_sleep_decision(self):
+        machine = MachineModel(
+            name="m",
+            power=PolynomialPower(3.0),
+            static_power=1.0,
+            sleep=SleepState(wake_latency=5.0, transition_energy=0.1),
+        )
+        # break-even is 0.1 but the machine can't wake in time for short gaps
+        assert not machine.should_sleep(1.0)
+        assert machine.should_sleep(5.0)
+
+    def test_invalid_models_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            MachineModel(name="m", power=PolynomialPower(3.0), static_power=-1.0)
+        with pytest.raises(InvalidInstanceError):
+            MachineModel(
+                name="m", power=PolynomialPower(3.0), quantization="stochastic"
+            )
+        with pytest.raises(InvalidInstanceError):
+            SleepState(power=-0.1)
+
+    def test_busy_power_adds_static(self):
+        machine = machine_model("static-sleep")
+        assert machine.busy_power(2.0) == pytest.approx(8.0 + 0.05)
+
+
+class TestContinuousMatch:
+    """On the pure machine the replay equals the registry solvers exactly."""
+
+    @pytest.mark.parametrize("family", ["day-night", "heavy-tail", "mmpp"])
+    @pytest.mark.parametrize("algorithm", SIM_ALGORITHMS)
+    def test_energy_matches_the_competitive_pipeline(self, family, algorithm):
+        trace = generate_trace(family, 10, 0)
+        machine = machine_model("pure", alpha=3.0)
+        result = simulate(trace, machine, algorithm)
+        power = PolynomialPower(3.0)
+        rows = solve_many(
+            [trace.to_instance()], power, 0.0, solver=algorithm
+        )
+        assert result.report.dynamic_energy == rows[0].energy
+        assert result.report.energy == rows[0].energy
+        bound = solve_many([trace.to_instance()], power, 0.0, solver="yds")
+        assert result.report.yds_bound == bound[0].energy
+        assert result.report.energy_ratio == pytest.approx(
+            rows[0].energy / bound[0].energy, rel=1e-12
+        )
+        assert result.report.deadline_misses == 0
+        assert result.report.sleep_transitions == 0
+        assert result.report.static_energy == 0.0
+
+    def test_injected_bound_short_circuits_yds(self):
+        trace = generate_trace("mmpp", 8, 1)
+        machine = machine_model("pure")
+        full = simulate(trace, machine, "oa")
+        injected = simulate(trace, machine, "oa", yds_bound=full.report.yds_bound)
+        assert injected.report == full.report
+
+
+class TestSimulate:
+    def test_deterministic_replay(self):
+        trace = generate_trace("heavy-tail", 9, 4)
+        machine = machine_model("athlon64")
+        first = simulate(trace, machine, "avr")
+        second = simulate(trace, machine, "avr")
+        assert first.report == second.report
+        assert first.events == second.events
+        assert sim_report_to_dict(first.report) == sim_report_to_dict(second.report)
+
+    def test_report_dict_roundtrip(self):
+        trace = generate_trace("day-night", 8, 2)
+        report = simulate(trace, machine_model("static-sleep"), "oa").report
+        assert sim_report_from_dict(sim_report_to_dict(report)) == report
+        with pytest.raises(InvalidInstanceError):
+            sim_report_from_dict({"kind": "sim"})
+
+    def test_sleep_accounting_on_a_long_gap(self):
+        machine = machine_model("static-sleep")
+        result = simulate(_gap_trace(), machine, "oa")
+        report = result.report
+        assert report.sleep_transitions == 1
+        assert report.sleep_time == pytest.approx(9.0, abs=1e-6)
+        assert report.idle_time == pytest.approx(0.0, abs=1e-6)
+        assert report.sleep_energy == pytest.approx(
+            machine.sleep.power * report.sleep_time
+        )
+        assert report.transition_energy == pytest.approx(
+            machine.sleep.transition_energy
+        )
+        assert report.static_energy == pytest.approx(
+            machine.static_power * (report.busy_time + report.idle_time)
+        )
+        assert report.energy == pytest.approx(
+            report.dynamic_energy
+            + report.static_energy
+            + report.sleep_energy
+            + report.transition_energy
+        )
+        kinds = [e.kind for e in result.events]
+        assert kinds.count("sleep") == 1 and kinds.count("wake") == 1
+
+    def test_short_gap_idles_instead_of_sleeping(self):
+        trace = Trace(
+            "short-gap",
+            (
+                TraceEvent(time=0.0, work=1.0, deadline=1.0),
+                TraceEvent(time=1.2, work=1.0, deadline=2.2),
+            ),
+        )
+        report = simulate(trace, machine_model("static-sleep"), "oa").report
+        assert report.sleep_transitions == 0
+        assert report.idle_time > 0.0
+        assert report.sleep_time == 0.0
+
+    def test_quantized_speeds_come_from_the_ladder(self):
+        machine = machine_model("athlon64")
+        levels = machine.levels.levels
+        for algorithm in SIM_ALGORITHMS:
+            result = simulate(generate_trace("day-night", 10, 1), machine, algorithm)
+            for piece in result.schedule.pieces:
+                assert any(
+                    math.isclose(piece.speed, level, rel_tol=1e-9)
+                    for level in levels
+                ), f"{algorithm} ran at off-ladder speed {piece.speed}"
+
+    def test_nearest_policy_records_misses_instead_of_raising(self):
+        # nearest rounding may under-provision; the replay must complete and
+        # report the misses rather than raise InfeasibleError
+        machine = machine_model("athlon64-nearest")
+        for seed in range(3):
+            trace = generate_trace("heavy-tail", 10, seed)
+            report = simulate(trace, machine, "avr").report
+            assert report.deadline_misses >= 0
+            assert report.energy > 0.0
+            if report.deadline_misses:
+                assert report.max_lateness > 0.0
+
+    def test_event_stream_is_sorted_and_complete(self):
+        trace = generate_trace("mmpp", 8, 0)
+        result = simulate(trace, machine_model("athlon64"), "oa")
+        times = [e.time for e in result.events]
+        assert times == sorted(times)
+        kinds = [e.kind for e in result.events]
+        assert kinds.count("arrival") == trace.n_events
+        assert kinds.count("completion") == trace.n_events
+        assert result.report.replans == len(
+            {e.time for e in trace.events}
+        )
+        assert result.report.n_events == len(result.events)
+
+    def test_instance_input_and_missing_deadlines(self):
+        inst = generate_trace("day-night", 6, 0).to_instance()
+        assert simulate(inst, machine_model("pure"), "oa").report.n_jobs == 6
+        open_trace = Trace("open", (TraceEvent(time=0.0, work=1.0),))
+        with pytest.raises(InvalidInstanceError, match="deadline"):
+            simulate(open_trace, machine_model("pure"), "oa")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown simulation"):
+            simulate(_gap_trace(), machine_model("pure"), "lru")
+
+
+class TestScenarioMatrix:
+    def test_small_grid_shape_and_determinism(self, tmp_path):
+        kwargs = dict(
+            algorithms=("oa", "avr"),
+            machines=("pure", "athlon64"),
+            families=("day-night",),
+            sizes=(6,),
+            seeds=2,
+            alpha=3.0,
+        )
+        first = scenario_matrix(**kwargs)
+        second = scenario_matrix(**kwargs)
+        assert first == second
+        assert first["kind"] == "sim-matrix"
+        assert len(first["cells"]) == 2 * 2 * 1 * 1 * 2
+        assert len(first["summary"]) == 2 * 2 * 1
+        for row in first["summary"]:
+            assert row["cells"] == 2
+            assert row["mean_ratio"] <= row["max_ratio"] + 1e-12
+
+    def test_pure_rows_match_the_registry(self):
+        payload = scenario_matrix(
+            algorithms=("oa",),
+            machines=("pure",),
+            families=("mmpp",),
+            sizes=(8,),
+            seeds=1,
+            alpha=3.0,
+        )
+        (cell,) = payload["cells"]
+        trace = generate_trace("mmpp", 8, 0)
+        rows = solve_many(
+            [trace.to_instance()], PolynomialPower(3.0), 0.0, solver="oa"
+        )
+        assert cell["energy"] == rows[0].energy
+        assert cell["family"] == "mmpp" and cell["seed"] == 0
+
+    def test_cache_is_reused_for_bounds(self, tmp_path):
+        from repro.cache import ResultCache
+
+        cache = ResultCache(directory=tmp_path / "cache")
+        kwargs = dict(
+            algorithms=("oa",),
+            machines=("pure",),
+            families=("day-night",),
+            sizes=(6,),
+            seeds=1,
+            alpha=3.0,
+            cache=cache,
+        )
+        cold = scenario_matrix(**kwargs)
+        misses = cache.stats().misses
+        warm = scenario_matrix(**kwargs)
+        assert warm == cold
+        assert cache.stats().misses == misses  # second run hit every bound
+        assert cache.stats().hits > 0
+
+    def test_invalid_grids_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            scenario_matrix(algorithms=("lru",))
+        with pytest.raises(InvalidInstanceError):
+            scenario_matrix(families=("tides",))
+        with pytest.raises(InvalidInstanceError):
+            scenario_matrix(machines=("cray-1",))
+        with pytest.raises(InvalidInstanceError):
+            scenario_matrix(seeds=0)
+        with pytest.raises(InvalidInstanceError):
+            scenario_matrix(sizes=())

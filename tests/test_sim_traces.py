@@ -1,0 +1,244 @@
+"""Tests for arrival traces: round-trips, malformed files, CLI error paths."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.exceptions import InvalidInstanceError, error_code
+from repro.sim import (
+    TRACE_FAMILIES,
+    Trace,
+    TraceEvent,
+    generate_trace,
+    load_trace,
+    save_trace,
+    trace_from_csv,
+    trace_from_jsonl,
+    trace_to_csv,
+    trace_to_jsonl,
+)
+from repro.workloads import deadline_instance
+
+from _strategies import hypothesis_settings
+
+
+def _events_strategy():
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+            st.one_of(
+                st.none(),
+                st.floats(min_value=1e-3, max_value=20.0, allow_nan=False),
+            ),
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+
+def _trace_from_raw(rows) -> Trace:
+    events = [
+        TraceEvent(
+            time=time,
+            work=work,
+            deadline=None if laxity is None else time + laxity,
+            weight=weight,
+        )
+        for time, work, laxity, weight in rows
+    ]
+    return Trace(name="hypothesis-trace", events=tuple(events))
+
+
+class TestTraceModel:
+    def test_events_sorted_by_time(self):
+        trace = Trace(
+            "t",
+            (
+                TraceEvent(time=5.0, work=1.0),
+                TraceEvent(time=0.0, work=2.0),
+            ),
+        )
+        assert [e.time for e in trace.events] == [0.0, 5.0]
+
+    def test_instance_roundtrip_is_exact(self):
+        inst = deadline_instance(7, seed=2)
+        back = Trace.from_instance(inst).to_instance()
+        assert np.array_equal(back.releases, inst.releases)
+        assert np.array_equal(back.works, inst.works)
+        assert np.array_equal(back.deadlines, inst.deadlines)
+        assert back.name == inst.name
+
+    def test_invalid_events_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            TraceEvent(time=0.0, work=0.0)
+        with pytest.raises(InvalidInstanceError):
+            TraceEvent(time=1.0, work=1.0, deadline=1.0)
+        with pytest.raises(InvalidInstanceError):
+            Trace("empty", ())
+
+    def test_families_generate_deadline_traces(self):
+        for family in TRACE_FAMILIES:
+            trace = generate_trace(family, 6, 0)
+            assert trace.n_events == 6
+            assert trace.has_deadlines
+            # deterministic from (family, n, seed)
+            again = generate_trace(family, 6, 0)
+            assert trace == again
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown trace family"):
+            generate_trace("tides", 5, 0)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("family", sorted(TRACE_FAMILIES))
+    @pytest.mark.parametrize("suffix", [".csv", ".jsonl"])
+    def test_family_file_roundtrip_replays_identically(
+        self, tmp_path, family, suffix
+    ):
+        trace = generate_trace(family, 9, 3)
+        path = save_trace(trace, tmp_path / f"trace{suffix}")
+        back = load_trace(path)
+        # byte-identical replay: the instances (and re-exports) are equal
+        assert back.events == trace.events
+        assert trace_to_csv(back) == trace_to_csv(trace)
+        assert trace_to_jsonl(back).splitlines()[1:] == trace_to_jsonl(
+            trace
+        ).splitlines()[1:]
+        inst, inst_back = trace.to_instance(), back.to_instance()
+        assert np.array_equal(inst.releases, inst_back.releases)
+        assert np.array_equal(inst.works, inst_back.works)
+        assert np.array_equal(inst.deadlines, inst_back.deadlines)
+
+    @pytest.mark.slow
+    @given(rows=_events_strategy())
+    @hypothesis_settings(max_examples=60)
+    def test_csv_roundtrip_is_byte_exact(self, rows):
+        trace = _trace_from_raw(rows)
+        back = trace_from_csv(trace_to_csv(trace), name=trace.name)
+        assert back.events == trace.events
+        assert trace_to_csv(back) == trace_to_csv(trace)
+
+    @pytest.mark.slow
+    @given(rows=_events_strategy())
+    @hypothesis_settings(max_examples=60)
+    def test_jsonl_roundtrip_is_byte_exact(self, rows):
+        trace = _trace_from_raw(rows)
+        back = trace_from_jsonl(trace_to_jsonl(trace))
+        assert back.name == trace.name
+        assert back.events == trace.events
+        assert trace_to_jsonl(back) == trace_to_jsonl(trace)
+
+
+class TestMalformedTraces:
+    def test_csv_wrong_header(self):
+        with pytest.raises(InvalidInstanceError, match="header"):
+            trace_from_csv("time,work\n0,1\n")
+
+    def test_csv_wrong_field_count(self):
+        header = "event,time,work,deadline,weight"
+        with pytest.raises(InvalidInstanceError, match="5 fields"):
+            trace_from_csv(f"{header}\n0,0.0,1.0\n")
+
+    def test_csv_unparsable_field_names_line(self):
+        header = "event,time,work,deadline,weight"
+        with pytest.raises(InvalidInstanceError, match="line 2"):
+            trace_from_csv(f"{header}\n0,zero,1.0,,1.0\n")
+
+    def test_csv_without_events(self):
+        with pytest.raises(InvalidInstanceError, match="no events"):
+            trace_from_csv("event,time,work,deadline,weight\n")
+
+    def test_jsonl_missing_header(self):
+        with pytest.raises(InvalidInstanceError, match="header"):
+            trace_from_jsonl('{"time": 0, "work": 1}\n')
+
+    def test_jsonl_event_count_mismatch(self):
+        text = (
+            '{"kind": "trace", "format": 1, "name": "t", "events": 3}\n'
+            '{"time": 0.0, "work": 1.0, "deadline": 2.0, "weight": 1.0}\n'
+        )
+        with pytest.raises(InvalidInstanceError, match="declares 3 events"):
+            trace_from_jsonl(text)
+
+    def test_jsonl_malformed_row(self):
+        text = (
+            '{"kind": "trace", "format": 1, "name": "t", "events": 1}\n'
+            '{"work": 1.0}\n'
+        )
+        with pytest.raises(InvalidInstanceError, match="line 2"):
+            trace_from_jsonl(text)
+
+    def test_errors_carry_the_stable_code(self):
+        with pytest.raises(InvalidInstanceError) as excinfo:
+            trace_from_csv("nope\n")
+        assert error_code(excinfo.value) == "invalid-instance"
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        trace = generate_trace("mmpp", 4, 0)
+        with pytest.raises(InvalidInstanceError, match="suffix"):
+            save_trace(trace, tmp_path / "trace.xml")
+        with pytest.raises(InvalidInstanceError, match="suffix"):
+            load_trace(tmp_path / "trace.xml")
+
+
+class TestSimCliErrorPaths:
+    def test_missing_trace_file_exits_2(self, tmp_path, capsys):
+        assert main(["sim", "--trace", str(tmp_path / "nope.csv")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_trace_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("this is not a trace\n", encoding="utf-8")
+        assert main(["sim", "--trace", str(path)]) == 2
+        assert "header" in capsys.readouterr().err
+
+    def test_truncated_jsonl_exits_2(self, tmp_path, capsys):
+        trace = generate_trace("day-night", 6, 0)
+        path = save_trace(trace, tmp_path / "trace.jsonl")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        assert main(["sim", "--trace", str(path)]) == 2
+        assert "declares" in capsys.readouterr().err
+
+    def test_unknown_machine_exits_2(self, capsys):
+        assert main(["sim", "--family", "mmpp", "--machine", "cray-1"]) == 2
+        assert "unknown machine model" in capsys.readouterr().err
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        assert (
+            main(["sim", "--family", "mmpp", "--algorithms", "lru"]) == 2
+        )
+        assert "unknown simulation algorithm" in capsys.readouterr().err
+
+    def test_no_trace_selected_exits_2(self, capsys):
+        assert main(["sim"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_trace_without_deadlines_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "open.csv"
+        path.write_text(
+            "event,time,work,deadline,weight\n0,0.0,1.0,,1.0\n",
+            encoding="utf-8",
+        )
+        assert main(["sim", "--trace", str(path)]) == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_save_trace_then_replay_matches_generated(self, tmp_path, capsys):
+        out = tmp_path / "saved.jsonl"
+        assert main(
+            ["sim", "--family", "heavy-tail", "--size", "6", "--seed", "1",
+             "--save-trace", str(out), "--json"]
+        ) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["sim", "--trace", str(out), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["reports"] == first["reports"]

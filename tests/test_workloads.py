@@ -11,10 +11,13 @@ from repro.workloads import (
     FIGURE1_BREAKPOINTS,
     THEOREM8_ENERGY_BUDGET,
     bursty_instance,
+    day_night_instance,
     deadline_instance,
     equal_work_instance,
     figure1_instance,
     figure1_power,
+    heavy_tail_instance,
+    mmpp_instance,
     partition_elements,
     poisson_instance,
     theorem8_instance,
@@ -139,3 +142,77 @@ class TestGenerators:
             partition_elements(1, seed=1)
         with pytest.raises(InvalidInstanceError):
             deadline_instance(3, seed=1, laxity=0.0)
+
+
+class TestTraceGenerators:
+    """The simulation trace families: day-night, heavy-tail, MMPP."""
+
+    @pytest.mark.parametrize(
+        "factory", [day_night_instance, heavy_tail_instance, mmpp_instance]
+    )
+    def test_deterministic_and_well_formed(self, factory):
+        a = factory(20, seed=3)
+        b = factory(20, seed=3)
+        assert np.array_equal(a.releases, b.releases)
+        assert np.array_equal(a.works, b.works)
+        assert np.array_equal(a.deadlines, b.deadlines)
+        c = factory(20, seed=4)
+        assert not np.array_equal(a.releases, c.releases)
+        assert a.n_jobs == 20
+        # day-night and mmpp are point processes from t=0 (first arrival
+        # strictly later); heavy-tail anchors its first event at 0
+        assert a.first_release >= 0.0
+        assert np.all(np.diff(a.releases) >= 0)
+        assert np.all(a.works > 0)
+        assert a.has_deadlines()
+        assert np.all(a.deadlines > a.releases)
+
+    def test_day_night_concentrates_arrivals_in_the_day(self):
+        inst = day_night_instance(
+            400, seed=0, period=10.0, day_fraction=0.5, day_rate=5.0,
+            night_rate=0.2,
+        )
+        phase = np.mod(inst.releases, 10.0)
+        day_share = float(np.mean(phase < 5.0))
+        # rates 5.0 vs 0.2 put ~96% of arrivals in the day half
+        assert day_share > 0.8
+
+    def test_heavy_tail_has_large_gaps_and_large_jobs(self):
+        inst = heavy_tail_instance(300, seed=1)
+        gaps = np.diff(inst.releases)
+        assert gaps.max() > 10.0 * np.median(gaps)  # heavy tail bites
+        assert inst.works.max() > 5.0 * np.median(inst.works)
+
+    def test_mmpp_modulates_the_arrival_rate(self):
+        inst = mmpp_instance(400, seed=2, rates=(10.0, 0.2))
+        gaps = np.sort(np.diff(inst.releases))
+        # two regimes: the fast-state gaps are far shorter than the slow-state
+        fast = gaps[: len(gaps) // 4].mean()
+        slow = gaps[-len(gaps) // 4 :].mean()
+        assert slow > 10.0 * fast
+
+    def test_slack_stream_is_decoupled_from_arrivals(self):
+        # the deadline slack uses seed + 1 (the deadline_instance idiom):
+        # same seed, different arrival parameters -> identical slacks
+        a = day_night_instance(10, seed=7, day_rate=2.0)
+        b = day_night_instance(10, seed=7, day_rate=9.0)
+        assert not np.array_equal(a.releases, b.releases)
+        assert np.allclose(
+            a.deadlines - a.releases, b.deadlines - b.releases
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(InvalidInstanceError):
+            day_night_instance(0, seed=1)
+        with pytest.raises(InvalidInstanceError):
+            day_night_instance(3, seed=1, day_fraction=1.0)
+        with pytest.raises(InvalidInstanceError):
+            day_night_instance(3, seed=1, night_rate=0.0)
+        with pytest.raises(InvalidInstanceError):
+            heavy_tail_instance(3, seed=1, gap_shape=1.0)
+        with pytest.raises(InvalidInstanceError):
+            heavy_tail_instance(3, seed=1, mean_gap=0.0)
+        with pytest.raises(InvalidInstanceError):
+            mmpp_instance(3, seed=1, rates=(0.0, 1.0))
+        with pytest.raises(InvalidInstanceError):
+            mmpp_instance(3, seed=1, laxity=-1.0)

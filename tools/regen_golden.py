@@ -48,6 +48,14 @@ CLI_CASES: dict[str, list[str]] = {
     "figures.json": ["figures", "--points", "7", "--json"],
     "compete.json": ["compete", "--alphas", "2", "--sizes", "5", "--seeds", "2",
                      "--families", "deadline,staircase", "--json"],
+    "sim.json": ["sim", "--family", "day-night", "--size", "12", "--seed", "0",
+                 "--machine", "athlon64", "--json"],
+    "sim_table.txt": ["sim", "--family", "heavy-tail", "--size", "8",
+                      "--seed", "1", "--machine", "static-sleep"],
+    "compete_machines.json": ["compete", "--machines", "pure,athlon64",
+                              "--families", "day-night,mmpp", "--sizes", "6",
+                              "--seeds", "1", "--algorithms", "oa,avr",
+                              "--json"],
 }
 
 
