@@ -60,6 +60,7 @@ from .cache import ResultCache, instance_digest
 from .core.job import Instance
 from .core.power import PowerFunction
 from .exceptions import InvalidInstanceError, VerificationError, WorkerTimeoutError
+from .io import ENVELOPE_CODECS
 from .faults import (
     JOURNAL_TORN,
     SOLVER_SLOW,
@@ -176,16 +177,17 @@ def _fire_item_faults(fault_plan: FaultPlan, index: int) -> None:
         )
 
 
-def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
+def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | bytes | None]]:
     """Worker entry point: solve one chunk of (index, instance, budget) items.
 
     Must stay module-level (and take a single picklable argument) so the
     process pool can ship it to workers; solver lookup happens by name in the
     worker, against the worker's own registry bootstrap.  Returns one
     ``(BatchResult, envelope)`` pair per item, where ``envelope`` is the
-    JSON-ready :func:`repro.io.result_to_dict` form of the full result when
-    ``with_envelopes`` is set (the picklable write-behind payload for the
-    parent's cache) and ``None`` otherwise.
+    write-behind payload of the full result when ``with_envelopes`` is set —
+    the JSON-ready :func:`repro.io.result_to_dict` dict under
+    ``wire_codec="json"``, its :func:`repro.io.binary_envelope_encode` bytes
+    under ``"binary"`` — and ``None`` otherwise.
 
     ``batch_kernel`` (``"auto"`` / ``"on"`` / ``"off"``) selects the
     structure-of-arrays tier: unless it is ``"off"``, items are bucketed by
@@ -197,13 +199,24 @@ def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
     """
     (
         solver_name, power, items, verify, with_envelopes, fault_plan,
-        batch_kernel,
+        batch_kernel, wire_codec,
     ) = payload
     if verify:
         # lazy: repro.verify pulls solver machinery the plain path never needs
         from .verify import verify as verify_result
     if with_envelopes:
-        from .io import result_to_dict
+        from .io import binary_envelope_encode, result_to_dict
+
+        def _ship(result: SolveResult):
+            envelope = result_to_dict(result)
+            # "binary" ships the envelope as one compact frame instead of a
+            # pickled dict-of-lists; the parent decodes before write-behind
+            # and the round trip is bit-exact, so cache bytes are identical
+            return (
+                binary_envelope_encode(envelope)
+                if wire_codec == "binary"
+                else envelope
+            )
     requests = [
         SolveRequest(
             instance=instance, power=power, solver=solver_name, budget=budget
@@ -260,7 +273,7 @@ def _solve_chunk(payload: tuple) -> list[tuple[BatchResult, dict | None]]:
                     energy=float(result.energy),
                     speeds=result.speeds,
                 ),
-                result_to_dict(result) if with_envelopes else None,
+                _ship(result) if with_envelopes else None,
             )
         )
     return out
@@ -416,6 +429,7 @@ def solve_stream(
     chunk_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     batch_kernel: str = "auto",
+    wire_codec: str = "json",
 ) -> Iterator[BatchResult]:
     """Solve many instances with one solver, yielding results as they complete.
 
@@ -488,6 +502,14 @@ def solve_stream(
         for every item and raises if the solver has none; ``"off"`` keeps
         the reference per-instance path.  Results are byte-identical across
         all three settings.
+    wire_codec:
+        Envelope format workers use to ship write-behind cache payloads back
+        to the parent: ``"json"`` (default) sends the plain
+        :func:`~repro.io.result_to_dict` dict, ``"binary"`` sends one
+        compact :func:`~repro.io.binary_envelope_encode` frame (cheaper to
+        pickle for speed-heavy results).  The parent decodes before caching,
+        so stored entries — and every yielded result — are byte-identical
+        across both settings.
 
     Raises
     ------
@@ -515,6 +537,11 @@ def solve_stream(
         raise InvalidInstanceError(
             f"batch_kernel='on' but solver {solver!r} registers no batched "
             f"kernel; solvers with one: {sorted(REGISTRY.find(batch_kernel=True))}"
+        )
+    if wire_codec not in ENVELOPE_CODECS:
+        raise InvalidInstanceError(
+            f"wire_codec must be one of {sorted(ENVELOPE_CODECS)}, "
+            f"got {wire_codec!r}"
         )
     instance_list = list(instances)
     count = len(instance_list)
@@ -558,7 +585,7 @@ def solve_stream(
     )
     return _stream_chunks(
         chunks, solver, power, workers, verify, cache, journal,
-        chunk_timeout, fault_plan, batch_kernel,
+        chunk_timeout, fault_plan, batch_kernel, wire_codec,
     )
 
 
@@ -610,6 +637,7 @@ def _stream_chunks(
     chunk_timeout: float | None,
     fault_plan: FaultPlan | None,
     batch_kernel: str,
+    wire_codec: str,
 ) -> Iterator[BatchResult]:
     """The generator behind :func:`solve_stream` (validation already done)."""
     want_envelopes = cache is not None
@@ -688,6 +716,10 @@ def _stream_chunks(
                 result, envelope = next(solved_iter)
                 record = True
                 if cache is not None and envelope is not None:
+                    if isinstance(envelope, (bytes, bytearray)):
+                        from .io import binary_envelope_decode
+
+                        envelope = binary_envelope_decode(envelope)
                     # write-behind: this point is only reached after the
                     # worker's verify (when enabled) passed
                     cache.put_envelope(_request(item), envelope)
@@ -716,7 +748,7 @@ def _stream_chunks(
                 solved = (
                     _solve_chunk(
                         (solver, power, missing, verify, want_envelopes,
-                         fault_plan, batch_kernel)
+                         fault_plan, batch_kernel, wire_codec)
                     )
                     if missing
                     else []
@@ -738,7 +770,7 @@ def _stream_chunks(
             return pool.submit(
                 _solve_chunk,
                 (solver, power, missing, verify, want_envelopes, fault_plan,
-                 batch_kernel),
+                 batch_kernel, wire_codec),
             )
 
         def _drain_one():
@@ -806,6 +838,7 @@ def solve_many(
     chunk_timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
     batch_kernel: str = "auto",
+    wire_codec: str = "json",
 ) -> list[BatchResult]:
     """Solve many instances and return the full result list.
 
@@ -828,5 +861,6 @@ def solve_many(
             chunk_timeout=chunk_timeout,
             fault_plan=fault_plan,
             batch_kernel=batch_kernel,
+            wire_codec=wire_codec,
         )
     )

@@ -17,9 +17,11 @@ answers with content addressing:
   capability metadata) changes the key, so stale entries are never returned.
 * :class:`ResultCache` stores :class:`~repro.api.types.SolveResult` envelopes
   behind that key: an in-process LRU front (bounded entry count) over an
-  optional on-disk backend (a sharded directory of JSON entries, safe to
-  share between runs and processes).  Corrupted or foreign on-disk entries
-  are treated as misses, never crashes.
+  optional persistent :class:`~repro.cache_store.CacheStore` backend —
+  sharded JSON files (the original format), a WAL-mode SQLite database
+  shared by concurrent processes, or a plain dict (see
+  :mod:`repro.cache_store`).  Corrupted or foreign persisted entries are
+  treated as misses, never crashes.
 
 Because entries round-trip through :func:`repro.io.result_to_dict` /
 :func:`~repro.io.result_from_dict`, a cache hit is byte-identical to a fresh
@@ -39,7 +41,6 @@ from __future__ import annotations
 import errno
 import hashlib
 import json
-import os
 import threading
 import warnings
 import weakref
@@ -47,10 +48,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from .cache_store import ENTRY_KIND, CacheStore, DiskJSONStore
 from .exceptions import ReproError
 from .faults import CACHE_WRITE, FaultPlan
 
@@ -70,7 +72,7 @@ __all__ = [
 #: old on-disk stores simply miss instead of returning wrongly-keyed entries.
 _KEY_VERSION = 1
 
-_ENTRY_KIND = "cache-entry"
+_ENTRY_KIND = ENTRY_KIND
 
 
 def _canonical_json(payload: Any) -> bytes:
@@ -179,6 +181,9 @@ class CacheStats:
     uncacheable: int = 0
     invalidated: int = 0
     disk_errors: int = 0
+    disk_probes: int = 0
+    disk_recoveries: int = 0
+    disk_degraded: bool = False
 
     @property
     def hit_rate(self) -> float:
@@ -192,21 +197,35 @@ class ResultCache:
     Parameters
     ----------
     directory:
-        Root of the on-disk backend; ``None`` keeps the cache purely
-        in-process.  Entries live in 256 shard directories (the first two hex
-        digits of the key) as ``<key>.json`` files, written atomically
-        (temp file + rename), so a killed process never leaves a torn entry
-        behind — and a torn or foreign file is a miss, not a crash.
+        Root of the classic on-disk backend — shorthand for
+        ``store=DiskJSONStore(directory)``: entries live in 256 shard
+        directories (the first two hex digits of the key) as ``<key>.json``
+        files, written atomically (temp file + rename), so a killed process
+        never leaves a torn entry behind — and a torn or foreign file is a
+        miss, not a crash.  ``None`` (without a ``store``) keeps the cache
+        purely in-process.
     max_memory_entries:
         Bound of the in-process LRU front (least-recently-used entries are
-        evicted first; with a ``directory`` they remain readable from disk).
+        evicted first; with a persistent store they remain readable from it).
     registry:
         The solver registry keys are resolved against; defaults to the
         process-wide :data:`repro.api.REGISTRY`.
     fault_plan:
         Optional :class:`repro.faults.FaultPlan`; the ``cache-write`` site is
-        consulted before each disk write (chaos tests inject ``ENOSPC``
+        consulted before each store write (chaos tests inject ``ENOSPC``
         deterministically through it).
+    store:
+        An explicit :class:`~repro.cache_store.CacheStore` backend (memory /
+        disk-json / sqlite); mutually exclusive with ``directory``.  Two
+        caches handed the same store share entries — across processes when
+        the backend supports it (:class:`~repro.cache_store.SqliteStore`,
+        :class:`~repro.cache_store.DiskJSONStore`).
+    disk_probe_interval:
+        After a store write fails, one write per this many puts is retried
+        as a probe; a probe that succeeds re-enables the store.  Keeps a
+        transient ``ENOSPC`` from disabling persistence for the rest of a
+        long-running serve loop while still writing (and warning) at most
+        once per interval while the store stays broken.
 
     Only successful results are stored (error envelopes are never cached).
     Requests that cannot be keyed — unknown solver, non-JSON options — are
@@ -214,12 +233,13 @@ class ResultCache:
     thread-safe (the TCP transport of ``repro serve`` shares one cache
     across connections).
 
-    Disk writes are best-effort: when the store fails (``ENOSPC``, a
+    Store writes are best-effort: when the store fails (``ENOSPC``, a
     permissions change, a vanished mount) the cache degrades to memory-only
     with a one-time :class:`RuntimeWarning` instead of propagating — a full
     disk must never kill a serve loop.  Failures are tallied as
-    ``disk_errors`` in :meth:`stats`; existing on-disk entries remain
-    readable.
+    ``disk_errors`` in :meth:`stats` (probe attempts and recoveries as
+    ``disk_probes`` / ``disk_recoveries``); existing persisted entries
+    remain readable throughout.
     """
 
     def __init__(
@@ -228,13 +248,27 @@ class ResultCache:
         max_memory_entries: int = 1024,
         registry: "SolverRegistry | None" = None,
         fault_plan: FaultPlan | None = None,
+        store: CacheStore | None = None,
+        disk_probe_interval: int = 32,
     ) -> None:
         if max_memory_entries < 0:
             raise ValueError(
                 f"max_memory_entries must be >= 0, got {max_memory_entries}"
             )
-        self.directory = None if directory is None else Path(directory)
+        if disk_probe_interval < 1:
+            raise ValueError(
+                f"disk_probe_interval must be >= 1, got {disk_probe_interval}"
+            )
+        if store is not None and directory is not None:
+            raise ValueError("pass either directory= or store=, not both")
+        if store is None and directory is not None:
+            store = DiskJSONStore(directory)
+        self.store = store
+        # kept for back-compat with the directory-shaped API (repr, tools
+        # poking at the sharded layout); None for non-directory backends
+        self.directory = getattr(store, "directory", None)
         self.max_memory_entries = int(max_memory_entries)
+        self.disk_probe_interval = int(disk_probe_interval)
         self._registry = registry
         # one lock around every stateful operation: the threaded TCP serve
         # transport shares a single cache across connection handlers
@@ -249,10 +283,14 @@ class ResultCache:
         self._uncacheable = 0
         self._invalidated = 0
         self._disk_errors = 0
+        self._disk_probes = 0
+        self._disk_recoveries = 0
         self._disk_write_failed = False
+        self._puts_since_disk_fail = 0
+        # bumped by invalidate(): a lock-free store read that started before
+        # the bump must not resurrect its entry into the memory front
+        self._generation = 0
         self._fault_plan = fault_plan
-        if self.directory is not None:
-            self.directory.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     # keying
@@ -293,14 +331,20 @@ class ResultCache:
                 envelope = entry["result"]
             else:
                 envelope = None
+                generation = self._generation
         if envelope is not None:
             return result_from_dict(envelope)
-        # disk read and parse happen outside the lock so one slow lookup
+        # store read and parse happen outside the lock so one slow lookup
         # cannot serialise every other thread of a TCP serve transport
-        entry, corrupt = self._read_disk(key)
+        entry, corrupt = self._read_store(key)
         with self._lock:
             if corrupt:
                 self._corrupt += 1
+            if entry is not None and self._generation != generation:
+                # an invalidate() ran while we were reading: the entry we
+                # hold predates it, so remembering (or returning) it would
+                # resurrect what the caller just dropped — treat as a miss
+                entry = None
             if entry is not None:
                 self._disk_hits += 1
                 self._remember(key, entry)
@@ -308,25 +352,11 @@ class ResultCache:
                 self._misses += 1
         return None if entry is None else result_from_dict(entry["result"])
 
-    def _read_disk(self, key: str) -> tuple[dict[str, Any] | None, bool]:
-        """One disk lookup: ``(entry, corrupt)`` — lock-free, counters later."""
-        if self.directory is None:
+    def _read_store(self, key: str) -> tuple[dict[str, Any] | None, bool]:
+        """One store lookup: ``(entry, corrupt)`` — lock-free, counters later."""
+        if self.store is None:
             return None, False
-        path = self._entry_path(key)
-        try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            return None, False
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return None, True
-        if (
-            not isinstance(data, dict)
-            or data.get("kind") != _ENTRY_KIND
-            or data.get("key") != key
-            or not isinstance(data.get("result"), dict)
-        ):
-            return None, True
-        return data, False
+        return self.store.read(key)
 
     # ------------------------------------------------------------------
     # write path
@@ -365,9 +395,9 @@ class ResultCache:
             }
             self._remember(key, entry)
             self._puts += 1
-        # atomic temp-file + rename write outside the lock (concurrent puts
-        # of the same key race benignly: identical content, last one wins)
-        self._write_disk(key, entry)
+        # store write outside the lock (concurrent puts of the same key race
+        # benignly: identical content under the same key, last one wins)
+        self._write_store(key, entry)
         return key
 
     def _remember(self, key: str, entry: dict[str, Any]) -> None:
@@ -378,18 +408,28 @@ class ResultCache:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
 
-    def _write_disk(self, key: str, entry: dict[str, Any]) -> None:
-        """Best-effort disk store: a failing write degrades to memory-only.
+    def _write_store(self, key: str, entry: dict[str, Any]) -> None:
+        """Best-effort store write: a failing store degrades to memory-only.
 
         ``ENOSPC`` / ``EACCES`` / any other ``OSError`` must not propagate —
         a full disk killing a long-running serve loop is exactly the failure
-        mode this guards.  The first failure disables further disk writes
-        (one warning, ``disk_errors`` tallied); reads keep working.
+        mode this guards.  The first failure disables further store writes
+        (one warning, ``disk_errors`` tallied), but not forever: every
+        ``disk_probe_interval`` puts one write is retried as a probe, and a
+        probe that lands re-enables the store (``disk_recoveries``).  Reads
+        keep working throughout.
         """
-        if self.directory is None or self._disk_write_failed:
+        if self.store is None:
             return
-        path = self._entry_path(key)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        probe = False
+        with self._lock:
+            if self._disk_write_failed:
+                self._puts_since_disk_fail += 1
+                if self._puts_since_disk_fail < self.disk_probe_interval:
+                    return
+                self._puts_since_disk_fail = 0
+                self._disk_probes += 1
+                probe = True
         try:
             if self._fault_plan is not None:
                 rule = self._fault_plan.fire(CACHE_WRITE)
@@ -398,47 +438,36 @@ class ResultCache:
                         errno.ENOSPC,
                         rule.message or "injected cache disk-write failure",
                     )
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
-            os.replace(tmp, path)
+            self.store.write(key, entry)
         except OSError as exc:
             with self._lock:
                 self._disk_errors += 1
                 first = not self._disk_write_failed
                 self._disk_write_failed = True
-            try:  # never leave a torn temp file behind
-                tmp.unlink(missing_ok=True)
-            except OSError:  # pragma: no cover - racing cleanup
-                pass
+                self._puts_since_disk_fail = 0
             if first:
                 warnings.warn(
-                    f"result cache disk store at {self.directory} failed to "
-                    f"write ({exc}); continuing memory-only — existing disk "
-                    "entries remain readable",
+                    f"result cache disk store ({self.store.describe()}) failed "
+                    f"to write ({exc}); continuing memory-only — existing "
+                    "persisted entries remain readable",
                     RuntimeWarning,
                     stacklevel=3,
                 )
-
-    def _entry_path(self, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / key[:2] / f"{key}.json"
+        else:
+            if probe:
+                with self._lock:
+                    self._disk_write_failed = False
+                    self._disk_recoveries += 1
+                    self._puts_since_disk_fail = 0
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def _disk_entries(self) -> Iterator[Path]:
-        if self.directory is None:
-            return
-        for shard in sorted(self.directory.iterdir()):
-            if not shard.is_dir():
-                continue
-            yield from sorted(shard.glob("*.json"))
-
     def invalidate(self, solver: str | None = None) -> int:
         """Drop entries (all of them, or one solver's).
 
         Returns the number of *distinct* entries dropped (an entry present
-        in both the memory front and the disk store counts once).
+        in both the memory front and the persistent store counts once).
         Capability *changes* invalidate implicitly — the fingerprint is part
         of the key — so this is for operational eviction: a solver was found
         buggy, or the store must shrink.
@@ -454,20 +483,12 @@ class ResultCache:
                 ]:
                     del self._memory[key]
                     dropped.add(key)
-            for path in list(self._disk_entries()):
-                if solver is not None:
-                    try:
-                        data = json.loads(path.read_text(encoding="utf-8"))
-                    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-                        data = None
-                    if data is not None and data.get("solver") != solver:
-                        continue
-                try:
-                    path.unlink()
-                    dropped.add(path.stem)
-                except OSError:  # pragma: no cover - racing deleter
-                    pass
+            if self.store is not None:
+                dropped.update(self.store.purge(solver))
             self._invalidated += len(dropped)
+            # any lock-free store read in flight now holds a pre-invalidate
+            # entry; the generation bump stops it from being remembered
+            self._generation += 1
             return len(dropped)
 
     def stats(self) -> CacheStats:
@@ -485,6 +506,9 @@ class ResultCache:
                 uncacheable=self._uncacheable,
                 invalidated=self._invalidated,
                 disk_errors=self._disk_errors,
+                disk_probes=self._disk_probes,
+                disk_recoveries=self._disk_recoveries,
+                disk_degraded=self._disk_write_failed,
             )
 
     def __len__(self) -> int:
@@ -492,7 +516,7 @@ class ResultCache:
         return len(self._memory)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        backend = "memory" if self.directory is None else str(self.directory)
+        backend = "memory" if self.store is None else self.store.describe()
         s = self.stats()
         return (
             f"ResultCache(backend={backend!r}, entries={len(self)}, "

@@ -1,0 +1,95 @@
+"""The ``CacheStore`` contract: what a shared cache tier must provide.
+
+:class:`~repro.cache.ResultCache` keeps its in-process LRU front and its
+counters; everything below that — where entries persist, how they are
+encoded, which processes can see them — is a :class:`CacheStore`.  The
+contract is deliberately tiny (read / write / purge over opaque entry
+dicts keyed by the content address) so that a remote tier can implement
+it later with the same key acting as a consistent-hash key.
+
+Entries are the exact dicts :class:`~repro.cache.ResultCache` builds::
+
+    {"kind": "cache-entry", "key": <hex key>, "solver": <name>,
+     "result": <repro.io.result_to_dict envelope>}
+
+Stores validate that shape on read and report anything else as *corrupt*
+(a miss, never a crash).  Writes raise :class:`OSError` on store failure;
+the cache's degradation machinery (one-time warning, bounded re-probe)
+lives above the store, so every backend inherits it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+__all__ = ["ENTRY_KIND", "CacheStore", "validate_entry"]
+
+#: The ``kind`` tag of every persisted cache entry, across all backends.
+ENTRY_KIND = "cache-entry"
+
+
+def validate_entry(data: Any, key: str) -> dict[str, Any] | None:
+    """The entry dict if ``data`` is a well-formed entry for ``key``, else ``None``."""
+    if (
+        not isinstance(data, dict)
+        or data.get("kind") != ENTRY_KIND
+        or data.get("key") != key
+        or not isinstance(data.get("result"), dict)
+    ):
+        return None
+    return data
+
+
+class CacheStore(ABC):
+    """Abstract persistent tier behind :class:`~repro.cache.ResultCache`.
+
+    Implementations must be safe to call from multiple threads; whether
+    multiple *processes* can share one store is a per-backend property
+    (:class:`~repro.cache_store.SqliteStore` and
+    :class:`~repro.cache_store.DiskJSONStore` can,
+    :class:`~repro.cache_store.MemoryStore` cannot).
+    """
+
+    #: Stable backend name, as accepted by :func:`repro.cache_store.open_store`.
+    backend: str = "abstract"
+
+    @abstractmethod
+    def read(self, key: str) -> tuple[dict[str, Any] | None, bool]:
+        """One lookup: ``(entry, corrupt)``.
+
+        ``(entry, False)`` on a well-formed hit, ``(None, False)`` on a
+        clean miss, ``(None, True)`` when something was there but could
+        not be decoded or failed validation.  Never raises for store
+        reasons.
+        """
+
+    @abstractmethod
+    def write(self, key: str, entry: dict[str, Any]) -> None:
+        """Persist ``entry`` under ``key`` (last writer wins).
+
+        Raises :class:`OSError` when the store cannot accept the write —
+        the caller owns degradation policy.
+        """
+
+    @abstractmethod
+    def purge(self, solver: str | None = None) -> set[str]:
+        """Delete entries (all, or one solver's); returns the deleted keys.
+
+        Best-effort: entries that vanish concurrently are skipped, and
+        unreadable entries are deleted (they could belong to anyone).
+        """
+
+    def keys(self) -> Iterator[str]:
+        """Iterate the keys currently present (a snapshot, not a lock)."""
+        return iter(())
+
+    def close(self) -> None:
+        """Release backend resources; further use is undefined."""
+
+    def describe(self) -> str:
+        """One-line human description (used by ``ResultCache.__repr__``)."""
+        return self.backend
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()!r})"

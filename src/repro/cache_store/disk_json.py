@@ -1,0 +1,106 @@
+"""Sharded-JSON directory :class:`CacheStore` — the original disk tier.
+
+This is the exact on-disk format :class:`~repro.cache.ResultCache` has
+always written (golden-pinned): entries live in 256 shard directories
+(the first two hex digits of the key) as ``<key>.json`` files containing
+``json.dumps(entry, sort_keys=True)``, written atomically via a hidden
+temp file + :func:`os.replace`, so a killed process never leaves a torn
+entry behind.  Safe to share between runs and processes (the content
+address makes concurrent same-key writes idempotent).
+
+Temp-file names carry the pid, the thread id and a process-wide
+monotonic counter: two threads (or two processes) writing the same key
+at once must never share a temp path, or one writer's ``os.replace`` /
+cleanup ``unlink`` races the other's and a healthy cache degrades to
+memory-only on a spurious :class:`OSError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Iterator
+
+from .base import CacheStore, validate_entry
+
+__all__ = ["DiskJSONStore"]
+
+#: Process-wide monotonic suffix: makes temp paths unique even within one
+#: thread (e.g. a retry racing its own interrupted predecessor's cleanup).
+_TMP_COUNTER = itertools.count()
+
+
+class DiskJSONStore(CacheStore):
+    """One JSON file per entry under ``directory/key[:2]/<key>.json``."""
+
+    backend = "disk-json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _temp_path(self, path: Path) -> Path:
+        """A collision-free sibling temp path for one atomic write."""
+        suffix = f"{os.getpid()}.{threading.get_ident()}.{next(_TMP_COUNTER)}"
+        return path.with_name(f".{path.name}.{suffix}.tmp")
+
+    def read(self, key: str) -> tuple[dict[str, Any] | None, bool]:
+        path = self._entry_path(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None, False
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None, True
+        entry = validate_entry(data, key)
+        return (entry, False) if entry is not None else (None, True)
+
+    def write(self, key: str, entry: dict[str, Any]) -> None:
+        path = self._entry_path(key)
+        tmp = self._temp_path(path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:  # never leave a torn temp file behind
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+            raise
+
+    def _entry_files(self) -> Iterator[Path]:
+        for shard in sorted(self.directory.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    def purge(self, solver: str | None = None) -> set[str]:
+        dropped: set[str] = set()
+        for path in list(self._entry_files()):
+            if solver is not None:
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                    data = None
+                if data is not None and data.get("solver") != solver:
+                    continue
+            try:
+                path.unlink()
+                dropped.add(path.stem)
+            except OSError:  # pragma: no cover - racing deleter
+                pass
+        return dropped
+
+    def keys(self) -> Iterator[str]:
+        for path in self._entry_files():
+            yield path.stem
+
+    def describe(self) -> str:
+        return str(self.directory)

@@ -1,0 +1,66 @@
+"""In-process dict-backed :class:`CacheStore`.
+
+The simplest shared tier: several :class:`~repro.cache.ResultCache`
+instances in one process (e.g. per-tenant caches over one pool, or
+tests) can hand the same ``MemoryStore`` around and see each other's
+puts.  Unlike the cache's own LRU front it is unbounded and survives
+cache-level :meth:`~repro.cache.ResultCache.invalidate` only for other
+solvers' entries — it is a *store*, not a second front.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from .base import CacheStore, validate_entry
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(CacheStore):
+    """Unbounded thread-safe dict store (single-process only)."""
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict[str, Any]] = {}
+
+    def read(self, key: str) -> tuple[dict[str, Any] | None, bool]:
+        with self._lock:
+            data = self._entries.get(key)
+        if data is None:
+            return None, False
+        entry = validate_entry(data, key)
+        return (entry, False) if entry is not None else (None, True)
+
+    def write(self, key: str, entry: dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    def purge(self, solver: str | None = None) -> set[str]:
+        with self._lock:
+            if solver is None:
+                dropped = set(self._entries)
+                self._entries.clear()
+                return dropped
+            dropped = {
+                key
+                for key, entry in self._entries.items()
+                if entry.get("solver") == solver
+            }
+            for key in dropped:
+                del self._entries[key]
+            return dropped
+
+    def keys(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self) -> str:
+        return f"memory:{len(self)} entries"

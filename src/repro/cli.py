@@ -56,6 +56,7 @@ from .api import solve as api_solve
 from .api import verify as api_verify
 from .batch import solve_many
 from .cache import ResultCache
+from .cache_store import STORE_BACKENDS, open_store
 from .core import Instance, PolynomialPower
 from .exceptions import ReproError, VerificationError
 from .faults import FaultPlan
@@ -452,6 +453,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         run_dir=args.run_dir,
         chunk_timeout=args.chunk_timeout,
         batch_kernel=args.batch_kernel,
+        wire_codec=args.wire_codec,
     )
     elapsed = time.perf_counter() - start
     throughput = len(results) / elapsed if elapsed > 0 else float("inf")
@@ -653,13 +655,31 @@ def _parse_tcp_address(text: str) -> tuple[str, int]:
         ) from exc
 
 
+def _serve_cache(args: argparse.Namespace) -> ResultCache | None:
+    """The serve loop's cache per ``--cache-backend`` / ``--cache-dir``."""
+    if args.no_cache:
+        return None
+    backend = args.cache_backend
+    if backend == "auto":
+        # historical semantics: sharded JSON when a directory was given,
+        # otherwise the pure in-process LRU front
+        backend = "disk-json" if args.cache_dir else None
+    if backend is None or backend == "memory":
+        # the LRU front already is the memory tier; a MemoryStore behind it
+        # would only duplicate entries without adding persistence
+        return ResultCache(max_memory_entries=args.memory_cache)
+    if not args.cache_dir:
+        raise ReproError(
+            f"--cache-backend {backend} needs --cache-dir to know where "
+            "the store lives"
+        )
+    store = open_store(backend, args.cache_dir)
+    return ResultCache(store=store, max_memory_entries=args.memory_cache)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Long-running JSON-lines request loop (stdin/stdout or TCP)."""
-    cache = None
-    if not args.no_cache:
-        cache = ResultCache(
-            directory=args.cache_dir, max_memory_entries=args.memory_cache
-        )
+    cache = _serve_cache(args)
     fault_plan = None
     if args.fault_plan is not None:
         fault_plan = FaultPlan.from_file(args.fault_plan)
@@ -857,6 +877,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "registered, on forces it (error if the solver has "
                         "none), off keeps the per-instance reference path; "
                         "results are byte-identical either way")
+    p.add_argument("--wire-codec", choices=("json", "binary"), default="json",
+                   help="envelope format workers use to ship write-behind "
+                        "cache payloads to the parent (results and cached "
+                        "bytes are identical either way)")
     p.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     p.set_defaults(func=_cmd_batch)
 
@@ -970,6 +994,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir",
                    help="persist the content-addressed result cache here "
                         "(default: in-memory only)")
+    p.add_argument("--cache-backend",
+                   choices=("auto",) + STORE_BACKENDS, default="auto",
+                   help="cache store behind the LRU front: auto (default) "
+                        "keeps the historical behaviour (disk-json when "
+                        "--cache-dir is given, memory-only otherwise); "
+                        "sqlite stores entries in one WAL-mode database "
+                        "under --cache-dir, safe to share between serve "
+                        "processes")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the result cache entirely")
     p.add_argument("--memory-cache", type=int, default=1024,

@@ -67,6 +67,7 @@ import contextlib
 import json
 import queue as _queue_mod
 import signal
+import struct
 import threading
 import time
 from collections import deque
@@ -91,7 +92,13 @@ from .faults import (
     FaultPlan,
     InjectedFault,
 )
-from .io import request_from_dict, serve_response_to_dict
+from .io import (
+    ENVELOPE_CODECS,
+    binary_envelope_decode,
+    encode_envelope,
+    request_from_dict,
+    serve_response_to_dict,
+)
 
 __all__ = ["ServeStats", "handle_request_line", "serve_stream", "AsyncServeLoop"]
 
@@ -100,6 +107,49 @@ DEFAULT_MAX_PENDING = 64
 
 #: Backoff hint handed out before any solve has completed (no EWMA yet).
 _DEFAULT_RETRY_AFTER_MS = 50.0
+
+#: Hard cap on one binary request frame; a length prefix beyond this is a
+#: protocol violation (or garbage) and drops the connection rather than
+#: letting one client make the server allocate gigabytes.
+MAX_BINARY_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The binary frame length prefix (little-endian u32, matches repro.io).
+_U32_STRUCT = struct.Struct("<I")
+
+
+class _ConnState:
+    """Per-connection wire state: which codec each direction speaks.
+
+    The read side switches the moment a ``codec`` op is admitted (the
+    client's next frame is already in the new format); the write side
+    switches only after the acceptance response has been flushed in the
+    old format, so the client always reads the acknowledgement in the
+    codec it negotiated *from*.
+    """
+
+    __slots__ = ("read_codec", "write_codec", "binary_capable")
+
+    def __init__(self, binary_capable: bool = False) -> None:
+        self.read_codec = "json"
+        self.write_codec = "json"
+        self.binary_capable = binary_capable
+
+
+class _CodecSwitch:
+    """A resolved response that flips the write codec once it is flushed."""
+
+    __slots__ = ("payload", "codec")
+
+    def __init__(self, payload: dict[str, Any], codec: str) -> None:
+        self.payload = payload
+        self.codec = codec
+
+
+#: Marker messages a transport's ``read_message`` can yield besides text
+#: lines: an already-decoded binary payload, or a frame that failed to
+#: decode (served a structured error instead of killing the connection).
+_FRAME = "frame"
+_FRAME_ERROR = "frame-error"
 
 
 @dataclass
@@ -459,34 +509,91 @@ class AsyncServeLoop:
             response["error"] = {
                 "code": InvalidInstanceError.code,
                 "message": f"unknown control op {op!r}; known ops: "
-                           "['drain', 'ping', 'stats']",
+                           "['codec', 'drain', 'ping', 'stats']",
             }
         return response
 
-    def _admit(self, line: str) -> asyncio.Future:
-        """One request line in, one future of a response object out.
+    def _codec_response(
+        self, data: dict[str, Any], conn: _ConnState
+    ) -> tuple[dict[str, Any], str | None]:
+        """The ``codec`` negotiation op: ``(response, accepted codec | None)``."""
+        requested = data.get("codec")
+        response: dict[str, Any] = {
+            "kind": "serve-control",
+            "id": data.get("id"),
+            "op": "codec",
+            "codec": requested,
+            "accepted": False,
+        }
+        if requested not in ENVELOPE_CODECS:
+            response["error"] = {
+                "code": InvalidInstanceError.code,
+                "message": f"unknown envelope codec {requested!r}; known codecs: "
+                           f"{sorted(ENVELOPE_CODECS)}",
+            }
+            return response, None
+        if requested == "binary" and not conn.binary_capable:
+            response["error"] = {
+                "code": InvalidInstanceError.code,
+                "message": "binary codec needs a byte transport; this "
+                           "connection is text-only (stdio)",
+            }
+            return response, None
+        response["accepted"] = True
+        return response, requested
 
-        Control requests, malformed lines and shed requests resolve
-        immediately; everything else joins the bounded admission queue.
+    def _admit(self, message: Any, conn: _ConnState) -> asyncio.Future:
+        """One request message in, one future of a response object out.
+
+        ``message`` is a raw text line (JSON mode), an already-decoded
+        binary frame payload (``(_FRAME, data)``) or a frame decode error
+        (``(_FRAME_ERROR, message)``).  Control requests, malformed input
+        and shed requests resolve immediately; everything else joins the
+        bounded admission queue.
         """
         assert self._loop is not None and self._queue is not None
         arrival = time.monotonic()
         fut: asyncio.Future = self._loop.create_future()
         cache_state = "off" if self.cache is None else "miss"
 
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError as exc:
+        if isinstance(message, str):
+            try:
+                data = json.loads(message)
+            except json.JSONDecodeError as exc:
+                result = SolveResult.failure(
+                    "<request>",
+                    InvalidInstanceError(f"unparseable request line: {exc}"),
+                )
+                fut.set_result(
+                    self._finish_immediate(result, None, {"cache": cache_state}, arrival)
+                )
+                return fut
+        elif message[0] == _FRAME_ERROR:
             result = SolveResult.failure(
-                "<request>", InvalidInstanceError(f"unparseable request line: {exc}")
+                "<request>",
+                InvalidInstanceError(f"unparseable request frame: {message[1]}"),
             )
             fut.set_result(
                 self._finish_immediate(result, None, {"cache": cache_state}, arrival)
             )
             return fut
+        else:
+            data = message[1]
 
         if isinstance(data, dict) and isinstance(data.get("op"), str):
-            fut.set_result(self._control_response(data, data["op"]))
+            op = data["op"]
+            if op == "codec":
+                response, accepted = self._codec_response(data, conn)
+                if accepted is not None:
+                    # the client's next frame is already in the new codec;
+                    # our side of the switch waits until this response is
+                    # flushed (the writer unwraps the _CodecSwitch)
+                    conn.read_codec = accepted
+                    fut.set_result(_CodecSwitch(response, accepted))
+                else:
+                    fut.set_result(response)
+                return fut
+            fut.set_result(self._control_response(data, op))
             return fut
 
         request_id = data.get("id") if isinstance(data, dict) else None
@@ -714,11 +821,14 @@ class AsyncServeLoop:
 
     async def _conn_loop(
         self,
-        readline: Callable[[], Awaitable[str | None]],
-        writeline: Callable[[str], Awaitable[None]],
+        read_message: Callable[[], Awaitable[Any]],
+        write_message: Callable[[dict[str, Any]], Awaitable[None]],
         abort: Callable[[], None] | None = None,
+        conn: _ConnState | None = None,
     ) -> None:
-        """One connection: read lines, admit, write responses in FIFO order."""
+        """One connection: read messages, admit, write responses in FIFO order."""
+        if conn is None:
+            conn = _ConnState()
         responses: asyncio.Queue = asyncio.Queue()
 
         async def writer() -> None:
@@ -727,6 +837,9 @@ class AsyncServeLoop:
                 if fut is None:
                     return
                 response = await fut
+                switch: str | None = None
+                if isinstance(response, _CodecSwitch):
+                    switch, response = response.codec, response.payload
                 if self.fault_plan is not None:
                     rule = self.fault_plan.fire(CONNECTION_DROP)
                     if rule is not None:
@@ -734,19 +847,22 @@ class AsyncServeLoop:
                             abort()
                         return  # drop the connection mid-response stream
                 try:
-                    await writeline(json.dumps(response) + "\n")
+                    await write_message(response)
                 except (BrokenPipeError, ConnectionResetError, OSError):
                     return  # client went away; keep serving everyone else
+                if switch is not None:
+                    # acceptance flushed in the old codec; speak the new one now
+                    conn.write_codec = switch
 
         writer_task = asyncio.ensure_future(writer())
         try:
             while True:
-                line = await self._race_drain(readline())
-                if line is None:
+                message = await self._race_drain(read_message())
+                if message is None:
                     break
-                if not line.strip():
+                if isinstance(message, str) and not message.strip():
                     continue
-                responses.put_nowait(self._admit(line))
+                responses.put_nowait(self._admit(message, conn))
         finally:
             responses.put_nowait(None)
             await writer_task
@@ -777,15 +893,18 @@ class AsyncServeLoop:
         # blocked in readline() cannot hold up interpreter exit after drain
         threading.Thread(target=pump, daemon=True, name="repro-serve-stdin").start()
 
-        async def readline() -> str | None:
+        async def read_message() -> str | None:
             return await lines.get()
 
-        async def writeline(text: str) -> None:
-            out_stream.write(text)
+        async def write_message(payload: dict[str, Any]) -> None:
+            out_stream.write(json.dumps(payload) + "\n")
             out_stream.flush()
 
         try:
-            await self._conn_loop(readline, writeline)
+            # text streams cannot carry binary frames: negotiation is
+            # refused (binary_capable=False) and the codec stays JSON
+            await self._conn_loop(read_message, write_message,
+                                  conn=_ConnState(binary_capable=False))
         finally:
             await self._teardown()
         return self.stats
@@ -812,14 +931,36 @@ class AsyncServeLoop:
                 conn_tasks.add(task)
                 task.add_done_callback(conn_tasks.discard)
 
-            async def readline() -> str | None:
+            conn = _ConnState(binary_capable=True)
+
+            async def read_message() -> Any:
+                if conn.read_codec == "binary":
+                    try:
+                        header = await reader.readexactly(4)
+                    except (asyncio.IncompleteReadError, ConnectionResetError,
+                            OSError):
+                        return None
+                    (length,) = _U32_STRUCT.unpack(header)
+                    if length > MAX_BINARY_FRAME_BYTES:
+                        # framing can't be trusted past a bogus length; the
+                        # only safe recovery is to hang up
+                        return None
+                    try:
+                        body = await reader.readexactly(length)
+                    except (asyncio.IncompleteReadError, ConnectionResetError,
+                            OSError):
+                        return None
+                    try:
+                        return (_FRAME, binary_envelope_decode(body))
+                    except ReproError as exc:
+                        return (_FRAME_ERROR, str(exc))
                 raw = await reader.readline()
                 if not raw:
                     return None
                 return raw.decode("utf-8", errors="replace")
 
-            async def writeline(text: str) -> None:
-                writer.write(text.encode("utf-8"))
+            async def write_message(payload: dict[str, Any]) -> None:
+                writer.write(encode_envelope(payload, conn.write_codec))
                 await writer.drain()
 
             def abort() -> None:
@@ -828,7 +969,7 @@ class AsyncServeLoop:
                     transport.abort()
 
             try:
-                await self._conn_loop(readline, writeline, abort)
+                await self._conn_loop(read_message, write_message, abort, conn)
             finally:
                 with contextlib.suppress(Exception):
                     writer.close()

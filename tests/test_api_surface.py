@@ -15,6 +15,7 @@ import repro
 import repro.api
 import repro.batch
 import repro.cache
+import repro.cache_store
 import repro.exceptions
 import repro.faults
 import repro.io
@@ -90,6 +91,11 @@ IO_SURFACE = {
     "speed_levels_from_dict",
     "machine_model_to_dict",
     "machine_model_from_dict",
+    "ENVELOPE_CODECS",
+    "binary_envelope_encode",
+    "binary_envelope_decode",
+    "encode_envelope",
+    "decode_envelope",
 }
 
 BATCH_SURFACE = {"BatchResult", "SOLVERS", "solve_many", "solve_stream"}
@@ -100,6 +106,17 @@ CACHE_SURFACE = {
     "capability_fingerprint",
     "instance_digest",
     "request_cache_key",
+}
+
+CACHE_STORE_SURFACE = {
+    "ENTRY_KIND",
+    "STORE_BACKENDS",
+    "CacheStore",
+    "DiskJSONStore",
+    "MemoryStore",
+    "SqliteStore",
+    "open_store",
+    "validate_entry",
 }
 
 SERVICE_SURFACE = {
@@ -239,6 +256,10 @@ def test_batch_surface_snapshot():
 
 def test_cache_surface_snapshot():
     assert set(repro.cache.__all__) == CACHE_SURFACE
+
+
+def test_cache_store_surface_snapshot():
+    assert set(repro.cache_store.__all__) == CACHE_STORE_SURFACE
 
 
 def test_service_surface_snapshot():

@@ -227,6 +227,60 @@ class TestBatchCache:
             assert a.speeds.tobytes() == b.speeds.tobytes()
 
 
+class TestWireCodec:
+    """The write-behind envelope codec changes bytes on the wire, nothing else."""
+
+    def test_binary_wire_is_byte_identical_to_json(self, instances, tmp_path):
+        runs = {}
+        for codec in ("json", "binary"):
+            cache = ResultCache(directory=tmp_path / codec)
+            runs[codec] = (
+                solve_many(
+                    instances[:4], CUBE, 50.0, solver="laptop", workers=2,
+                    chunk_size=1, cache=cache, wire_codec=codec,
+                ),
+                cache,
+            )
+        for a, b in zip(runs["json"][0], runs["binary"][0]):
+            assert a.index == b.index
+            assert a.value == b.value
+            assert a.speeds.tobytes() == b.speeds.tobytes()
+        # the persisted cache entries are the same bytes too: the wire codec
+        # never leaks into the store format
+        json_files = sorted((tmp_path / "json").rglob("*.json"))
+        binary_files = sorted((tmp_path / "binary").rglob("*.json"))
+        assert [p.name for p in json_files] == [p.name for p in binary_files]
+        for a, b in zip(json_files, binary_files):
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_binary_wire_warm_hits_the_cache(self, instances):
+        cache = ResultCache()
+        solve_many(instances[:3], CUBE, 50.0, solver="laptop", workers=2,
+                   cache=cache, wire_codec="binary")
+        solve_many(instances[:3], CUBE, 50.0, solver="laptop", workers=2,
+                   cache=cache, wire_codec="binary")
+        stats = cache.stats()
+        assert stats.puts == 3 and stats.hits == 3
+
+    def test_unknown_wire_codec_rejected_eagerly(self, instances):
+        with pytest.raises(InvalidInstanceError, match="wire_codec"):
+            solve_many(instances[:1], CUBE, 50.0, wire_codec="msgpack")
+
+    def test_cli_flag_capture_matches_json(self, tmp_path, instances, capsys):
+        path = tmp_path / "batch.json"
+        save_instances(instances[:3], path)
+        argv = ["batch", "--instances", str(path), "--energy", "50", "--json",
+                "--workers", "2", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        via_json = json.loads(capsys.readouterr().out)
+        assert main([*argv, "--wire-codec", "binary"]) == 0
+        via_binary = json.loads(capsys.readouterr().out)
+        assert (
+            json.dumps(via_binary["results"], sort_keys=True)
+            == json.dumps(via_json["results"], sort_keys=True)
+        )
+
+
 class TestRunDir:
     def test_killed_run_resumes_and_matches_uninterrupted_bytes(
         self, instances, tmp_path, monkeypatch

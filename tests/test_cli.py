@@ -207,3 +207,65 @@ class TestFigures:
     def test_figures_table(self, capsys):
         assert main(["figures", "--points", "5"]) == 0
         assert "2nd_derivative" in capsys.readouterr().out
+
+
+class TestServeCacheSelection:
+    """``repro serve --cache-backend`` wiring (without starting the loop)."""
+
+    def _args(self, *extra):
+        return build_parser().parse_args(["serve", *extra])
+
+    def test_auto_without_dir_is_memory_only(self):
+        from repro.cli import _serve_cache
+
+        cache = _serve_cache(self._args())
+        assert cache is not None and cache.store is None
+
+    def test_auto_with_dir_keeps_the_disk_json_default(self, tmp_path):
+        from repro.cli import _serve_cache
+
+        cache = _serve_cache(self._args("--cache-dir", str(tmp_path)))
+        assert cache.store is not None and cache.store.backend == "disk-json"
+        assert cache.directory == tmp_path
+
+    def test_sqlite_backend_selected_by_name(self, tmp_path):
+        from repro.cli import _serve_cache
+
+        cache = _serve_cache(
+            self._args("--cache-dir", str(tmp_path), "--cache-backend", "sqlite")
+        )
+        assert cache.store.backend == "sqlite"
+        assert cache.store.path == tmp_path / "cache.sqlite3"
+
+    def test_memory_backend_never_touches_disk(self, tmp_path):
+        from repro.cli import _serve_cache
+
+        cache = _serve_cache(self._args("--cache-backend", "memory"))
+        assert cache.store is None
+
+    def test_persistent_backend_without_dir_is_an_error(self):
+        from repro.cli import _serve_cache
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="--cache-dir"):
+            _serve_cache(self._args("--cache-backend", "sqlite"))
+
+    def test_no_cache_wins_over_backend(self, tmp_path):
+        from repro.cli import _serve_cache
+
+        args = self._args("--cache-dir", str(tmp_path), "--cache-backend",
+                          "sqlite", "--no-cache")
+        assert _serve_cache(args) is None
+
+    def test_unknown_backend_rejected_by_the_parser(self):
+        with pytest.raises(SystemExit):
+            self._args("--cache-backend", "redis")
+
+    def test_memory_cache_bound_is_threaded_through(self, tmp_path):
+        from repro.cli import _serve_cache
+
+        cache = _serve_cache(
+            self._args("--cache-dir", str(tmp_path), "--cache-backend",
+                       "sqlite", "--memory-cache", "7")
+        )
+        assert cache.max_memory_entries == 7

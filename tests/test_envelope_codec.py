@@ -1,0 +1,213 @@
+"""Tests for the binary envelope codec (:mod:`repro.io`).
+
+The codec is the wire format ``repro serve`` negotiates per connection, the
+per-row blob format of the sqlite cache store, and the batch engine's
+write-behind shipping format — so the one property that matters is exactness:
+whatever the JSON codec would carry, the binary codec carries bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import REGISTRY
+from repro.api import solve as api_solve
+from repro.exceptions import InvalidInstanceError
+from repro.io import (
+    ENVELOPE_CODECS,
+    binary_envelope_decode,
+    binary_envelope_encode,
+    decode_envelope,
+    encode_envelope,
+    result_from_dict,
+    result_to_dict,
+)
+
+from test_cache import BATCHABLE, _request_for
+
+
+def _round_trip(payload):
+    return binary_envelope_decode(binary_envelope_encode(payload))
+
+
+# ----------------------------------------------------------------------
+# hypothesis: arbitrary JSON-ish payloads survive exactly
+# ----------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),  # inf is fine; NaN breaks == comparison only
+    st.text(max_size=40),
+)
+
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.dictionaries(st.text(max_size=12), children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+class TestRoundTripProperties:
+    @given(_payloads)
+    def test_arbitrary_payloads_round_trip(self, payload):
+        assert _round_trip(payload) == payload
+
+    @given(st.lists(st.floats(allow_nan=False), min_size=1, max_size=50))
+    def test_float_lists_are_bit_exact(self, values):
+        back = _round_trip(values)
+        assert [v.hex() for v in back] == [v.hex() for v in values]
+
+    @given(st.floats())
+    def test_every_float64_survives(self, value):
+        (raw,) = struct.unpack("<d", struct.pack("<d", value))
+        back = _round_trip(value)
+        assert struct.pack("<d", back) == struct.pack("<d", raw)
+
+    @given(st.text(max_size=200))
+    def test_unicode_strings_survive(self, text):
+        assert _round_trip(text) == text
+
+    def test_nan_survives_as_nan(self):
+        assert math.isnan(_round_trip(float("nan")))
+
+    def test_ndarray_encodes_like_its_float_list(self):
+        values = [0.1, 2.5, -1e300, math.pi]
+        as_array = binary_envelope_encode(np.array(values))
+        as_list = binary_envelope_encode(values)
+        assert as_array == as_list
+        assert _round_trip(values) == values
+
+    def test_int_list_stays_a_list_of_ints(self):
+        back = _round_trip([1, 2, 3])
+        assert back == [1, 2, 3]
+        assert all(type(v) is int for v in back)
+
+    def test_bools_do_not_collapse_into_ints(self):
+        back = _round_trip([True, False, 1, 0])
+        assert back == [True, False, 1, 0]
+        assert [type(v) for v in back] == [bool, bool, int, int]
+
+    def test_deterministic_for_given_insertion_order(self):
+        payload = {"b": [1.0, 2.0], "a": {"x": None}}
+        assert binary_envelope_encode(payload) == binary_envelope_encode(payload)
+
+
+# ----------------------------------------------------------------------
+# the load-bearing equivalence: every solver's result envelope is carried
+# identically by both codecs
+# ----------------------------------------------------------------------
+
+class TestSolverEnvelopeEquivalence:
+    @pytest.mark.parametrize("name", sorted(BATCHABLE))
+    def test_result_envelope_json_binary_bitwise_equal(self, name):
+        request = _request_for(name)
+        result = api_solve(request)
+        envelope = result_to_dict(result)
+        via_json = json.loads(json.dumps(envelope))
+        via_binary = _round_trip(envelope)
+        assert via_binary == via_json
+        # and the decoded result is the same object down to the speed bytes
+        back = result_from_dict(via_binary)
+        assert back.speeds.tobytes() == result.speeds.tobytes()
+        assert struct.pack("<d", back.energy) == struct.pack("<d", result.energy)
+
+    def test_binary_is_smaller_on_ndarray_heavy_envelopes(self):
+        request = _request_for("laptop")
+        envelope = result_to_dict(api_solve(request))
+        envelope = dict(envelope, speeds=list(np.linspace(0.1, 4.0, 512)))
+        json_size = len(json.dumps(envelope).encode("utf-8"))
+        binary_size = len(binary_envelope_encode(envelope))
+        assert binary_size < json_size
+
+
+# ----------------------------------------------------------------------
+# malformed input: structured errors, never crashes or wrong values
+# ----------------------------------------------------------------------
+
+class TestMalformedInput:
+    def test_bad_magic(self):
+        with pytest.raises(InvalidInstanceError, match="bad magic"):
+            binary_envelope_decode(b"NOPE" + b"\x00")
+
+    def test_truncated_body(self):
+        blob = binary_envelope_encode({"speeds": [1.0, 2.0, 3.0]})
+        with pytest.raises(InvalidInstanceError, match="truncated"):
+            binary_envelope_decode(blob[:-5])
+
+    def test_trailing_bytes(self):
+        blob = binary_envelope_encode([1.0])
+        with pytest.raises(InvalidInstanceError, match="trailing"):
+            binary_envelope_decode(blob + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(InvalidInstanceError, match="unknown binary envelope tag"):
+            binary_envelope_decode(b"RBE1\xff")
+
+    def test_int64_overflow_rejected_on_encode(self):
+        with pytest.raises(InvalidInstanceError, match="int64"):
+            binary_envelope_encode(2**63)
+
+    def test_non_string_dict_keys_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="dict keys"):
+            binary_envelope_encode({1: "x"})
+
+    def test_2d_ndarray_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="1-D"):
+            binary_envelope_encode(np.ones((2, 2)))
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="not binary-envelope-encodable"):
+            binary_envelope_encode({"x": {1, 2}})
+
+    @given(st.binary(max_size=64))
+    def test_fuzzed_bodies_never_crash(self, junk):
+        try:
+            binary_envelope_decode(b"RBE1" + junk)
+        except InvalidInstanceError:
+            pass  # a structured error is the contract; anything else fails
+
+
+# ----------------------------------------------------------------------
+# wire framing (what the serve loop and loadgen actually exchange)
+# ----------------------------------------------------------------------
+
+class TestWireFraming:
+    def test_json_frame_is_the_historical_line(self):
+        payload = {"kind": "serve-control", "op": "ping"}
+        assert encode_envelope(payload, "json") == (json.dumps(payload) + "\n").encode(
+            "utf-8"
+        )
+        assert decode_envelope(encode_envelope(payload, "json"), "json") == payload
+
+    def test_binary_frame_round_trips(self):
+        payload = {"speeds": [1.0, 0.5], "ok": True}
+        frame = encode_envelope(payload, "binary")
+        (length,) = struct.unpack("<I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_envelope(frame, "binary") == payload
+
+    def test_length_mismatch_rejected(self):
+        frame = encode_envelope({"a": 1}, "binary")
+        with pytest.raises(InvalidInstanceError, match="length mismatch"):
+            decode_envelope(frame + b"\x00", "binary")
+        with pytest.raises(InvalidInstanceError, match="no length prefix"):
+            decode_envelope(b"\x01", "binary")
+
+    def test_unknown_codec_rejected(self):
+        assert ENVELOPE_CODECS == ("json", "binary")
+        with pytest.raises(InvalidInstanceError, match="unknown envelope codec"):
+            encode_envelope({}, "msgpack")
+        with pytest.raises(InvalidInstanceError, match="unknown envelope codec"):
+            decode_envelope(b"", "msgpack")

@@ -1,12 +1,19 @@
 #!/usr/bin/env python
-"""CI smoke test for ``repro serve``: the second identical request must hit.
+"""CI smoke test for ``repro serve``: cache hits and the binary wire codec.
 
-Pipes two identical solve-request envelopes through a real ``repro serve``
-subprocess (stdin/stdout transport, default in-memory cache) and asserts:
+Stage 1 pipes two identical solve-request envelopes through a real ``repro
+serve`` subprocess (stdin/stdout transport, default in-memory cache) and
+asserts:
 
 * exactly one response line per request, both solved OK,
 * the first response reports a cache miss, the second a cache hit,
 * both carry latency metadata and byte-identical result envelopes.
+
+Stage 2 starts a second serve subprocess on an ephemeral TCP port, solves
+the same request once over JSON, then negotiates the binary envelope codec
+on a fresh connection and asserts the framed binary response is a cache hit
+carrying the identical result envelope — the full negotiate/encode/decode
+path through a real process boundary.
 
 Run as ``python tools/serve_smoke.py`` (the repo's ``src/`` is put on the
 subprocess's PYTHONPATH automatically); exits non-zero with a diagnostic on
@@ -17,6 +24,8 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import struct
 import subprocess
 import sys
 from pathlib import Path
@@ -32,21 +41,111 @@ def _fail(message: str) -> int:
     return 1
 
 
-def main() -> int:
+def _request_line() -> str:
     from repro.api import SolveRequest
     from repro.core import CUBE
     from repro.io import request_to_dict
     from repro.workloads import figure1_instance
 
-    line = json.dumps(
+    return json.dumps(
         request_to_dict(
             SolveRequest(
                 instance=figure1_instance(), power=CUBE, solver="laptop", budget=17.0
             )
         )
     )
+
+
+def _serve_env() -> dict[str, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    buf = b""
+    while len(buf) < count:
+        chunk = sock.recv(count - len(buf))
+        if not chunk:
+            raise ConnectionResetError("server closed the connection")
+        buf += chunk
+    return buf
+
+
+def _recv_line(sock: socket.socket) -> bytes:
+    line = b""
+    while not line.endswith(b"\n"):
+        line += _recv_exact(sock, 1)
+    return line
+
+
+def _binary_smoke(line: str) -> int:
+    """Stage 2: negotiate the binary codec against a real TCP serve process."""
+    from repro.io import binary_envelope_decode, encode_envelope
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--tcp", "127.0.0.1:0"],
+        stdin=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=_serve_env(),
+    )
+    try:
+        announce = proc.stderr.readline().decode("utf-8").strip()
+        prefix = "serve: listening on "
+        if not announce.startswith(prefix):
+            return _fail(f"unexpected serve announcement: {announce!r}")
+        host, _, port_text = announce[len(prefix):].rpartition(":")
+        address = (host, int(port_text))
+
+        # one JSON solve to warm the server's cache
+        with socket.create_connection(address, timeout=30) as sock:
+            sock.sendall((line + "\n").encode("utf-8"))
+            via_json = json.loads(_recv_line(sock))
+        if via_json["result"].get("status") != "ok":
+            return _fail(f"JSON warm-up did not solve OK: {via_json['result']}")
+
+        # fresh connection: negotiate binary, then one framed request
+        with socket.create_connection(address, timeout=30) as sock:
+            sock.sendall(
+                (json.dumps({"op": "codec", "codec": "binary"}) + "\n").encode("utf-8")
+            )
+            ack = json.loads(_recv_line(sock))
+            if ack.get("accepted") is not True:
+                return _fail(f"server refused the binary codec: {ack}")
+            sock.sendall(encode_envelope(json.loads(line), "binary"))
+            (length,) = struct.unpack("<I", _recv_exact(sock, 4))
+            via_binary = binary_envelope_decode(_recv_exact(sock, length))
+            # graceful shutdown: drain works over the binary codec too
+            sock.sendall(encode_envelope({"op": "drain"}, "binary"))
+            (length,) = struct.unpack("<I", _recv_exact(sock, 4))
+            _recv_exact(sock, length)
+        proc.stdin.close()
+        if proc.wait(timeout=60) != 0:
+            return _fail(f"serve exited {proc.returncode} after drain")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+
+    if via_binary["result"].get("status") != "ok":
+        return _fail(f"binary request did not solve OK: {via_binary['result']}")
+    if via_binary["serve"]["cache"] != "hit":
+        return _fail(
+            f"binary request should hit the JSON-warmed cache, "
+            f"got {via_binary['serve']['cache']!r}"
+        )
+    if via_binary["result"] != via_json["result"]:
+        return _fail("binary and JSON codecs returned different result envelopes")
+    print(
+        "serve smoke OK: binary codec negotiated over TCP, framed response "
+        "hit the JSON-warmed cache with an identical envelope"
+    )
+    return 0
+
+
+def main() -> int:
+    line = _request_line()
+    env = _serve_env()
     proc = subprocess.run(
         [sys.executable, "-m", "repro.cli", "serve"],
         input=(line + "\n") * 2,
@@ -77,7 +176,7 @@ def main() -> int:
         f"(latencies {responses[0]['serve']['latency_ms']}ms -> "
         f"{responses[1]['serve']['latency_ms']}ms)"
     )
-    return 0
+    return _binary_smoke(line)
 
 
 if __name__ == "__main__":
