@@ -1,0 +1,321 @@
+"""ROUTING -- SLA-aware solver routing under load, and the cost-model data.
+
+Three sections, written to ``benchmarks/results/BENCH_routing.json``:
+
+* **cost_trajectories** -- per-solver wall-clock medians over an instance-size
+  grid.  This is the *training data* for ``tools/fit_cost_models.py``, which
+  fits the committed ``src/repro/api/cost_models.json`` power laws the router
+  prices candidates with (no runtime timing feedback loop: the fit is
+  offline, reviewed, and reproducible).
+* **serve** -- the headline A/B: the same overload traffic (accuracy-carrying
+  requests naming the exhaustive ``multi-makespan-exact``, arriving faster
+  than it can answer) against ``--routing off`` and ``--routing sla`` servers.
+  Off must shed / queue; sla must degrade to the certified PTAS variant and
+  hold p99 down.
+* **error_distribution** -- realized-vs-promised accuracy: every approximate
+  routed answer re-verified through :func:`repro.api.verify`, with its
+  certified epsilon against the requested accuracy.  The acceptance bar is
+  100%: every approximate response carries a *verified* error-bound
+  certificate within the requested accuracy.
+
+Running this file directly with ``--quick`` is the CI smoke: a scaled-down
+A/B that still asserts sla p99 < off p99 (and no worse shedding), plus the
+presence of the committed sections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for extra in (str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")):
+    if extra not in sys.path:
+        sys.path.insert(0, extra)
+
+from loadgen import run_loadgen  # noqa: E402  (tools/ on sys.path above)
+
+from repro.api import REGISTRY, SolveRequest  # noqa: E402
+from repro.api import solve as api_solve  # noqa: E402
+from repro.api import verify as api_verify  # noqa: E402
+from repro.core import CUBE, Instance  # noqa: E402
+from repro.io import request_to_dict  # noqa: E402
+from repro.service import AsyncServeLoop  # noqa: E402
+
+RESULTS = Path(__file__).parent / "results"
+
+#: Deterministic unequal works for the routed traffic (zero releases: the
+#: multi-makespan family's precondition).
+_WORKS = [5.0, 3.0, 2.0, 2.0, 1.0, 4.0, 2.5, 1.5, 3.5, 1.0, 2.2, 1.8, 3.1, 0.9]
+
+
+def _zero_release_instance(n: int, name: str = "bench-routing") -> Instance:
+    works = [_WORKS[i % len(_WORKS)] + 0.01 * i for i in range(n)]
+    return Instance.from_arrays([0.0] * n, works, name=name)
+
+
+def _deadline_instance(n: int) -> Instance:
+    releases = [0.8 * i for i in range(n)]
+    works = [_WORKS[i % len(_WORKS)] for i in range(n)]
+    deadlines = [r + 2.0 + (i % 3) for i, r in enumerate(releases)]
+    return Instance.from_arrays(releases, works, deadlines=deadlines)
+
+
+def _trajectory_request(solver: str, n: int) -> SolveRequest:
+    """A representative request for one (solver, n) timing cell."""
+    caps = REGISTRY.capabilities(solver)
+    options: dict = {}
+    budget = None
+    processors = 3 if caps.multiprocessor else 1
+    if caps.needs_deadlines:
+        instance = _deadline_instance(n)
+    elif caps.needs_zero_release:
+        instance = _zero_release_instance(n)
+    else:
+        instance = _zero_release_instance(n)
+    if caps.budget_kind == "energy":
+        budget = 4.0 * instance.total_work
+    elif caps.budget_kind == "metric":
+        budget = float(instance.total_work)  # unit-speed-ish target
+    if caps.mode == "frontier":
+        unit = CUBE.power(1.0) * instance.total_work
+        options = {"min_energy": unit, "max_energy": 3.0 * unit, "points": 6}
+    accuracy = 0.5 if caps.approximate else None
+    return SolveRequest(
+        instance=instance, power=CUBE, solver=solver, budget=budget,
+        processors=processors, options=options, accuracy=accuracy,
+    )
+
+
+#: Solver -> instance-size grid for the cost trajectories.  The exhaustive
+#: multiprocessor solver grows as m**(n-1); its grid stops where one solve
+#: is ~100ms so the bench stays fast.
+_TRAJECTORY_GRIDS: dict[str, list[int]] = {
+    "multi-makespan-exact": [5, 6, 7, 8, 9, 10],
+    "multi-makespan-ptas": [6, 8, 10, 12, 14],
+    "laptop": [8, 16, 32, 64],
+    "frontier": [4, 6, 8, 10],
+    "frontier-coarse": [4, 6, 8, 10],
+    "yds": [8, 16, 24, 32],
+    "yds-anytime": [8, 16, 24, 32],
+}
+
+
+def _cost_trajectories(repeats: int = 3, quick: bool = False) -> list[dict]:
+    rows = []
+    for solver, grid in _TRAJECTORY_GRIDS.items():
+        sizes = grid[:2] if quick else grid
+        for n in sizes:
+            request = _trajectory_request(solver, n)
+            samples = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = api_solve(request)
+                samples.append((time.perf_counter() - t0) * 1e3)
+                result.raise_if_error()
+            rows.append({
+                "solver": solver,
+                "n_jobs": n,
+                "elapsed_ms": round(statistics.median(samples), 4),
+                "repeats": repeats,
+            })
+    return rows
+
+
+def _routed_request_lines(n_requests: int, n_jobs: int = 10) -> list[str]:
+    """Accuracy-carrying traffic naming the exhaustive exact solver."""
+    envelope = request_to_dict(
+        SolveRequest(
+            instance=_zero_release_instance(n_jobs),
+            power=CUBE,
+            solver="multi-makespan-exact",
+            budget=4.0 * _zero_release_instance(n_jobs).total_work,
+            processors=3,
+            accuracy=0.5,
+            latency_budget_ms=250.0,
+        )
+    )
+    lines = []
+    for i in range(n_requests):
+        payload = dict(envelope)
+        payload["id"] = f"rt-{i}"
+        lines.append(json.dumps(payload))
+    return lines
+
+
+def _scenario(name: str, loop: AsyncServeLoop, lines: list[str],
+              qps: float) -> dict:
+    host, port = loop.start_in_thread()
+    try:
+        report = run_loadgen(
+            host, port, qps=qps, seed=7, max_retries=0, lines=lines,
+        )
+    finally:
+        stats = loop.stop(timeout=120)
+    return {
+        "name": name,
+        "loadgen": report,
+        "server": {
+            "requests": stats.requests,
+            "ok": stats.ok,
+            "errors": stats.errors,
+            "shed": stats.shed,
+            "deadline_misses": stats.deadline_misses,
+            "routed": stats.routed,
+        },
+    }
+
+
+def _serve_ab(n_requests: int, qps: float) -> dict:
+    """The off-vs-sla A/B over identical overload traffic; asserts the win."""
+    lines = _routed_request_lines(n_requests)
+    off = _scenario(
+        "exact-only",
+        AsyncServeLoop(cache=None, max_pending=8, routing="off"),
+        lines, qps,
+    )
+    sla = _scenario(
+        "sla-routed",
+        AsyncServeLoop(cache=None, max_pending=8, routing="sla"),
+        lines, qps,
+    )
+    # the headline: routing holds tail latency down and sheds no more than
+    # the exact-only server under the same overload
+    assert sla["loadgen"]["latency_ms"]["p99"] < off["loadgen"]["latency_ms"]["p99"], (
+        f"sla p99 {sla['loadgen']['latency_ms']} not below "
+        f"off p99 {off['loadgen']['latency_ms']}"
+    )
+    assert sla["server"]["shed"] <= off["server"]["shed"], (sla, off)
+    assert sla["server"]["routed"] > 0, sla
+    return {
+        "traffic": {"requests": n_requests, "qps": qps, "n_jobs": 10,
+                    "solver": "multi-makespan-exact", "accuracy": 0.5,
+                    "latency_budget_ms": 250.0, "max_pending": 8},
+        "scenarios": {"off": off, "sla": sla},
+        "p99_off_ms": off["loadgen"]["latency_ms"]["p99"],
+        "p99_sla_ms": sla["loadgen"]["latency_ms"]["p99"],
+        "shed_off": off["server"]["shed"],
+        "shed_sla": sla["server"]["shed"],
+        "routed_sla": sla["server"]["routed"],
+    }
+
+
+def _error_distribution(n_instances: int = 12) -> dict:
+    """Realized-vs-promised accuracy for routed approximate answers.
+
+    Routes accuracy-carrying requests under a budget far below the exact
+    solver's cost, so every decision degrades to an approximate variant;
+    each answer is then re-verified against the *original* request — the
+    error-bound certificate plus the requested-accuracy check.
+    """
+    import dataclasses
+
+    rows = []
+    for i in range(n_instances):
+        n = 8 + (i % 4)
+        instance = _zero_release_instance(n, name=f"errdist-{i}")
+        accuracy = (0.05, 0.1, 0.25, 0.5)[i % 4]
+        request = SolveRequest(
+            instance=instance, power=CUBE, solver="multi-makespan-exact",
+            budget=4.0 * instance.total_work, processors=3,
+            accuracy=accuracy, latency_budget_ms=0.01,
+        )
+        decision = REGISTRY.route(request)
+        routed = dataclasses.replace(request, solver=decision.solver)
+        result = api_solve(routed)
+        result.raise_if_error()
+        report = api_verify(request, result)
+        epsilon = (result.approximation or {}).get("epsilon")
+        rows.append({
+            "instance": instance.name,
+            "n_jobs": n,
+            "requested_accuracy": accuracy,
+            "routed_solver": decision.solver,
+            "route_reason": decision.reason,
+            "approximate": not decision.exact,
+            "certified_epsilon": epsilon,
+            "verified": report.ok,
+        })
+    approx = [r for r in rows if r["approximate"]]
+    certified = [
+        r for r in approx
+        if r["verified"] and r["certified_epsilon"] is not None
+        and r["certified_epsilon"] <= r["requested_accuracy"] + 1e-12
+    ]
+    # the acceptance bar: every approximate routed answer carries a verified
+    # error-bound certificate within the requested accuracy
+    assert len(certified) == len(approx), rows
+    assert approx, "budget pressure produced no approximate routes"
+    return {
+        "rows": rows,
+        "approximate_responses": len(approx),
+        "certified_within_accuracy": len(certified),
+        "certified_fraction": 1.0 if approx else None,
+        "max_certified_epsilon": max(r["certified_epsilon"] for r in approx),
+    }
+
+
+def test_routing() -> None:
+    report: dict = {
+        "benchmark": "routing",
+        "cpu_count": os.cpu_count(),
+        "cost_trajectories": _cost_trajectories(),
+        "serve": _serve_ab(n_requests=60, qps=40.0),
+        "error_distribution": _error_distribution(),
+    }
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    out = RESULTS / "BENCH_routing.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    print(
+        f"p99 off {report['serve']['p99_off_ms']}ms -> "
+        f"sla {report['serve']['p99_sla_ms']}ms; "
+        f"shed {report['serve']['shed_off']} -> {report['serve']['shed_sla']}; "
+        f"{report['serve']['routed_sla']} routed; "
+        f"{report['error_distribution']['certified_within_accuracy']}/"
+        f"{report['error_distribution']['approximate_responses']} "
+        "approximate answers certified within accuracy"
+    )
+
+
+def _quick_smoke() -> int:
+    """CI smoke: scaled-down A/B plus committed-section presence checks."""
+    serve = _serve_ab(n_requests=30, qps=40.0)
+    dist = _error_distribution(n_instances=4)
+    print(
+        f"quick smoke: p99 off {serve['p99_off_ms']}ms -> "
+        f"sla {serve['p99_sla_ms']}ms, shed {serve['shed_off']} -> "
+        f"{serve['shed_sla']}, {serve['routed_sla']} routed, "
+        f"{dist['certified_within_accuracy']}/{dist['approximate_responses']} "
+        "certified"
+    )
+    path = RESULTS / "BENCH_routing.json"
+    if not path.exists():
+        print(f"FAIL: {path} missing — regenerate with the full benchmark")
+        return 1
+    data = json.loads(path.read_text(encoding="utf-8"))
+    status = 0
+    for key in ("cost_trajectories", "serve", "error_distribution"):
+        if key not in data:
+            print(f"FAIL: {path} has no {key!r} section — regenerate")
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: scaled-down off-vs-sla A/B (sla p99 must win), "
+             "certified error distribution, committed sections present",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        sys.exit(_quick_smoke())
+    test_routing()

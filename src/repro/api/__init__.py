@@ -35,7 +35,13 @@ from __future__ import annotations
 from ..exceptions import ReproError
 from ..verify import verify as _verify_result
 from ..verify.report import Finding, VerificationReport
-from .registry import REGISTRY, RegisteredSolver, SolverRegistry
+from .registry import (
+    REGISTRY,
+    CostModel,
+    RegisteredSolver,
+    RouteDecision,
+    SolverRegistry,
+)
 from .types import (
     BUDGET_KINDS,
     MACHINES,
@@ -59,6 +65,8 @@ __all__ = [
     "RegisteredSolver",
     "SolverRegistry",
     "REGISTRY",
+    "CostModel",
+    "RouteDecision",
     "Finding",
     "VerificationReport",
     "solve",

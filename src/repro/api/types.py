@@ -26,6 +26,7 @@ is one code path end to end.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Mapping
@@ -116,6 +117,14 @@ class SolverCapabilities:
     solver's results; :func:`repro.api.verify` runs them after the structural
     checks, and the conformance suite fails any solver registered without
     certificate coverage.
+
+    ``variant_of`` names the primary solver this one is a routable variant of
+    (variants are excluded from spec resolution and reached by name or via
+    :meth:`repro.api.registry.SolverRegistry.route`).  ``approximate`` marks
+    solvers whose answers may deviate from the optimum; they must declare a
+    ``bound_kind`` (how their ``error-bound`` certificate is checked) and a
+    ``min_accuracy`` — the smallest relative error they can promise, used by
+    the router to fall back to exact when the requested accuracy is tighter.
     """
 
     name: str
@@ -127,7 +136,12 @@ class SolverCapabilities:
     needs_polynomial_power: bool = False
     needs_deadlines: bool = False
     needs_equal_work: bool = False
+    needs_zero_release: bool = False
     certificates: tuple[str, ...] = ()
+    variant_of: str | None = None
+    approximate: bool = False
+    bound_kind: str | None = None
+    min_accuracy: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -140,6 +154,20 @@ class SolverCapabilities:
             raise InvalidInstanceError(
                 f"solver {self.name!r}: certificate kinds must be non-empty strings, "
                 f"got {self.certificates!r}"
+            )
+        if self.approximate and self.bound_kind is None:
+            raise InvalidInstanceError(
+                f"solver {self.name!r} is approximate but declares no bound_kind; "
+                "its error-bound certificates would be uncheckable"
+            )
+        if not self.approximate and self.bound_kind is not None:
+            raise InvalidInstanceError(
+                f"solver {self.name!r} declares bound_kind={self.bound_kind!r} "
+                "but approximate=False"
+            )
+        if self.min_accuracy < 0.0:
+            raise InvalidInstanceError(
+                f"solver {self.name!r}: min_accuracy must be >= 0, got {self.min_accuracy}"
             )
 
     # Convenience pass-throughs so callers can enumerate the matrix without
@@ -182,6 +210,15 @@ class SolveRequest:
     ``budget_kind``); solvers with ``budget_kind == "none"`` ignore it.
     ``options`` carries solver-specific keyword options (e.g. the frontier
     sampler's ``min_energy`` / ``max_energy`` / ``points``).
+
+    ``accuracy`` is the SLA knob: the largest relative error the caller will
+    accept (``None``, the default, means *exact only* — the request is never
+    routed to an approximate solver).  ``latency_budget_ms`` is the caller's
+    latency target; :meth:`repro.api.registry.SolverRegistry.route` and the
+    SLA-routing serve loop use both to pick a solver (approximate answers
+    always carry certified ``approximation`` metadata, never silent error).
+    Both are advisory for direct :func:`repro.api.solve` calls — the named
+    solver still runs as asked.
     """
 
     instance: Instance
@@ -191,6 +228,8 @@ class SolveRequest:
     budget: float | None = None
     processors: int = 1
     options: Mapping[str, Any] = field(default_factory=dict)
+    accuracy: float | None = None
+    latency_budget_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.solver is None and self.spec is None:
@@ -204,6 +243,16 @@ class SolveRequest:
         object.__setattr__(self, "options", _frozen_options(self.options))
         if self.budget is not None:
             object.__setattr__(self, "budget", float(self.budget))
+        for label in ("accuracy", "latency_budget_ms"):
+            raw = getattr(self, label)
+            if raw is None:
+                continue
+            value = float(raw)
+            if not math.isfinite(value) or value <= 0.0:
+                raise InvalidInstanceError(
+                    f"{label} must be a finite value > 0, got {raw!r}"
+                )
+            object.__setattr__(self, label, value)
 
 
 @dataclass(frozen=True)
@@ -219,6 +268,12 @@ class SolveResult:
       completion times, assignments, frontier samples, ...);
     * failure: ``status == "error"`` with a stable ``error_code`` from
       :mod:`repro.exceptions` and a human-readable ``error_message``.
+
+    ``approximation`` is present exactly when an approximate solver produced
+    the answer: a mapping with ``epsilon`` (the certified relative error
+    bound of *this* answer), ``bound_kind`` (which ``error-bound`` checker
+    branch validates it) and ``certificate`` (the certificate kind, always
+    ``"error-bound"``).  Exact solvers leave it ``None``.
     """
 
     solver: str
@@ -229,6 +284,7 @@ class SolveResult:
     extras: Mapping[str, Any] = field(default_factory=dict)
     error_code: str | None = None
     error_message: str | None = None
+    approximation: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.status not in ("ok", "error"):
@@ -236,6 +292,10 @@ class SolveResult:
                 f"SolveResult status must be 'ok' or 'error', got {self.status!r}"
             )
         object.__setattr__(self, "extras", _frozen_options(self.extras))
+        if self.approximation is not None:
+            object.__setattr__(
+                self, "approximation", _frozen_options(self.approximation)
+            )
         if self.speeds is not None:
             object.__setattr__(self, "speeds", np.asarray(self.speeds, dtype=float))
 
@@ -252,6 +312,7 @@ class SolveResult:
         energy: float | None,
         speeds: np.ndarray | None,
         extras: Mapping[str, Any] | None = None,
+        approximation: Mapping[str, Any] | None = None,
     ) -> "SolveResult":
         return cls(
             solver=solver,
@@ -260,6 +321,7 @@ class SolveResult:
             energy=None if energy is None else float(energy),
             speeds=speeds,
             extras=extras or {},
+            approximation=approximation,
         )
 
     @classmethod

@@ -73,7 +73,7 @@ from .io import (
 )
 from .makespan import makespan_frontier
 from .online.compete import ALGORITHMS, FAMILIES, competitive_sweep
-from .service import DEFAULT_MAX_PENDING, AsyncServeLoop
+from .service import DEFAULT_MAX_PENDING, ROUTING_MODES, AsyncServeLoop
 from .sim import (
     MACHINE_MODEL_NAMES,
     SIM_ALGORITHMS,
@@ -556,6 +556,7 @@ def _cmd_compete(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         workers=args.workers,
         cache=_cache_from_args(args),
+        stride=args.stride,
     )
     _write_output(args, payload)
     rows = [
@@ -691,6 +692,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         solve_threads=args.solve_threads,
         fault_plan=fault_plan,
+        routing=args.routing,
     )
     if args.tcp is not None:
         host, port = _parse_tcp_address(args.tcp)
@@ -922,6 +924,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--seeds", type=int, default=3, help="seeds per (family, size) cell"
     )
+    p.add_argument(
+        "--stride", type=int, default=1,
+        help="truncated sweep: keep every stride-th grid cell (default 1 = "
+             "full grid); the truncation is recorded in the payload's "
+             "parameters (continuous-model sweep only)",
+    )
     p.add_argument("--workers", type=int, default=1, help="worker processes (default 1 = serial)")
     p.add_argument(
         "--output",
@@ -1022,6 +1030,13 @@ def build_parser() -> argparse.ArgumentParser:
                         f"{DEFAULT_MAX_PENDING})")
     p.add_argument("--solve-threads", type=int, default=1,
                    help="concurrent solve threads (default 1)")
+    p.add_argument("--routing", choices=ROUTING_MODES, default="off",
+                   help="SLA-aware solver routing: off (default) dispatches "
+                        "exactly as requested; sla reroutes requests carrying "
+                        "an accuracy target through the registry's cost-model "
+                        "router — exact when cheap, certified-approximate "
+                        "under load (serve metadata gains routed_solver, "
+                        "epsilon and certificate fields)")
     p.add_argument("--fault-plan", metavar="FILE",
                    help="JSON fault plan (repro.faults.FaultPlan) injecting "
                         "deterministic chaos — for robustness testing only")

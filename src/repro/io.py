@@ -494,8 +494,13 @@ def spec_from_dict(data: dict[str, Any]) -> ProblemSpec:
 
 
 def request_to_dict(request: SolveRequest) -> dict[str, Any]:
-    """JSON-ready representation of a :class:`~repro.api.SolveRequest`."""
-    return {
+    """JSON-ready representation of a :class:`~repro.api.SolveRequest`.
+
+    The SLA fields (``accuracy``, ``latency_budget_ms``) are emitted only
+    when set, so legacy envelopes — and the golden transcripts pinning them —
+    stay byte-identical.
+    """
+    payload = {
         "format": _FORMAT_VERSION,
         "kind": "solve-request",
         "solver": request.solver,
@@ -506,6 +511,11 @@ def request_to_dict(request: SolveRequest) -> dict[str, Any]:
         "processors": request.processors,
         "options": dict(request.options),
     }
+    if request.accuracy is not None:
+        payload["accuracy"] = request.accuracy
+    if request.latency_budget_ms is not None:
+        payload["latency_budget_ms"] = request.latency_budget_ms
+    return payload
 
 
 def request_from_dict(data: dict[str, Any]) -> SolveRequest:
@@ -527,9 +537,15 @@ def request_from_dict(data: dict[str, Any]) -> SolveRequest:
     options = data.get("options") or {}
     if not isinstance(options, dict):
         raise InvalidInstanceError("solve-request 'options' must be a JSON object")
+    accuracy = data.get("accuracy")
+    latency_budget_ms = data.get("latency_budget_ms")
     try:
         budget = None if budget is None else float(budget)
         processors = int(data.get("processors", 1))
+        accuracy = None if accuracy is None else float(accuracy)
+        latency_budget_ms = (
+            None if latency_budget_ms is None else float(latency_budget_ms)
+        )
     except (TypeError, ValueError) as exc:
         raise InvalidInstanceError(
             f"malformed solve-request payload: {exc}"
@@ -542,6 +558,8 @@ def request_from_dict(data: dict[str, Any]) -> SolveRequest:
         budget=budget,
         processors=processors,
         options=options,
+        accuracy=accuracy,
+        latency_budget_ms=latency_budget_ms,
     )
 
 
@@ -553,8 +571,12 @@ def _speeds_to_list(speeds: Any) -> list[float] | None:
 
 
 def result_to_dict(result: SolveResult) -> dict[str, Any]:
-    """JSON-ready representation of a :class:`~repro.api.SolveResult`."""
-    return {
+    """JSON-ready representation of a :class:`~repro.api.SolveResult`.
+
+    ``approximation`` is emitted only when present (approximate solvers), so
+    exact-solver envelopes — and the goldens pinning them — are unchanged.
+    """
+    payload = {
         "format": _FORMAT_VERSION,
         "kind": "solve-result",
         "solver": result.solver,
@@ -567,6 +589,9 @@ def result_to_dict(result: SolveResult) -> dict[str, Any]:
         if result.ok
         else {"code": result.error_code, "message": result.error_message},
     }
+    if result.approximation is not None:
+        payload["approximation"] = dict(result.approximation)
+    return payload
 
 
 def result_from_dict(data: dict[str, Any]) -> SolveResult:
@@ -591,6 +616,7 @@ def result_from_dict(data: dict[str, Any]) -> SolveResult:
         extras=data.get("extras") or {},
         error_code=error.get("code"),
         error_message=error.get("message"),
+        approximation=data.get("approximation"),
     )
 
 
@@ -671,7 +697,12 @@ def capabilities_to_dict(capabilities: SolverCapabilities) -> dict[str, Any]:
         "needs_polynomial_power": capabilities.needs_polynomial_power,
         "needs_deadlines": capabilities.needs_deadlines,
         "needs_equal_work": capabilities.needs_equal_work,
+        "needs_zero_release": capabilities.needs_zero_release,
         "certificates": list(capabilities.certificates),
+        "variant_of": capabilities.variant_of,
+        "approximate": capabilities.approximate,
+        "bound_kind": capabilities.bound_kind,
+        "min_accuracy": capabilities.min_accuracy,
         "summary": capabilities.summary,
     }
 

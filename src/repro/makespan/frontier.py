@@ -38,7 +38,14 @@ from ..core.schedule import Schedule
 from ..exceptions import BudgetError
 from .incmerge import IncMergeResult, incmerge
 
-__all__ = ["FrontierSegmentInfo", "makespan_frontier", "schedule_for_energy"]
+__all__ = [
+    "FrontierSegmentInfo",
+    "coarse_frontier",
+    "coarse_frontier_samples",
+    "interpolation_error_bound",
+    "makespan_frontier",
+    "schedule_for_energy",
+]
 
 
 @dataclass(frozen=True)
@@ -264,6 +271,128 @@ def _build_segment(
         value_array=value_array,
         array_safe=power.is_polynomial,
     )
+
+
+def coarse_frontier_samples(
+    instance: Instance,
+    power: PowerFunction,
+    min_energy: float,
+    max_energy: float,
+    points: int,
+) -> list[tuple[float, float]]:
+    """Sample the frontier at ``points`` energies via direct IncMerge solves.
+
+    The coarse variant of the ``frontier`` solver: instead of building the
+    full analytic curve it evaluates the optimal makespan at a grid of
+    budgets, so clients interpolate between samples.  The samples lie exactly
+    on the true curve (each is an optimal IncMerge solve); only the
+    interpolation between them is approximate, and
+    :func:`interpolation_error_bound` certifies that gap.
+    """
+    from .incmerge import incmerge
+
+    if not (math.isfinite(min_energy) and min_energy > 0.0):
+        raise BudgetError(f"min_energy must be a finite value > 0, got {min_energy!r}")
+    if not (math.isfinite(max_energy) and max_energy > min_energy):
+        raise BudgetError(
+            f"max_energy must be finite and exceed min_energy, got {max_energy!r}"
+        )
+    if points < 2:
+        raise BudgetError(f"need at least 2 sample points, got {points}")
+    grid = np.linspace(float(min_energy), float(max_energy), int(points))
+    return [
+        (float(e), float(incmerge(instance, power, float(e)).makespan)) for e in grid
+    ]
+
+
+def interpolation_error_bound(samples: list[tuple[float, float]]) -> float:
+    """Certified relative error of linear interpolation between curve samples.
+
+    The frontier curve is convex and decreasing in energy, so on each segment
+    the chord between adjacent samples is an *upper* bound on the true curve,
+    while the curve lies above (a) the flat line at the right sample's value
+    (the curve is decreasing) and (b) the secants of the adjacent segments
+    extended into this one (the curve is convex).  The gap between the chord
+    and that lower envelope bounds the interpolation error; dividing by the
+    segment's minimum envelope value (the right sample, where every bounding
+    line is lowest) gives a rigorous relative bound.
+
+    The chord-minus-envelope gap is a concave piecewise-linear function, so
+    its maximum over a segment is attained at a segment endpoint or where two
+    bounding lines intersect; only those points are evaluated.
+    """
+    if len(samples) < 2:
+        raise BudgetError("need at least 2 samples to bound interpolation error")
+    pts = sorted((float(e), float(v)) for e, v in samples)
+    for (e0, v0), (e1, v1) in zip(pts, pts[1:]):
+        if not e1 > e0:
+            raise BudgetError("sample energies must be strictly increasing")
+        if v1 > v0 * (1.0 + 1e-12):
+            raise BudgetError("samples must be non-increasing in energy")
+
+    def line_through(p: tuple[float, float], q: tuple[float, float]):
+        slope = (q[1] - p[1]) / (q[0] - p[0])
+        return slope, p[1] - slope * p[0]
+
+    worst = 0.0
+    for i in range(len(pts) - 1):
+        (e_lo, v_lo), (e_hi, v_hi) = pts[i], pts[i + 1]
+        chord = line_through(pts[i], pts[i + 1])
+        lower: list[tuple[float, float]] = [(0.0, v_hi)]
+        if i >= 1:
+            lower.append(line_through(pts[i - 1], pts[i]))
+        if i + 2 < len(pts):
+            lower.append(line_through(pts[i + 1], pts[i + 2]))
+        candidates = [e_lo, e_hi]
+        for a in range(len(lower)):
+            for b in range(a + 1, len(lower)):
+                (sa, ca), (sb, cb) = lower[a], lower[b]
+                if abs(sa - sb) > 1e-300:
+                    x = (cb - ca) / (sa - sb)
+                    if e_lo < x < e_hi:
+                        candidates.append(x)
+        floor = v_hi  # smallest envelope value on the segment
+        for x in candidates:
+            upper = chord[0] * x + chord[1]
+            envelope = max(s * x + c for s, c in lower)
+            gap = upper - envelope
+            if gap > 0.0:
+                worst = max(worst, gap / floor)
+    return float(worst)
+
+
+def coarse_frontier(
+    instance: Instance,
+    power: PowerFunction,
+    min_energy: float,
+    max_energy: float,
+    target_epsilon: float,
+    initial_points: int = 9,
+    max_points: int = 4096,
+) -> tuple[list[tuple[float, float]], float]:
+    """Sample the frontier coarsely, refining until the certified bound holds.
+
+    Doubles the grid density until :func:`interpolation_error_bound` is at
+    most ``target_epsilon`` or the grid reaches ``max_points`` (the bound
+    shrinks as the grid refines: the curve is convex with bounded one-sided
+    slopes on ``[min_energy, max_energy]`` once ``min_energy > 0``).  Returns
+    ``(samples, certified_epsilon)``; the realized bound may exceed the
+    target only when the point cap was hit.
+    """
+    if not (math.isfinite(target_epsilon) and target_epsilon > 0.0):
+        raise BudgetError(
+            f"target_epsilon must be a finite value > 0, got {target_epsilon!r}"
+        )
+    points = max(4, int(initial_points))
+    points = min(points, int(max_points))
+    while True:
+        samples = coarse_frontier_samples(
+            instance, power, min_energy, max_energy, points
+        )
+        epsilon = interpolation_error_bound(samples)
+        if epsilon <= target_epsilon or points >= max_points:
+            return samples, epsilon
+        points = min(int(max_points), 2 * points - 1)
 
 
 def schedule_for_energy(

@@ -61,6 +61,51 @@ def _run_frontier(request: SolveRequest) -> tuple:
     return None, None, None, extras
 
 
+def _run_frontier_coarse(request: SolveRequest) -> tuple:
+    """Coarse frontier sampling with a certified interpolation error bound.
+
+    Samples the curve by direct IncMerge solves on an energy grid and refines
+    the grid until the secant-envelope bound meets the requested accuracy
+    (``request.accuracy``, or ``options["epsilon"]``, default 0.05).  The
+    reported ``epsilon`` is the realized certified bound, recomputable from
+    the samples alone.
+    """
+    from .frontier import coarse_frontier
+
+    options = request.options
+    instance, power = request.instance, request.power
+    if "min_energy" in options and "max_energy" in options:
+        lo = float(options["min_energy"])
+        hi = float(options["max_energy"])
+    else:
+        # anchor the default window at the energy of running everything at
+        # unit speed so it scales with the instance
+        unit = power.energy(instance.total_work, 1.0)
+        lo, hi = 0.5 * unit, 4.0 * unit
+    target = float(options.get(
+        "epsilon", request.accuracy if request.accuracy is not None else 0.05
+    ))
+    samples, epsilon = coarse_frontier(
+        instance,
+        power,
+        lo,
+        hi,
+        target,
+        initial_points=int(options.get("points", 9)),
+        max_points=int(options.get("max_points", 4096)),
+    )
+    extras = {
+        "samples": [{"energy": e, "makespan": v} for e, v in samples],
+        "points": len(samples),
+        "approximation": {
+            "epsilon": float(epsilon),
+            "bound_kind": "frontier-envelope",
+            "certificate": "error-bound",
+        },
+    }
+    return None, None, None, extras
+
+
 def register_solvers(registry) -> None:
     """Register the uniprocessor makespan solvers (laptop/server/frontier)."""
     registry.register(
@@ -96,4 +141,19 @@ def register_solvers(registry) -> None:
             certificates=("frontier-shape",),
         ),
         _run_frontier,
+    )
+    registry.register(
+        SolverCapabilities(
+            name="frontier-coarse",
+            spec=ProblemSpec(objective="makespan", mode="frontier"),
+            summary="coarsely sampled trade-off curve with a certified "
+                    "interpolation error bound (secant envelope)",
+            budget_kind="none",
+            certificates=("error-bound",),
+            variant_of="frontier",
+            approximate=True,
+            bound_kind="frontier-envelope",
+            min_accuracy=0.001,
+        ),
+        _run_frontier_coarse,
     )

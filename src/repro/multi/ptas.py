@@ -38,7 +38,11 @@ from ..exceptions import InvalidInstanceError
 from .assigned import AssignedMakespanResult
 from .exact import assignment_candidates, makespan_for_loads
 
-__all__ = ["PTASResult", "ptas_zero_release_makespan"]
+__all__ = [
+    "PTASResult",
+    "ptas_zero_release_makespan",
+    "zero_release_makespan_lower_bound",
+]
 
 
 @dataclass(frozen=True)
@@ -93,8 +97,11 @@ def ptas_zero_release_makespan(
     """
     if not instance.all_released_at_zero():
         raise InvalidInstanceError("the PTAS applies to instances with all releases at zero")
-    if not 0.0 < epsilon <= 1.0:
-        raise InvalidInstanceError(f"epsilon must lie in (0, 1], got {epsilon}")
+    epsilon = float(epsilon)
+    if not math.isfinite(epsilon) or not 0.0 < epsilon <= 1.0:
+        raise InvalidInstanceError(
+            f"epsilon must be a finite value in (0, 1], got {epsilon!r}"
+        )
     if n_processors <= 0:
         raise InvalidInstanceError("n_processors must be positive")
 
@@ -143,3 +150,35 @@ def ptas_zero_release_makespan(
         n_exact_jobs=k,
         epsilon=float(epsilon),
     )
+
+
+def zero_release_makespan_lower_bound(
+    instance: Instance,
+    power: PowerFunction,
+    n_processors: int,
+    energy_budget: float,
+) -> float:
+    """A certified lower bound on the optimal zero-release makespan.
+
+    Any achievable load vector has maximum load at least
+    ``x = max(w_max, W/m)``; among vectors with that maximum and total ``W``,
+    the one balancing the remainder over the other ``m-1`` processors is
+    majorised by every achievable vector, and the per-processor energy at a
+    common finish time is Schur-convex (the power function is convex), so the
+    finish time of the relaxed vector ``(x, (W-x)/(m-1), ...)`` lower-bounds
+    the optimum.  Tight when a balanced (or single-dominant-job) assignment
+    exists; both the PTAS wrapper's reported ``epsilon`` and the
+    ``error-bound`` certificate checker recompute it independently.
+    """
+    if n_processors <= 0:
+        raise InvalidInstanceError("n_processors must be positive")
+    works = [float(w) for w in instance.works]
+    if not works:
+        raise InvalidInstanceError("instance has no jobs")
+    total = float(sum(works))
+    x = max(max(works), total / n_processors)
+    loads = [x]
+    rest = total - x
+    if n_processors > 1 and rest > 0.0:
+        loads.extend([rest / (n_processors - 1)] * (n_processors - 1))
+    return float(makespan_for_loads(loads, power, energy_budget))

@@ -126,6 +126,7 @@ def competitive_sweep(
     seeds: int = 3,
     workers: int = 1,
     cache: "ResultCache | None" = None,
+    stride: int = 1,
 ) -> dict[str, Any]:
     """Run the full competitive-ratio grid and return the JSON-ready payload.
 
@@ -151,6 +152,13 @@ def competitive_sweep(
         families, reruns after adding an algorithm — pay for each
         (instance, power, solver) cell once (``repro compete --cache-dir``
         on the command line).
+    stride:
+        Truncated sweep: keep every ``stride``-th (family, size, seed) grid
+        cell (default 1 = the full grid).  A cheap smoke-level estimate of
+        the same ratios — the truncation is recorded in the payload's
+        ``parameters`` (both the stride and the surviving cell count), never
+        applied silently, and a given ``(grid, stride)`` pair is
+        deterministic, so truncated reruns are byte-identical too.
 
     Returns
     -------
@@ -179,6 +187,9 @@ def competitive_sweep(
         raise InvalidInstanceError(
             "the sweep grid needs at least one algorithm, alpha, family and size"
         )
+    stride = int(stride)
+    if stride < 1:
+        raise InvalidInstanceError(f"stride must be >= 1, got {stride}")
 
     # materialise the instance grid once; every solver run reuses it so the
     # batch engine's deterministic ordering aligns results across solvers
@@ -188,6 +199,10 @@ def competitive_sweep(
         for size in sizes
         for seed in range(int(seeds))
     ]
+    full_cells = len(grid)
+    if stride > 1:
+        # truncated sweep: deterministic subsample, declared in the payload
+        grid = grid[::stride]
     instances = [FAMILIES[family](size, seed) for family, size, seed in grid]
 
     cells: list[CompetitiveCell] = []
@@ -229,6 +244,17 @@ def competitive_sweep(
             "families": list(families),
             "sizes": [int(s) for s in sizes],
             "seeds": int(seeds),
+            # recorded only when truncation actually happened, so full-grid
+            # payloads (and their byte-pinned goldens) are unchanged
+            **(
+                {
+                    "stride": stride,
+                    "grid_cells": len(grid),
+                    "full_grid_cells": full_cells,
+                }
+                if stride > 1
+                else {}
+            ),
         },
         "cells": [asdict(cell) for cell in cells],
         "summary": _aggregate(cells),

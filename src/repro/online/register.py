@@ -81,6 +81,32 @@ def _run_bkp_batch(requests: list[SolveRequest]) -> list[tuple]:
     return results
 
 
+def _run_yds_anytime(request: SolveRequest) -> tuple:
+    """Anytime YDS: certified AVR cut, exact escalation when the gap is big.
+
+    The reported ``epsilon`` is the realized gap of the returned schedule's
+    energy against the Jensen window lower bound (zero for the escalated
+    exact path); the ``error-bound`` checker recomputes the bound.
+    """
+    from .anytime import anytime_min_energy
+
+    target = float(request.options.get(
+        "epsilon", request.accuracy if request.accuracy is not None else 0.1
+    ))
+    schedule, epsilon, kind = anytime_min_energy(
+        request.instance, request.power, target
+    )
+    energy = schedule.energy
+    extras = {
+        "approximation": {
+            "epsilon": float(epsilon),
+            "bound_kind": kind,
+            "certificate": "error-bound",
+        },
+    }
+    return energy, energy, schedule.speeds, extras
+
+
 def _run_avr(request: SolveRequest) -> tuple:
     from .avr import avr_schedule
 
@@ -125,6 +151,21 @@ def register_solvers(registry) -> None:
         ),
         _run_yds,
         batch_fn=_run_yds_batch,
+    )
+    registry.register(
+        SolverCapabilities(
+            name="yds-anytime",
+            spec=ProblemSpec(objective="energy", mode="server", online=False),
+            summary="anytime deadline-feasible energy: certified AVR cut, "
+                    "exact YDS escalation",
+            budget_kind="none",
+            needs_deadlines=True,
+            certificates=("error-bound",),
+            variant_of="yds",
+            approximate=True,
+            bound_kind="jensen-gap",
+        ),
+        _run_yds_anytime,
     )
     registry.register(
         caps(

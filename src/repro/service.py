@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import json
 import queue as _queue_mod
 import signal
@@ -74,7 +75,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Iterable, TextIO
 
-from .api import SolveResult
+from .api import REGISTRY, SolveRequest, SolveResult
 from .api import solve as api_solve
 from .api import verify as api_verify
 from .cache import ResultCache
@@ -101,6 +102,12 @@ from .io import (
 )
 
 __all__ = ["ServeStats", "handle_request_line", "serve_stream", "AsyncServeLoop"]
+
+#: Routing modes the serve loops understand.  ``off`` preserves the legacy
+#: dispatch byte-for-byte; ``sla`` reroutes accuracy-carrying requests
+#: through :meth:`repro.api.SolverRegistry.route` — exact when cheap,
+#: certified-approximate under pressure.
+ROUTING_MODES = ("off", "sla")
 
 #: Admission-queue bound beyond which new solve requests are shed.
 DEFAULT_MAX_PENDING = 64
@@ -163,6 +170,7 @@ class ServeStats:
     verify_failures: int = 0
     shed: int = 0
     deadline_misses: int = 0
+    routed: int = 0
 
     def merge(self, other: "ServeStats") -> None:
         self.requests += other.requests
@@ -172,6 +180,7 @@ class ServeStats:
         self.verify_failures += other.verify_failures
         self.shed += other.shed
         self.deadline_misses += other.deadline_misses
+        self.routed += other.routed
 
     def summary(self) -> str:
         """One human-readable line (the CLI prints it to stderr on shutdown)."""
@@ -184,7 +193,27 @@ class ServeStats:
             parts.append(f"{self.shed} shed")
         if self.deadline_misses:
             parts.append(f"{self.deadline_misses} deadline miss(es)")
+        if self.routed:
+            parts.append(f"{self.routed} routed")
         return ", ".join(parts)
+
+
+def _route_request(
+    request: SolveRequest, latency_budget_ms: float | None = None
+) -> tuple[SolveRequest, Any]:
+    """Route an accuracy-carrying request; returns ``(dispatch_request, decision)``.
+
+    ``decision`` is ``None`` when routing does not apply (no accuracy knob).
+    The dispatch request is the original with only its ``solver`` replaced,
+    so accuracy/latency expectations survive into verification and the
+    cache key reflects the solver that actually answered.
+    """
+    if request.accuracy is None:
+        return request, None
+    decision = REGISTRY.route(request, latency_budget_ms=latency_budget_ms)
+    if decision.solver == request.solver:
+        return request, decision
+    return dataclasses.replace(request, solver=decision.solver), decision
 
 
 def handle_request_line(
@@ -193,6 +222,7 @@ def handle_request_line(
     verify: bool = False,
     timing: bool = True,
     stats: ServeStats | None = None,
+    routing: str = "off",
 ) -> dict[str, Any]:
     """Answer one protocol line; always returns a response object.
 
@@ -201,9 +231,20 @@ def handle_request_line(
     :mod:`repro.exceptions`), solver failures come back through the
     :func:`repro.solve` serving contract, and only programming errors
     propagate.
+
+    ``routing="sla"`` reroutes requests that carry an ``accuracy`` target
+    through the registry's cost-model router (using the request's own
+    ``latency_budget_ms``; this synchronous loop has no queue pressure
+    signal).  The default ``"off"`` preserves legacy dispatch byte-for-byte.
     """
+    if routing not in ROUTING_MODES:
+        raise InvalidInstanceError(
+            f"routing must be one of {ROUTING_MODES}, got {routing!r}"
+        )
     started = time.perf_counter()
     request = None
+    dispatch = None
+    decision = None
     request_id = None
     cache_state = "off" if cache is None else "miss"
     try:
@@ -218,16 +259,26 @@ def handle_request_line(
     except ReproError as exc:
         result = SolveResult.failure("<request>", exc)
     else:
-        hit = cache.get(request) if cache is not None else None
+        dispatch = request
+        if routing == "sla":
+            dispatch, decision = _route_request(request)
+        hit = cache.get(dispatch) if cache is not None else None
         if hit is not None:
             cache_state = "hit"
             result = hit
         else:
-            result = api_solve(request)
+            result = api_solve(dispatch)
 
     serve_meta: dict[str, Any] = {"cache": cache_state}
-    if verify and request is not None and result.ok:
-        report = api_verify(request, result)
+    if decision is not None:
+        serve_meta["routed_solver"] = decision.solver
+    if result.ok and result.approximation is not None:
+        serve_meta["epsilon"] = result.approximation.get("epsilon")
+        certificate = result.approximation.get("certificate")
+        if certificate is not None:
+            serve_meta["certificate"] = certificate
+    if verify and dispatch is not None and result.ok:
+        report = api_verify(dispatch, result)
         serve_meta["verified"] = report.ok
         if not report.ok:
             serve_meta["findings"] = list(report.codes())
@@ -236,12 +287,12 @@ def handle_request_line(
     if (
         cache is not None
         and cache_state == "miss"
-        and request is not None
+        and dispatch is not None
         and result.ok
         and serve_meta.get("verified", True)
     ):
         # write-behind, after verification (when enabled) passed
-        cache.put(request, result)
+        cache.put(dispatch, result)
     if timing:
         serve_meta["latency_ms"] = round((time.perf_counter() - started) * 1e3, 3)
 
@@ -253,6 +304,8 @@ def handle_request_line(
             stats.errors += 1
         if cache_state == "hit":
             stats.cache_hits += 1
+        if decision is not None and dispatch is not request:
+            stats.routed += 1
     return serve_response_to_dict(result, request_id, serve_meta)
 
 
@@ -263,6 +316,7 @@ def serve_stream(
     verify: bool = False,
     timing: bool = True,
     stats: ServeStats | None = None,
+    routing: str = "off",
 ) -> ServeStats:
     """Run the request loop over a text-stream pair until EOF.
 
@@ -277,7 +331,12 @@ def serve_stream(
         if not line.strip():
             continue
         response = handle_request_line(
-            line, cache=cache, verify=verify, timing=timing, stats=tally
+            line,
+            cache=cache,
+            verify=verify,
+            timing=timing,
+            stats=tally,
+            routing=routing,
         )
         out_stream.write(json.dumps(response) + "\n")
         out_stream.flush()
@@ -398,6 +457,7 @@ class AsyncServeLoop:
         max_pending: int = DEFAULT_MAX_PENDING,
         solve_threads: int = 1,
         fault_plan: FaultPlan | None = None,
+        routing: str = "off",
     ) -> None:
         if max_pending < 1:
             raise InvalidInstanceError(f"max_pending must be >= 1, got {max_pending}")
@@ -405,6 +465,11 @@ class AsyncServeLoop:
             raise InvalidInstanceError(
                 f"default_deadline_ms must be > 0, got {default_deadline_ms}"
             )
+        if routing not in ROUTING_MODES:
+            raise InvalidInstanceError(
+                f"routing must be one of {ROUTING_MODES}, got {routing!r}"
+            )
+        self.routing = routing
         self.cache = cache
         self.verify = verify
         self.timing = timing
@@ -665,12 +730,31 @@ class AsyncServeLoop:
             )
         )
 
+    def _effective_budget_ms(self, request: SolveRequest, pending: _Pending) -> float | None:
+        """The latency the router may spend on this request, load-adjusted.
+
+        Starts from the tighter of the request's own ``latency_budget_ms``
+        and the remaining serve deadline, then subtracts the queue pressure
+        ahead of us (EWMA service time × queue depth) — the signal that
+        makes the router shed to certified-approximate solvers under load.
+        """
+        assert self._queue is not None
+        budget = request.latency_budget_ms
+        if pending.deadline is not None:
+            remaining = max(0.0, (pending.deadline - time.monotonic()) * 1e3)
+            budget = remaining if budget is None else min(budget, remaining)
+        ewma = self._ewma_service_s
+        if budget is not None and ewma is not None:
+            budget = max(0.0, budget - ewma * 1e3 * self._queue.qsize())
+        return budget
+
     async def _process(self, pending: _Pending) -> dict[str, Any]:
         assert self._loop is not None and self._pool is not None
         cache = self.cache
         cache_state = "off" if cache is None else "miss"
         serve_meta: dict[str, Any] = {"cache": cache_state}
         request = None
+        decision = None
         now = time.monotonic()
 
         if pending.deadline is not None and now >= pending.deadline:
@@ -681,6 +765,16 @@ class AsyncServeLoop:
             except ReproError as exc:
                 result = SolveResult.failure("<request>", exc)
             else:
+                if self.routing == "sla" and request.accuracy is not None:
+                    original = request
+                    request, decision = _route_request(
+                        original,
+                        latency_budget_ms=self._effective_budget_ms(
+                            original, pending
+                        ),
+                    )
+                    if request is not original:
+                        self.stats.routed += 1
                 hit = cache.get(request) if cache is not None else None
                 if hit is not None:
                     cache_state = "hit"
@@ -718,6 +812,13 @@ class AsyncServeLoop:
                             elapsed if prev is None else 0.2 * elapsed + 0.8 * prev
                         )
 
+        if decision is not None:
+            serve_meta["routed_solver"] = decision.solver
+        if result.ok and result.approximation is not None:
+            serve_meta["epsilon"] = result.approximation.get("epsilon")
+            certificate = result.approximation.get("certificate")
+            if certificate is not None:
+                serve_meta["certificate"] = certificate
         if self.verify and request is not None and result.ok:
             report = api_verify(request, result)
             serve_meta["verified"] = report.ok
@@ -789,6 +890,9 @@ class AsyncServeLoop:
             "max_pending": self.max_pending,
             "draining": self.draining,
         }
+        if self.routing == "sla":
+            # only in sla mode: legacy snapshots stay byte-stable
+            snap["routed"] = s.routed
         if self.timing:
             uptime = time.monotonic() - self._started_at
             snap["uptime_s"] = round(uptime, 3)

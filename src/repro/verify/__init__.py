@@ -109,6 +109,15 @@ def verify(
             expected = reg.resolve(request.spec)
         except ReproError:
             expected = None
+    if expected is not None and expected != name and expected in reg:
+        # a routed result may legitimately come from any member of the
+        # requested solver's variant family (same problem cell, certified
+        # approximation): variant for primary, primary for variant, or a
+        # sibling variant
+        produced_root = reg.capabilities(name).variant_of or name
+        expected_root = reg.capabilities(expected).variant_of or expected
+        if produced_root == expected_root:
+            expected = name
     if expected is not None and expected != name:
         return VerificationReport(
             solver=name,

@@ -24,6 +24,13 @@ kinds mirror the paper's own optimality witnesses:
   exact refinement applied.
 * ``cyclic-assignment``  -- Theorem 10: the multiprocessor assignment is a
   partition and distributes jobs cyclically in release order.
+* ``error-bound``        -- approximate solvers stamp a *certified* realized
+  ``epsilon`` into ``result.approximation``; the checker recomputes the
+  underlying lower bound (Schur-convexity load relaxation for the PTAS,
+  secant-envelope geometry for coarse frontier samples, the Jensen window
+  bound for anytime YDS cuts, a full YDS re-solve for escalated exact
+  answers) and confirms the answer really is within ``(1 + epsilon)`` of it
+  — and within the accuracy the request asked for.
 
 Checkers degrade to ``warning``-severity ``certificate-skipped`` findings
 when the inputs leave the theorem's model (e.g. a non-polynomial power
@@ -444,6 +451,268 @@ def check_flow_structure(ctx: VerificationContext) -> list[Finding]:
                         },
                     )
                 )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# certified error bounds for approximate solvers
+# ----------------------------------------------------------------------
+
+#: Exhaustive re-solves are only attempted when the assignment search space
+#: (≈ m**(n-1) candidates after symmetry pruning) stays below this.
+_EXACT_RESOLVE_CANDIDATES = 20_000
+
+
+def _approx_finding(code: str, message: str, **data) -> Finding:
+    return Finding(code=code, check="error-bound", message=message, data=data)
+
+
+def _check_ptas_bound(ctx: VerificationContext, epsilon: float) -> list[Finding]:
+    from ..multi.exact import exact_zero_release_makespan
+    from ..multi.ptas import zero_release_makespan_lower_bound
+
+    findings: list[Finding] = []
+    request = ctx.request
+    value = ctx.result.value
+    if value is None:
+        return [_approx_finding("approximation-invalid", "PTAS result has no value")]
+    if epsilon > 0.0:
+        # a positive epsilon was certified against the load-relaxation lower
+        # bound, so the same inequality must hold on recomputation; a zero
+        # epsilon certifies via exhaustiveness instead (the bound is strict
+        # on instances where no balanced assignment exists) and is checked
+        # against an exact re-solve below
+        lower = zero_release_makespan_lower_bound(
+            request.instance, request.power, request.processors, request.budget
+        )
+        if value > (1.0 + epsilon) * lower * (1.0 + 1e-9):
+            findings.append(
+                _approx_finding(
+                    "error-bound-violated",
+                    f"makespan {value:g} exceeds (1 + {epsilon:g}) x the "
+                    f"Schur-convexity lower bound {lower:g}",
+                    value=value, epsilon=epsilon, lower_bound=lower,
+                )
+            )
+    n = request.instance.n_jobs
+    m = request.processors
+    if m ** max(0, n - 1) <= _EXACT_RESOLVE_CANDIDATES:
+        optimal = exact_zero_release_makespan(
+            request.instance, request.power, m, request.budget
+        ).makespan
+        if value < optimal * (1.0 - 1e-6) - 1e-9:
+            findings.append(
+                _approx_finding(
+                    "value-below-optimal",
+                    f"makespan {value:g} is below the exact optimum {optimal:g} "
+                    "-- no assignment achieves it",
+                    value=value, optimal=optimal,
+                )
+            )
+        elif epsilon == 0.0 and value > optimal * (1.0 + 1e-6) + 1e-9:
+            findings.append(
+                _approx_finding(
+                    "error-bound-violated",
+                    f"result claims an exact answer (epsilon 0) but makespan "
+                    f"{value:g} exceeds the exact optimum {optimal:g}",
+                    value=value, optimal=optimal,
+                )
+            )
+        elif value > (1.0 + epsilon) * optimal * (1.0 + 1e-9):
+            findings.append(
+                _approx_finding(
+                    "error-bound-violated",
+                    f"makespan {value:g} exceeds (1 + {epsilon:g}) x the exact "
+                    f"optimum {optimal:g}",
+                    value=value, epsilon=epsilon, optimal=optimal,
+                )
+            )
+    elif epsilon == 0.0:
+        return findings + _skipped(
+            "error-bound",
+            "claimed-exact PTAS answer on an instance too large to re-solve "
+            f"exhaustively ({m}**{n - 1} candidates)",
+        )
+    return findings
+
+
+def _check_frontier_envelope(ctx: VerificationContext, epsilon: float) -> list[Finding]:
+    from ..exceptions import BudgetError
+    from ..makespan.frontier import interpolation_error_bound
+    from ..makespan.incmerge import incmerge
+
+    samples = ctx.result.extras.get("samples")
+    if not samples or len(samples) < 2:
+        return [
+            _approx_finding(
+                "approximation-invalid",
+                "frontier-envelope certificate needs at least 2 samples in extras",
+            )
+        ]
+    pairs = [(float(s["energy"]), float(s["makespan"])) for s in samples]
+    try:
+        recomputed = interpolation_error_bound(pairs)
+    except BudgetError as exc:
+        return [
+            _approx_finding(
+                "error-bound-violated",
+                f"sample geometry is not a valid frontier sampling: {exc}",
+            )
+        ]
+    findings: list[Finding] = []
+    if epsilon < recomputed * (1.0 - 1e-9) - 1e-12:
+        findings.append(
+            _approx_finding(
+                "error-bound-violated",
+                f"claimed epsilon {epsilon:g} is below the recomputed "
+                f"envelope bound {recomputed:g}",
+                claimed=epsilon, recomputed=recomputed,
+            )
+        )
+    if ctx.request.instance.n_jobs <= 32:
+        # spot-check the interpolation against a real solve mid-segment
+        mid = len(pairs) // 2
+        (e0, v0), (e1, v1) = pairs[mid - 1], pairs[mid]
+        energy = 0.5 * (e0 + e1)
+        interpolated = 0.5 * (v0 + v1)
+        actual = float(
+            incmerge(ctx.request.instance, ctx.request.power, energy).makespan
+        )
+        if interpolated < actual * (1.0 - 1e-9) - 1e-12:
+            findings.append(
+                _approx_finding(
+                    "error-bound-violated",
+                    f"interpolated makespan {interpolated:g} at energy {energy:g} "
+                    f"is below the true optimum {actual:g}; the chord must be an "
+                    "upper bound on a convex curve",
+                    interpolated=interpolated, actual=actual, energy=energy,
+                )
+            )
+        elif interpolated > (1.0 + epsilon) * actual * (1.0 + 1e-9):
+            findings.append(
+                _approx_finding(
+                    "error-bound-violated",
+                    f"interpolated makespan {interpolated:g} at energy {energy:g} "
+                    f"misses the true optimum {actual:g} by more than the "
+                    f"certified epsilon {epsilon:g}",
+                    interpolated=interpolated, actual=actual, epsilon=epsilon,
+                )
+            )
+    return findings
+
+
+def _check_jensen_gap(ctx: VerificationContext, epsilon: float) -> list[Finding]:
+    from ..online.anytime import jensen_energy_lower_bound
+
+    energy = ctx.result.energy
+    if energy is None:
+        return [
+            _approx_finding("approximation-invalid", "jensen-gap result has no energy")
+        ]
+    lower = jensen_energy_lower_bound(ctx.request.instance, ctx.request.power)
+    findings: list[Finding] = []
+    if energy < lower * (1.0 - 1e-9) - 1e-12:
+        findings.append(
+            _approx_finding(
+                "value-below-optimal",
+                f"reported energy {energy:g} is below the Jensen window lower "
+                f"bound {lower:g} -- no feasible schedule achieves it",
+                energy=energy, lower_bound=lower,
+            )
+        )
+    if energy > (1.0 + epsilon) * lower * (1.0 + 1e-9):
+        findings.append(
+            _approx_finding(
+                "error-bound-violated",
+                f"reported energy {energy:g} exceeds (1 + {epsilon:g}) x the "
+                f"Jensen window lower bound {lower:g}",
+                energy=energy, epsilon=epsilon, lower_bound=lower,
+            )
+        )
+    return findings
+
+
+def _check_yds_exact(ctx: VerificationContext, epsilon: float) -> list[Finding]:
+    energy = ctx.result.energy
+    if energy is None:
+        return [
+            _approx_finding("approximation-invalid", "yds-exact result has no energy")
+        ]
+    optimal = _yds_optimal_energy(ctx)
+    if not math.isclose(energy, optimal, rel_tol=1e-6, abs_tol=1e-9):
+        return [
+            _approx_finding(
+                "error-bound-violated",
+                f"escalated exact answer reports energy {energy:g} but the YDS "
+                f"re-solve gives {optimal:g}",
+                energy=energy, optimal=optimal,
+            )
+        ]
+    return []
+
+
+_BOUND_CHECKS = {
+    "ptas": _check_ptas_bound,
+    "frontier-envelope": _check_frontier_envelope,
+    "jensen-gap": _check_jensen_gap,
+    "yds-exact": _check_yds_exact,
+}
+
+
+@checker("error-bound")
+def check_error_bound(ctx: VerificationContext) -> list[Finding]:
+    """Recompute an approximate answer's certified bound from first principles.
+
+    Exact variants that also declare this certificate (e.g. the escalated
+    path of an anytime solver never taken) may return no approximation
+    metadata at all; that is only a violation when the solver capabilities
+    say every answer is approximate.
+    """
+    approximation = ctx.result.approximation
+    if approximation is None:
+        if ctx.capabilities.approximate:
+            return [
+                _approx_finding(
+                    "approximation-missing",
+                    f"solver {ctx.capabilities.name!r} is registered as "
+                    "approximate but the result carries no approximation metadata",
+                )
+            ]
+        return []
+    raw_epsilon = approximation.get("epsilon")
+    bound_kind = approximation.get("bound_kind")
+    try:
+        epsilon = float(raw_epsilon)
+    except (TypeError, ValueError):
+        epsilon = math.nan
+    if not math.isfinite(epsilon) or epsilon < 0.0:
+        return [
+            _approx_finding(
+                "approximation-invalid",
+                f"approximation metadata carries no usable epsilon: {raw_epsilon!r}",
+            )
+        ]
+    findings: list[Finding] = []
+    accuracy = ctx.request.accuracy
+    if accuracy is not None and epsilon > accuracy * (1.0 + 1e-9):
+        findings.append(
+            _approx_finding(
+                "accuracy-violated",
+                f"certified epsilon {epsilon:g} exceeds the requested "
+                f"accuracy {accuracy:g}",
+                epsilon=epsilon, accuracy=accuracy,
+            )
+        )
+    bound_check = _BOUND_CHECKS.get(bound_kind)
+    if bound_check is None:
+        findings.extend(
+            _skipped(
+                "error-bound",
+                f"no recomputation known for bound kind {bound_kind!r}",
+            )
+        )
+        return findings
+    findings.extend(bound_check(ctx, epsilon))
     return findings
 
 

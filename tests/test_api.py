@@ -41,6 +41,10 @@ def request_for(name: str) -> SolveRequest:
     caps = REGISTRY.capabilities(name)
     if caps.needs_deadlines:
         instance = deadline_instance(5, seed=1, laxity=3.0)
+    elif caps.needs_zero_release:
+        instance = Instance.from_arrays(
+            releases=[0.0] * 5, works=[5.0, 3.0, 2.0, 2.0, 1.0]
+        )
     elif caps.needs_equal_work:
         instance = equal_work_instance(4, seed=1)
     else:
@@ -295,7 +299,20 @@ class TestRegistryMechanics:
     def test_find_filters(self):
         online = REGISTRY.find(online=True)
         assert online == ("avr", "oa", "bkp")
-        assert set(REGISTRY.find(objective="makespan", machine="multi")) == {"multi-makespan"}
+        assert set(REGISTRY.find(objective="makespan", machine="multi")) == {
+            "multi-makespan",
+            "multi-makespan-exact",
+            "multi-makespan-ptas",
+        }
+        assert set(REGISTRY.find(variant_of="multi-makespan")) == {
+            "multi-makespan-exact",
+            "multi-makespan-ptas",
+        }
+        assert set(REGISTRY.find(approximate=True)) == {
+            "multi-makespan-ptas",
+            "frontier-coarse",
+            "yds-anytime",
+        }
         with pytest.raises(InvalidInstanceError, match="capability filter"):
             REGISTRY.find(bogus=True)
 

@@ -35,6 +35,8 @@ API_SURFACE = {
     "RegisteredSolver",
     "SolverRegistry",
     "REGISTRY",
+    "CostModel",
+    "RouteDecision",
     "Finding",
     "VerificationReport",
     "solve",

@@ -42,16 +42,19 @@ _KNOWN_OBJECTIVES = {"makespan", "flow", "energy"}
 def _derive_instance(draw, caps: SolverCapabilities) -> Instance:
     """An instance satisfying the solver's declared preconditions."""
     n = draw(st.integers(min_value=1, max_value=6))
-    releases = sorted(
-        draw(
-            st.lists(
-                st.floats(min_value=0.0, max_value=8.0),
-                min_size=n,
-                max_size=n,
+    if caps.needs_zero_release:
+        releases = [0.0] * n
+    else:
+        releases = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=8.0),
+                    min_size=n,
+                    max_size=n,
+                )
             )
         )
-    )
-    releases[0] = 0.0
+        releases[0] = 0.0
     if caps.needs_equal_work:
         works = [draw(st.floats(min_value=0.5, max_value=2.0))] * n
     else:
@@ -123,6 +126,14 @@ def conformance_requests(draw, caps: SolverCapabilities) -> SolveRequest:
         budget=budget,
         processors=processors,
         options=_derive_options(caps, instance, power),
+        # SLA knobs: accuracy loose enough that every approximate variant can
+        # either certify within it or escalate to its exact path
+        accuracy=draw(
+            st.one_of(st.none(), st.floats(min_value=0.5, max_value=1.0))
+        ),
+        latency_budget_ms=draw(
+            st.one_of(st.none(), st.floats(min_value=50.0, max_value=500.0))
+        ),
     )
 
 
@@ -132,7 +143,7 @@ def conformance_requests(draw, caps: SolverCapabilities) -> SolveRequest:
 # ----------------------------------------------------------------------
 
 def test_registry_has_the_full_solver_matrix():
-    assert len(REGISTRY) >= 11
+    assert len(REGISTRY) >= 15
 
 
 @pytest.mark.parametrize("name", REGISTRY.names())
@@ -189,3 +200,65 @@ def test_solve_then_verify_conformance(name, data):
     )
     # the semantic certificates the solver declared must actually have run
     assert set(caps.certificates) <= set(report.checks)
+
+
+# ----------------------------------------------------------------------
+# SLA routing conformance: routed answers are exact or certified
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", REGISTRY.names())
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_route_answers_are_exact_or_certified(name, data):
+    """route() never trades accuracy away silently.
+
+    Whatever solver the router picks, the answer must verify against the
+    *original* request — including the ``error-bound`` certificate and the
+    requested-accuracy check when the answer is approximate.
+    """
+    import dataclasses
+
+    caps = REGISTRY.capabilities(name)
+    request = data.draw(conformance_requests(caps))
+    decision = REGISTRY.route(request)
+    if request.accuracy is None:
+        # exact-by-default: no accuracy knob means no rerouting at all, even
+        # when the request names an approximate solver explicitly
+        assert decision.solver == name
+        assert decision.reason == "exact-required"
+        assert decision.exact == (not caps.approximate)
+        return
+    routed = dataclasses.replace(request, solver=decision.solver)
+    result = repro.solve(routed)
+    assert result.ok, (
+        f"routed solver {decision.solver!r} (for {name!r}) failed: "
+        f"[{result.error_code}] {result.error_message}"
+    )
+    if not decision.exact:
+        assert result.approximation is not None, (
+            f"approximate routed solver {decision.solver!r} returned no "
+            "approximation metadata"
+        )
+    report = api_verify(request, result)
+    assert report.ok, (
+        f"routed answer from {decision.solver!r} fails verification against "
+        f"the original {name!r} request: "
+        + "; ".join(f"{f.check}:{f.code}: {f.message}" for f in report.errors)
+    )
+
+
+def test_route_falls_back_to_exact_below_min_accuracy():
+    """An accuracy tighter than every variant's floor keeps the exact solver."""
+    instance = Instance.from_arrays([0.0] * 5, [5.0, 3.0, 2.0, 2.0, 1.0])
+    request = SolveRequest(
+        instance=instance,
+        power=PolynomialPower(3.0),
+        solver="multi-makespan-exact",
+        budget=20.0,
+        processors=2,
+        accuracy=0.01,  # below multi-makespan-ptas's min_accuracy
+        latency_budget_ms=0.001,  # pressure that would otherwise shed to ptas
+    )
+    decision = REGISTRY.route(request)
+    assert decision.solver == "multi-makespan-exact"
+    assert decision.exact

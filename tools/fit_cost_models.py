@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Fit the committed per-solver cost models from the bench trajectories.
+
+The SLA router (:meth:`repro.api.SolverRegistry.route`) prices every
+candidate solver with a power law ``t_s = exp(log_a) * n**exponent``.  Those
+laws are *not* learned at runtime — they are fitted here, offline, from the
+``cost_trajectories`` sections of the committed ``benchmarks/results/``
+captures (today ``BENCH_routing.json``), and written to
+``src/repro/api/cost_models.json`` where the registry loads them.  The
+refit workflow is::
+
+    PYTHONPATH=src python benchmarks/bench_routing.py   # re-measure
+    python tools/fit_cost_models.py                     # re-fit
+    git diff src/repro/api/cost_models.json             # review, commit
+
+Fitting is ordinary least squares in log-log space (``log t = log_a +
+exponent * log n``) over the median timings; a solver with a single timing
+cell gets the default exponent (1.5) anchored through that point.  Solvers
+without trajectories simply keep the registry's built-in prior.
+
+``--check`` recomputes the fit and exits 1 if the committed file is stale
+(the same contract as ``tools/regen_golden.py --check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+OUTPUT = REPO_ROOT / "src" / "repro" / "api" / "cost_models.json"
+
+#: Exponent used when a solver has only one timing cell (matches the
+#: registry's unfitted prior).
+DEFAULT_EXPONENT = 1.5
+
+
+def collect_trajectories(results_dir: Path = RESULTS) -> dict[str, list[tuple[int, float, str]]]:
+    """``solver -> [(n_jobs, elapsed_ms, source_file)]`` from every capture."""
+    rows: dict[str, list[tuple[int, float, str]]] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        for row in data.get("cost_trajectories") or []:
+            try:
+                solver = str(row["solver"])
+                n = int(row["n_jobs"])
+                ms = float(row["elapsed_ms"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if n < 1 or not math.isfinite(ms) or ms <= 0:
+                continue
+            rows.setdefault(solver, []).append((n, ms, path.name))
+    return rows
+
+
+def fit_power_law(cells: list[tuple[int, float, str]]) -> dict:
+    """Least-squares ``log t = log_a + exponent * log n`` over one solver."""
+    source = ",".join(sorted({c[2] for c in cells}))
+    xs = [math.log(n) for n, _, _ in cells]
+    ys = [math.log(ms / 1e3) for _, ms, _ in cells]  # model is in seconds
+    if len(cells) == 1 or max(xs) == min(xs):
+        exponent = DEFAULT_EXPONENT
+        log_a = ys[0] - exponent * xs[0]
+    else:
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        exponent = sxy / sxx
+        log_a = mean_y - exponent * mean_x
+    return {
+        "log_a": round(log_a, 6),
+        "exponent": round(exponent, 6),
+        "source": source,
+        "cells": len(cells),
+    }
+
+
+def fit_all(results_dir: Path = RESULTS) -> dict:
+    trajectories = collect_trajectories(results_dir)
+    models = {
+        solver: fit_power_law(cells)
+        for solver, cells in sorted(trajectories.items())
+    }
+    return {
+        "kind": "cost-models",
+        "note": "fitted by tools/fit_cost_models.py from benchmarks/results/ "
+                "cost_trajectories; t_s = exp(log_a) * n_jobs**exponent",
+        "models": models,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the committed cost_models.json is stale instead of "
+             "rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    payload = fit_all()
+    if not payload["models"]:
+        print(
+            "no cost_trajectories found under benchmarks/results/; run "
+            "PYTHONPATH=src python benchmarks/bench_routing.py first",
+            file=sys.stderr,
+        )
+        return 1
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    current = OUTPUT.read_text(encoding="utf-8") if OUTPUT.exists() else None
+    if args.check:
+        if current != text:
+            print(f"{OUTPUT} is stale; run python tools/fit_cost_models.py")
+            return 1
+        print(f"{OUTPUT} is up to date ({len(payload['models'])} models)")
+        return 0
+    OUTPUT.write_text(text, encoding="utf-8")
+    for solver, model in payload["models"].items():
+        t10 = math.exp(model["log_a"]) * 10 ** model["exponent"] * 1e3
+        print(
+            f"  {solver:25s} t(n) = {math.exp(model['log_a']):.3e} * "
+            f"n^{model['exponent']:.3f} s   (t(10) ~ {t10:.3g} ms, "
+            f"{model['cells']} cells from {model['source']})"
+        )
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

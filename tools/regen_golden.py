@@ -141,12 +141,64 @@ def _serve_transcript() -> str:
     return out.getvalue()
 
 
+def _serve_routed_transcript() -> str:
+    """The SLA-routing serve golden (``--routing sla --no-timing``).
+
+    Three lines: an accuracy-carrying request under a latency budget far
+    tighter than the exact solver's cost model (deterministically routed to
+    the certified PTAS variant — the response stamps ``routed_solver``,
+    ``epsilon`` and ``certificate``), the same problem with no accuracy knob
+    (exact, unrouted), and a malformed line (structured error; the loop
+    survives).
+    """
+    import io as io_module
+
+    from repro.api import SolveRequest
+    from repro.cache import ResultCache
+    from repro.core import CUBE, Instance
+    from repro.io import request_to_dict
+    from repro.service import serve_stream
+
+    instance = Instance.from_arrays(
+        [0.0] * 10,
+        [5.0, 3.0, 2.0, 2.0, 1.0, 4.0, 2.5, 1.5, 3.5, 1.0],
+        name="routed-golden",
+    )
+    routed = json.dumps(
+        request_to_dict(
+            SolveRequest(
+                instance=instance, power=CUBE, solver="multi-makespan-exact",
+                budget=80.0, processors=3, accuracy=0.5,
+                latency_budget_ms=1.0,
+            )
+        )
+    )
+    exact = json.dumps(
+        request_to_dict(
+            SolveRequest(
+                instance=instance, power=CUBE, solver="multi-makespan-exact",
+                budget=80.0, processors=3,
+            )
+        )
+    )
+    out = io_module.StringIO()
+    serve_stream(
+        iter([routed + "\n", exact + "\n", "{not json\n"]),
+        out,
+        cache=ResultCache(),
+        timing=False,
+        routing="sla",
+    )
+    return out.getvalue()
+
+
 def regenerate() -> dict[str, str]:
     """All golden captures: file name -> exact text content."""
     captures = {name: _capture(argv) for name, argv in CLI_CASES.items()}
     captures["batch_results.json"] = _batch_results()
     captures.update(_verify_envelopes())
     captures["serve_transcript.txt"] = _serve_transcript()
+    captures["serve_routed_transcript.txt"] = _serve_routed_transcript()
     return captures
 
 
